@@ -1,0 +1,349 @@
+(* refnet — command-line front end for the referee-model library.
+
+   Subcommands:
+     generate      emit a graph from a named family (edge list or graph6)
+     reconstruct   run the degeneracy / forest protocol on a graph
+     recognize     decide degeneracy <= k in one round
+     gadget        build the Theorem 1/2/3 gadgets for a vertex pair
+     count         Lemma 1 family counting and budgets
+     sizes         message-size tables for the protocols
+     stats         structural parameters of a graph
+     search        exhaustive protocol-existence search at tiny n
+     connectivity  coalition connectivity audit *)
+
+open Cmdliner
+open Refnet_graph
+
+(* ---------- shared converters and helpers ---------- *)
+
+let read_graph path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let s = String.trim s in
+  if String.length s > 0 && (s.[0] = '~' || not (String.contains s '\n')) && not (String.contains s ' ')
+  then Gio.of_graph6 s
+  else Gio.of_edge_list s
+
+let write_graph fmt g =
+  match fmt with
+  | `Edges -> print_string (Gio.to_edge_list g)
+  | `Graph6 -> print_endline (Gio.to_graph6 g)
+  | `Dot -> print_string (Gio.to_dot g)
+
+let fmt_conv = Arg.enum [ ("edges", `Edges); ("graph6", `Graph6); ("dot", `Dot) ]
+
+let fmt_arg =
+  Arg.(value & opt fmt_conv `Edges & info [ "f"; "format" ] ~docv:"FMT" ~doc:"Output format: edges, graph6 or dot.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let graph_file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc:"Graph file (edge list or graph6).")
+
+let k_arg =
+  Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Degeneracy budget.")
+
+(* ---------- generate ---------- *)
+
+let family_conv =
+  Arg.enum
+    [
+      ("path", `Path); ("cycle", `Cycle); ("complete", `Complete); ("star", `Star);
+      ("wheel", `Wheel); ("grid", `Grid); ("torus", `Torus); ("hypercube", `Hypercube);
+      ("petersen", `Petersen); ("tree", `Tree); ("forest", `Forest);
+      ("k-tree", `Ktree); ("apollonian", `Apollonian); ("outerplanar", `Outerplanar);
+      ("gnp", `Gnp); ("bipartite", `Bipartite); ("k-degenerate", `Kdeg);
+    ]
+
+let generate family n k p seed fmt =
+  let rng = Random.State.make [| seed |] in
+  let g =
+    match family with
+    | `Path -> Generators.path n
+    | `Cycle -> Generators.cycle n
+    | `Complete -> Generators.complete n
+    | `Star -> Generators.star n
+    | `Wheel -> Generators.wheel n
+    | `Grid ->
+      let side = int_of_float (sqrt (float_of_int n)) in
+      Generators.grid side (max 1 ((n + side - 1) / side))
+    | `Torus ->
+      let side = max 3 (int_of_float (sqrt (float_of_int n))) in
+      Generators.torus side side
+    | `Hypercube ->
+      let rec dim d = if 1 lsl d >= n then d else dim (d + 1) in
+      Generators.hypercube (dim 0)
+    | `Petersen -> Generators.petersen ()
+    | `Tree -> Generators.random_tree rng n
+    | `Forest -> Generators.random_forest rng n ~trees:(max 1 (n / 20))
+    | `Ktree -> Generators.random_k_tree rng n ~k
+    | `Apollonian -> Generators.random_apollonian rng n
+    | `Outerplanar -> Generators.random_maximal_outerplanar rng n
+    | `Gnp -> Generators.gnp rng n p
+    | `Bipartite -> Generators.random_bipartite rng ~left:(n / 2) ~right:(n - (n / 2)) p
+    | `Kdeg -> Generators.random_k_degenerate rng n ~k
+  in
+  write_graph fmt g
+
+let generate_cmd =
+  let family =
+    Arg.(required & pos 0 (some family_conv) None & info [] ~docv:"FAMILY" ~doc:"Graph family.")
+  in
+  let n = Arg.(value & opt int 16 & info [ "n" ] ~docv:"N" ~doc:"Number of vertices.") in
+  let p = Arg.(value & opt float 0.3 & info [ "p" ] ~docv:"P" ~doc:"Edge probability.") in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a graph from a named family")
+    Term.(const generate $ family $ n $ k_arg $ p $ seed_arg $ fmt_arg)
+
+(* ---------- reconstruct ---------- *)
+
+let reconstruct path k forest fmt =
+  let g = read_graph path in
+  let n = Graph.order g in
+  if forest then begin
+    match Core.Simulator.run Core.Forest_protocol.reconstruct g with
+    | Some h, t ->
+      Printf.eprintf "forest protocol: %d bits/node, exact=%b\n%!" t.Core.Simulator.max_bits
+        (Graph.equal g h);
+      write_graph fmt h
+    | None, _ ->
+      prerr_endline "forest protocol: rejected (graph has a cycle)";
+      exit 1
+  end
+  else begin
+    match Core.Simulator.run (Core.Degeneracy_protocol.reconstruct ~k ()) g with
+    | Some h, t ->
+      Printf.eprintf "degeneracy-%d protocol: %d bits/node (bound %d), exact=%b\n%!" k
+        t.Core.Simulator.max_bits
+        (Core.Degeneracy_protocol.message_bits ~k n)
+        (Graph.equal g h);
+      write_graph fmt h
+    | None, _ ->
+      Printf.eprintf "degeneracy-%d protocol: rejected (degeneracy(G) = %d > %d)\n%!" k
+        (Degeneracy.degeneracy g) k;
+      exit 1
+  end
+
+let reconstruct_cmd =
+  let forest =
+    Arg.(value & flag & info [ "forest" ] ~doc:"Use the forest (Section III.A) protocol.")
+  in
+  Cmd.v
+    (Cmd.info "reconstruct" ~doc:"Reconstruct a graph at the referee in one frugal round")
+    Term.(const reconstruct $ graph_file_arg $ k_arg $ forest $ fmt_arg)
+
+(* ---------- recognize ---------- *)
+
+let recognize path k generalized =
+  let g = read_graph path in
+  let protocol =
+    if generalized then Core.Generalized_degeneracy.recognize k
+    else Core.Recognition.degeneracy_at_most k
+  in
+  let verdict, t = Core.Simulator.run protocol g in
+  Printf.printf "%s degeneracy <= %d : %b   (%d bits/node; true %s = %d)\n"
+    (if generalized then "generalized" else "plain")
+    k verdict t.Core.Simulator.max_bits
+    (if generalized then "generalized degeneracy" else "degeneracy")
+    (if generalized then Degeneracy.generalized_degeneracy g else Degeneracy.degeneracy g);
+  exit (if verdict then 0 else 1)
+
+let recognize_cmd =
+  let generalized =
+    Arg.(value & flag & info [ "generalized" ] ~doc:"Use the generalized-degeneracy protocol.")
+  in
+  Cmd.v
+    (Cmd.info "recognize" ~doc:"Decide degeneracy <= k in one round")
+    Term.(const recognize $ graph_file_arg $ k_arg $ generalized)
+
+(* ---------- gadget ---------- *)
+
+let gadget_kind_conv =
+  Arg.enum [ ("square", `Square); ("diameter", `Diameter); ("triangle", `Triangle) ]
+
+let gadget path kind s t fmt =
+  let g = read_graph path in
+  let g' =
+    match kind with
+    | `Square -> Core.Gadgets.square g s t
+    | `Diameter -> Core.Gadgets.diameter g s t
+    | `Triangle -> Core.Gadgets.triangle g s t
+  in
+  let verdict =
+    match kind with
+    | `Square -> Cycles.has_square g'
+    | `Diameter -> Distance.diameter_at_most g' 3
+    | `Triangle -> Cycles.has_triangle g'
+  in
+  Printf.eprintf "gadget property holds: %b   edge {%d,%d} present: %b\n%!" verdict s t
+    (Graph.has_edge g s t);
+  write_graph fmt g'
+
+let gadget_cmd =
+  let kind =
+    Arg.(required & pos 1 (some gadget_kind_conv) None & info [] ~docv:"KIND"
+           ~doc:"square, diameter or triangle.")
+  in
+  let s = Arg.(required & pos 2 (some int) None & info [] ~docv:"S" ~doc:"First vertex.") in
+  let t = Arg.(required & pos 3 (some int) None & info [] ~docv:"T" ~doc:"Second vertex.") in
+  Cmd.v
+    (Cmd.info "gadget" ~doc:"Build the G'_{s,t} gadget of Theorems 1-3")
+    Term.(const gadget $ graph_file_arg $ kind $ s $ t $ fmt_arg)
+
+(* ---------- count ---------- *)
+
+let count max_n c =
+  Printf.printf "%4s %16s %16s %8s\n" "n" "log2 g(n)" "budget" "fits";
+  print_endline "family: square-free (exhaustive enumeration)";
+  for n = 1 to min max_n 7 do
+    let lg = Core.Counting.log2_family_size Core.Counting.Square_free n in
+    let b = Core.Counting.budget ~c n in
+    Printf.printf "%4d %16.1f %16.1f %8s\n" n lg b (if lg <= b then "yes" else "NO")
+  done;
+  List.iter
+    (fun (name, fam) ->
+      match Core.Counting.crossover ~c fam ~max_n with
+      | Some n -> Printf.printf "family %s: crossover at n = %d (c = %d)\n" name n c
+      | None -> Printf.printf "family %s: no crossover up to n = %d\n" name max_n)
+    [ ("all-graphs", Core.Counting.All_graphs); ("bipartite", Core.Counting.Bipartite_fixed_halves) ]
+
+let count_cmd =
+  let max_n = Arg.(value & opt int 256 & info [ "max-n" ] ~docv:"N" ~doc:"Search limit.") in
+  let c = Arg.(value & opt int 4 & info [ "c" ] ~docv:"C" ~doc:"Frugality constant.") in
+  Cmd.v
+    (Cmd.info "count" ~doc:"Lemma 1 counting: family sizes vs the frugal budget")
+    Term.(const count $ max_n $ c)
+
+(* ---------- sizes ---------- *)
+
+let sizes n =
+  Printf.printf "message sizes at n = %d (id width %d bits):\n" n (Core.Bounds.id_bits n);
+  Printf.printf "  forest protocol          : %4d bits\n" (Core.Bounds.forest_message_bits n);
+  List.iter
+    (fun k ->
+      Printf.printf "  degeneracy protocol k=%-2d : %4d bits   generalized: %4d bits\n" k
+        (Core.Bounds.degeneracy_message_bits ~k n)
+        (Core.Bounds.generalized_message_bits ~k n))
+    [ 1; 2; 3; 5; 8 ];
+  List.iter
+    (fun d ->
+      Printf.printf "  bounded-degree (d=%-2d)    : %4d bits\n" d
+        (Core.Bounded_degree.message_bits ~max_degree:d n))
+    [ 2; 4; 8 ]
+
+let sizes_cmd =
+  let n = Arg.(value & opt int 1024 & info [ "n" ] ~docv:"N" ~doc:"Network size.") in
+  Cmd.v (Cmd.info "sizes" ~doc:"Closed-form message-size tables") Term.(const sizes $ n)
+
+(* ---------- connectivity ---------- *)
+
+let connectivity path parts =
+  let g = read_graph path in
+  let n = Graph.order g in
+  let partition = Core.Coalition.partition_by_ranges ~n ~parts in
+  let verdict, t = Core.Coalition.run Core.Connectivity_parts.decide g ~parts:partition in
+  Printf.printf "connected: %b   (coalitions: %d, max %d bits/node, bound %d)\n" verdict parts
+    t.Core.Simulator.max_bits
+    (Core.Connectivity_parts.per_node_bound ~n ~parts);
+  exit (if verdict then 0 else 1)
+
+(* ---------- search ---------- *)
+
+let goal_conv =
+  Arg.enum
+    [
+      ("triangle", `Triangle); ("square", `Square); ("connectivity", `Connectivity);
+      ("bipartite", `Bip); ("reconstruct", `Reconstruct); ("forest-family", `Forest_family);
+    ]
+
+let search n bits goal =
+  let colors = 1 lsl bits in
+  let result =
+    match goal with
+    | `Triangle -> Core.Protocol_search.search_decider ~n ~colors ~property:Cycles.has_triangle ()
+    | `Square -> Core.Protocol_search.search_decider ~n ~colors ~property:Cycles.has_square ()
+    | `Connectivity ->
+      Core.Protocol_search.search_decider ~n ~colors ~property:Connectivity.is_connected ()
+    | `Bip -> Core.Protocol_search.search_decider ~n ~colors ~property:Bipartite.is_bipartite ()
+    | `Reconstruct -> Core.Protocol_search.search_reconstructor ~n ~colors ()
+    | `Forest_family ->
+      Core.Protocol_search.search_family_reconstructor ~n ~colors ~family:Spanning.is_forest ()
+  in
+  match result with
+  | Core.Protocol_search.Found w ->
+    Printf.printf "A %d-bit one-round protocol EXISTS at n = %d.  Witness tables:\n" bits n;
+    Array.iteri
+      (fun i table ->
+        Printf.printf "  node %d:" (i + 1);
+        Array.iteri (fun mask v -> Printf.printf " N#%d->%d" mask v) table;
+        print_newline ())
+      w
+  | Impossible ->
+    Printf.printf
+      "IMPOSSIBLE: no one-round protocol with %d-bit messages achieves this at n = %d\n\
+       (exhaustively verified over every local-function assignment).\n"
+      bits n;
+    exit 1
+  | Aborted ->
+    print_endline "search aborted (budget)";
+    exit 2
+
+let search_cmd =
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Network size (<= 4).") in
+  let bits = Arg.(value & opt int 1 & info [ "bits" ] ~docv:"B" ~doc:"Message bits per node.") in
+  let goal =
+    Arg.(required & pos 0 (some goal_conv) None & info [] ~docv:"GOAL"
+           ~doc:"triangle, square, connectivity, bipartite, reconstruct or forest-family.")
+  in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Exhaustively decide whether ANY b-bit one-round protocol exists")
+    Term.(const search $ n $ bits $ goal)
+
+(* ---------- stats ---------- *)
+
+let stats path =
+  let g = read_graph path in
+  print_endline (Parameters.summary g);
+  Printf.printf "girth: %s   diameter: %s   bipartite: %b   connected: %b\n"
+    (match Cycles.girth g with Some d -> string_of_int d | None -> "acyclic")
+    (match Distance.diameter g with Some d -> string_of_int d | None -> "inf")
+    (Bipartite.is_bipartite g)
+    (Connectivity.is_connected g);
+  let lo, hi = Parameters.arboricity_bounds g in
+  Printf.printf "arboricity in [%d, %d]   triangles: %d   has C4: %b\n" lo hi
+    (Cycles.triangle_count g) (Cycles.has_square g);
+  if Graph.order g <= 18 then
+    Printf.printf "treewidth (exact): %d\n" (Treewidth.treewidth g)
+  else print_endline "treewidth: skipped (n > 18)";
+  let k = max 1 (Degeneracy.degeneracy g) in
+  Printf.printf "one-round reconstruction budget: k=%d, %d bits/node (forest protocol: %s)\n" k
+    (Core.Bounds.degeneracy_message_bits ~k (Graph.order g))
+    (if Spanning.is_forest g then Printf.sprintf "%d bits" (Core.Bounds.forest_message_bits (Graph.order g))
+     else "n/a")
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Structural parameters of a graph (degeneracy, treewidth, ...)")
+    Term.(const stats $ graph_file_arg)
+
+let connectivity_cmd =
+  let parts = Arg.(value & opt int 4 & info [ "parts" ] ~docv:"K" ~doc:"Coalition count.") in
+  Cmd.v
+    (Cmd.info "connectivity" ~doc:"Coalition connectivity audit (conclusion protocol)")
+    Term.(const connectivity $ graph_file_arg $ parts)
+
+let () =
+  let info =
+    Cmd.info "refnet" ~version:"1.0.0"
+      ~doc:"One-round referee protocols on interconnection networks (IPDPS 2011 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; reconstruct_cmd; recognize_cmd; gadget_cmd; count_cmd; sizes_cmd; stats_cmd; search_cmd;
+            connectivity_cmd;
+          ]))

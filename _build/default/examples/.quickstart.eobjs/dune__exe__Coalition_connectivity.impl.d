@@ -1,0 +1,1 @@
+examples/coalition_connectivity.ml: Connectivity Core Generators Graph List Printf Random Refnet_graph

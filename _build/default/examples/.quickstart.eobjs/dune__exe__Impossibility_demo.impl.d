@@ -1,0 +1,1 @@
+examples/impossibility_demo.ml: Core Generators Graph List Printf Random Refnet_graph

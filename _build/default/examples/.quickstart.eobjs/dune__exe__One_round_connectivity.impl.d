@@ -1,0 +1,1 @@
+examples/one_round_connectivity.ml: Connectivity Core Degeneracy Generators Graph List Printf Random Refnet_graph

@@ -1,0 +1,1 @@
+examples/one_round_connectivity.mli:

@@ -1,0 +1,1 @@
+examples/planar_mapper.ml: Core Generators Gio Graph List Printf Random Refnet_graph

@@ -1,0 +1,1 @@
+examples/planar_mapper.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bipartite Connectivity Core Distance Generators Graph Printf Refnet_graph

@@ -1,0 +1,1 @@
+examples/sensor_forest.ml: Connectivity Core Generators Graph List Printf Random Refnet_graph String

@@ -1,0 +1,63 @@
+(* The impossibility machinery, end to end.
+
+   The paper's negative results all follow one recipe: IF a one-round
+   protocol Γ could decide property P frugally, THEN the reduction
+   protocol Δ would reconstruct an exponentially large graph family from
+   O(n log n) bits — contradicting the counting bound (Lemma 1).  This
+   demo runs every piece of that argument as real code:
+
+     1. a (non-frugal) oracle Γ for each property,
+     2. the reduction Δ simulating Γ on the gadgets G'_{s,t},
+     3. exact reconstruction of the hidden graph,
+     4. the counting bound showing why a frugal Γ cannot exist.
+
+   Run with:  dune exec examples/impossibility_demo.exe *)
+
+open Refnet_graph
+
+let show_reduction name delta g =
+  let out, t = Core.Simulator.run delta g in
+  Printf.printf "  %-10s hidden graph n=%d m=%d -> reconstructed %s (Δ sends %d bits/node)\n"
+    name (Graph.order g) (Graph.size g)
+    (if Graph.equal out g then "EXACTLY" else "WRONG")
+    t.Core.Simulator.max_bits
+
+let () =
+  let rng = Random.State.make [| 0x1dea |] in
+
+  print_endline "Step 1-3: reductions Δ reconstruct hidden graphs through decision oracles.";
+  show_reduction "square" (Core.Reduction.square ~oracle:Core.Reduction.square_oracle)
+    (Generators.random_square_free rng 12 ~attempts:300);
+  show_reduction "diameter" (Core.Reduction.diameter ~oracle:Core.Reduction.diameter3_oracle)
+    (Generators.gnp rng 12 0.35);
+  show_reduction "triangle" (Core.Reduction.triangle ~oracle:Core.Reduction.triangle_oracle)
+    (Generators.random_bipartite rng ~left:6 ~right:6 0.5);
+
+  print_endline "\nStep 4: the counting bound (Lemma 1).";
+  let c = 4 in
+  Printf.printf
+    "  A frugal protocol (%d log n bits/node) gives the referee c*n*log n bits total.\n" c;
+  List.iter
+    (fun (name, fam) ->
+      match Core.Counting.crossover ~c fam ~max_n:4096 with
+      | Some n ->
+        Printf.printf
+          "  %-30s outgrows that budget from n = %d on -> no frugal one-round protocol\n" name n
+      | None -> Printf.printf "  %-30s stays within budget below n = 4096\n" name)
+    [
+      ("all graphs (diameter red.)", Core.Counting.All_graphs);
+      ("bipartite graphs (triangle red.)", Core.Counting.Bipartite_fixed_halves);
+    ];
+
+  (* Square-free graphs: exact counts by exhaustive enumeration at small
+     n; the Kleitman-Winston 2^Theta(n^1.5) growth takes over. *)
+  print_endline "\n  Exact counts of labelled square-free graphs (Kleitman-Winston family):";
+  for n = 2 to 7 do
+    Printf.printf "    n=%d: log2 g(n) = %5.1f   vs budget %5.1f\n" n
+      (Core.Counting.log2_family_size Core.Counting.Square_free n)
+      (Core.Counting.budget ~c n)
+  done;
+
+  print_endline "\nConclusion: the oracles above shipped whole incidence vectors (n bits).";
+  print_endline "Any frugal Γ for squares / triangles / diameter<=3 would compress these";
+  print_endline "families below their entropy — impossible.  (Theorems 1, 2, 3.)"

@@ -1,0 +1,50 @@
+(* Topology mapper for planar interconnects.
+
+   Scenario: a network operator wants a full map of a deployed mesh whose
+   topology is known to be planar (degeneracy at most 5) but whose exact
+   wiring is unknown.  One frugal round suffices: each device sends the
+   Algorithm 3 power-sum digest with k = 5 and the referee rebuilds the
+   wiring, exports it as DOT/graph6, and audits structural properties.
+
+   Run with:  dune exec examples/planar_mapper.exe *)
+
+open Refnet_graph
+
+let map_one name g ~k =
+  let protocol = Core.Degeneracy_protocol.reconstruct ~k () in
+  let out, t = Core.Simulator.run protocol g in
+  match out with
+  | Some h when Graph.equal g h ->
+    Printf.printf "%-26s n=%4d m=%5d  k=%d  %4d bits/node (%.1f x log n)  [exact]\n" name
+      (Graph.order g) (Graph.size g) k t.Core.Simulator.max_bits
+      (Core.Simulator.frugality_ratio t)
+  | Some _ -> Printf.printf "%-26s MISMATCH\n" name
+  | None ->
+    Printf.printf "%-26s n=%4d  k=%d  rejected (degeneracy above the planar budget)\n" name
+      (Graph.order g) k
+
+let () =
+  let rng = Random.State.make [| 11; 22; 33 |] in
+  print_endline "Planar topology mapping with the k = 5 (planar) budget:";
+  map_one "ring (C64)" (Generators.cycle 64) ~k:5;
+  map_one "8x8 mesh" (Generators.grid 8 8) ~k:5;
+  map_one "8x8 torus" (Generators.torus 8 8) ~k:5;
+  map_one "apollonian backbone" (Generators.random_apollonian rng 128) ~k:5;
+  map_one "outerplanar ring-of-trees" (Generators.random_maximal_outerplanar rng 96) ~k:5;
+  print_endline "\nNon-planar controls (the protocol refuses rather than guessing):";
+  map_one "K8 crossbar" (Generators.complete 8) ~k:5;
+  map_one "6-cube" (Generators.hypercube 6) ~k:5;
+
+  (* Tighter budgets save bits when the class is known more precisely. *)
+  print_endline "\nBudget tuning on the same 8x8 mesh (grids are 2-degenerate):";
+  List.iter (fun k -> map_one (Printf.sprintf "8x8 mesh at k=%d" k) (Generators.grid 8 8) ~k)
+    [ 2; 3; 5 ];
+
+  (* Export the recovered map for external tooling. *)
+  let g = Generators.random_apollonian rng 12 in
+  match fst (Core.Simulator.run (Core.Degeneracy_protocol.reconstruct ~k:3 ()) g) with
+  | Some h ->
+    Printf.printf "\nRecovered 12-node backbone, graph6: %s\n" (Gio.to_graph6 h);
+    print_endline "DOT export:";
+    print_string (Gio.to_dot ~name:"backbone" h)
+  | None -> print_endline "BUG: mapping failed"

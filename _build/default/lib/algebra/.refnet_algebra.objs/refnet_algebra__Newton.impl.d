@@ -1,0 +1,1 @@
+lib/algebra/newton.ml: Array Bigint List Poly Refnet_bigint

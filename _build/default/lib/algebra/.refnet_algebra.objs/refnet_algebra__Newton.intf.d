@@ -1,0 +1,1 @@
+lib/algebra/newton.mli: Bigint Poly Refnet_bigint

@@ -1,0 +1,1 @@
+lib/algebra/poly.ml: Array Bigint Format List Refnet_bigint

@@ -1,0 +1,1 @@
+lib/algebra/poly.mli: Bigint Format Refnet_bigint

@@ -1,0 +1,1 @@
+lib/algebra/power_sum.ml: Array Bigint Buffer Hashtbl List Nat Newton Poly Refnet_bigint Stdlib

@@ -1,0 +1,1 @@
+lib/algebra/power_sum.mli: Nat Refnet_bigint

@@ -1,0 +1,1 @@
+lib/algebra/vandermonde.ml: Array List Nat Refnet_bigint

@@ -1,0 +1,1 @@
+lib/algebra/vandermonde.mli: Nat Refnet_bigint

@@ -1,0 +1,89 @@
+open Refnet_bigint
+
+type encoding = Nat.t array
+
+let check_ids ids k =
+  let sorted = List.sort_uniq Stdlib.compare ids in
+  if List.length sorted <> List.length ids then invalid_arg "Power_sum.encode: repeated id";
+  List.iter (fun i -> if i <= 0 then invalid_arg "Power_sum.encode: non-positive id") ids;
+  if List.length ids > k then invalid_arg "Power_sum.encode: more ids than k"
+
+let encode ~k ids =
+  if k < 0 then invalid_arg "Power_sum.encode: negative k";
+  check_ids ids k;
+  Array.init k (fun p ->
+      List.fold_left (fun acc i -> Nat.add acc (Nat.pow (Nat.of_int i) (p + 1))) Nat.zero ids)
+
+let subtract enc ~id ~upto =
+  if id <= 0 then invalid_arg "Power_sum.subtract: non-positive id";
+  if upto > Array.length enc then invalid_arg "Power_sum.subtract: upto exceeds encoding";
+  Array.mapi
+    (fun p b ->
+      if p < upto then begin
+        let ip = Nat.pow (Nat.of_int id) (p + 1) in
+        if Nat.compare b ip < 0 then invalid_arg "Power_sum.subtract: id not a member";
+        Nat.sub b ip
+      end
+      else b)
+    enc
+
+let decode ~n ~deg enc =
+  if deg < 0 || deg > Array.length enc then invalid_arg "Power_sum.decode: bad degree";
+  if deg = 0 then Some []
+  else begin
+    let sums = List.init deg (fun p -> Bigint.of_nat enc.(p)) in
+    match Newton.polynomial_from_power_sums sums with
+    | poly ->
+      let roots = Poly.integer_roots_in poly ~lo:1 ~hi:n in
+      if List.length roots = deg then begin
+        (* Root extraction can in principle return spurious factorizations
+           for malformed input; re-encode to confirm. *)
+        let check = encode ~k:deg roots in
+        let matches = ref true in
+        Array.iteri (fun p b -> if not (Nat.equal b enc.(p)) then matches := false) check;
+        if !matches then Some roots else None
+      end
+      else None
+    | exception Invalid_argument _ -> None
+  end
+
+module Table = struct
+  module Key = struct
+    type t = string
+    let of_encoding (enc : encoding) ~deg =
+      let buf = Buffer.create 32 in
+      for p = 0 to deg - 1 do
+        Buffer.add_string buf (Nat.to_string enc.(p));
+        Buffer.add_char buf ','
+      done;
+      Buffer.contents buf
+  end
+
+  type t = { n : int; k : int; table : (Key.t, int list) Hashtbl.t }
+
+  let build ~n ~k =
+    if n < 0 || k < 0 then invalid_arg "Power_sum.Table.build: negative parameter";
+    let table = Hashtbl.create 1024 in
+    (* Enumerate subsets of {1..n} of size exactly d for d = 0..k. *)
+    let rec subsets first remaining acc =
+      if remaining = 0 then begin
+        let ids = List.rev acc in
+        let enc = encode ~k:(List.length ids) ids in
+        Hashtbl.replace table (Key.of_encoding enc ~deg:(List.length ids)) ids
+      end
+      else
+        for i = first to n - remaining + 1 do
+          subsets (i + 1) (remaining - 1) (i :: acc)
+        done
+    in
+    for d = 0 to min k n do
+      subsets 1 d []
+    done;
+    { n; k; table }
+
+  let entries t = Hashtbl.length t.table
+
+  let lookup t enc ~deg =
+    if deg < 0 || deg > t.k then None
+    else Hashtbl.find_opt t.table (Key.of_encoding enc ~deg)
+end

@@ -1,0 +1,58 @@
+(** Power-sum set encodings (the paper's Algorithm 3 payload).
+
+    A set [S] of at most [k] identifiers drawn from [{1..n}] is encoded as
+    the vector [b] with [b_p = sum_{i in S} i^p] for [p = 1..k] — exactly
+    the product [A(k,n) . x] of Definition 3, where [x] is the incidence
+    vector of [S].  By Wright's theorem on equal sums of like powers
+    (Theorem 4 of the paper), the encoding is injective on sets of size at
+    most [k], so a decoder exists.
+
+    Two decoders are provided:
+    - {!decode}, via Newton's identities and integer root extraction
+      ([O(d^2)] bigint operations plus [O(n d)] trial evaluations, no
+      precomputation) — the practical decoder;
+    - {!Table}, the paper's Lemma 3 lookup table over all subsets of size
+      at most [k] ([O(n^k)] space) — feasible only for tiny [n], kept as a
+      cross-check oracle. *)
+
+open Refnet_bigint
+
+type encoding = Nat.t array
+(** [encoding.(p - 1)] holds [b_p]; length is the protocol parameter [k]. *)
+
+(** [encode ~k ids] encodes the set [ids] (distinct positives, in any
+    order) into power sums [b_1..b_k].
+    @raise Invalid_argument if [ids] has repeats, non-positive entries, or
+    more than [k] elements. *)
+val encode : k:int -> int list -> encoding
+
+(** [subtract enc ~id ~upto] removes a member [id] from an encoding in
+    place of re-encoding: subtracts [id^p] from [b_p] for [p = 1..upto].
+    This is the referee's pruning update in Algorithm 4.
+    @raise Invalid_argument if a subtraction would go negative (meaning
+    [id] was not a member). *)
+val subtract : encoding -> id:int -> upto:int -> encoding
+
+(** [decode ~n ~deg enc] recovers the unique set of [deg] identifiers in
+    [{1..n}] whose power sums match [enc] (using the first [deg]
+    coordinates), as an increasing list.  Returns [None] when no such set
+    exists (malformed message).
+    @raise Invalid_argument if [deg] exceeds the length of [enc]. *)
+val decode : n:int -> deg:int -> encoding -> int list option
+
+(** The Lemma 3 table decoder. *)
+module Table : sig
+  type t
+
+  (** [build ~n ~k] enumerates all subsets of [{1..n}] of size at most
+      [k] and indexes them by encoding.  Size [O(n^k)]; intended for
+      small instances and as a test oracle. *)
+  val build : n:int -> k:int -> t
+
+  (** [entries t] is the number of stored subsets. *)
+  val entries : t -> int
+
+  (** [lookup t enc ~deg] finds the stored subset of size [deg] matching
+      the first [deg] coordinates of [enc]. *)
+  val lookup : t -> encoding -> deg:int -> int list option
+end

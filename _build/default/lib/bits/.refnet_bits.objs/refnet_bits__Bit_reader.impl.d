@@ -1,0 +1,1 @@
+lib/bits/bit_reader.ml: Bitvec

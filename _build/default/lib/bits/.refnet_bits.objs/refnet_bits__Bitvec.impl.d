@@ -1,0 +1,1 @@
+lib/bits/bitvec.ml: Array Bytes Char Format List Stdlib String

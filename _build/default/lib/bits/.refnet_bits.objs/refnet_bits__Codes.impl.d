@@ -1,0 +1,1 @@
+lib/bits/codes.ml: Bit_reader Bit_writer

@@ -1,0 +1,1 @@
+lib/bits/codes.mli: Bit_reader Bit_writer

@@ -1,0 +1,27 @@
+(** Sequential reader over a bit vector produced by {!Bit_writer}. *)
+
+type t
+
+exception Exhausted
+(** Raised when reading past the end of the stream. *)
+
+(** [of_bitvec v] reads [v] from bit 0. *)
+val of_bitvec : Bitvec.t -> t
+
+(** [remaining r] is the number of unread bits. *)
+val remaining : t -> int
+
+(** [position r] is the number of bits consumed so far. *)
+val position : t -> int
+
+(** [read_bit r] consumes one bit.  @raise Exhausted at end of stream. *)
+val read_bit : t -> bool
+
+(** [read_bits r ~width] consumes [width] bits written most-significant
+    first and returns their value.
+    @raise Invalid_argument if [width < 0] or [width > 62].
+    @raise Exhausted if fewer than [width] bits remain. *)
+val read_bits : t -> width:int -> int
+
+(** [read_bitvec r ~len] consumes [len] bits into a fresh vector. *)
+val read_bitvec : t -> len:int -> Bitvec.t

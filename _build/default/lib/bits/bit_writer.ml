@@ -1,0 +1,51 @@
+type t = { mutable buf : Bytes.t; mutable len : int }
+
+let create () = { buf = Bytes.make 16 '\000'; len = 0 }
+
+let length w = w.len
+
+let ensure w extra =
+  let needed = (w.len + extra + 7) / 8 in
+  if needed > Bytes.length w.buf then begin
+    let cap = max needed (2 * Bytes.length w.buf) in
+    let buf = Bytes.make cap '\000' in
+    Bytes.blit w.buf 0 buf 0 (Bytes.length w.buf);
+    w.buf <- buf
+  end
+
+let add_bit w b =
+  ensure w 1;
+  if b then begin
+    let i = w.len in
+    Bytes.set w.buf (i / 8) (Char.chr (Char.code (Bytes.get w.buf (i / 8)) lor (1 lsl (i mod 8))))
+  end;
+  w.len <- w.len + 1
+
+let add_bits w ~value ~width =
+  if width < 0 || width > 62 then invalid_arg "Bit_writer.add_bits: bad width";
+  if value < 0 then invalid_arg "Bit_writer.add_bits: negative value";
+  if width < 62 && value lsr width <> 0 then
+    invalid_arg "Bit_writer.add_bits: value does not fit";
+  for i = width - 1 downto 0 do
+    add_bit w (value land (1 lsl i) <> 0)
+  done
+
+let add_bitvec w v =
+  for i = 0 to Bitvec.length v - 1 do
+    add_bit w (Bitvec.get v i)
+  done
+
+let get_bit w i = Char.code (Bytes.get w.buf (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let append w w' =
+  ensure w w'.len;
+  for i = 0 to w'.len - 1 do
+    add_bit w (get_bit w' i)
+  done
+
+let contents w =
+  let v = Bitvec.create w.len in
+  for i = 0 to w.len - 1 do
+    if get_bit w i then Bitvec.set v i
+  done;
+  v

@@ -1,0 +1,34 @@
+(** Append-only bit stream writer.
+
+    Messages in the referee model are genuine bit strings; the writer is
+    how local functions produce them while the simulator charges their
+    exact length.  Bits are appended most-significant first within each
+    value, and the stream is read back in the same order by
+    {!Bit_reader}. *)
+
+type t
+
+(** [create ()] is an empty stream. *)
+val create : unit -> t
+
+(** [length w] is the number of bits written so far. *)
+val length : t -> int
+
+(** [add_bit w b] appends one bit. *)
+val add_bit : t -> bool -> unit
+
+(** [add_bits w ~value ~width] appends the [width] low-order bits of
+    [value], most significant first.
+    @raise Invalid_argument if [width < 0], [width > 62], [value < 0], or
+    [value] does not fit in [width] bits. *)
+val add_bits : t -> value:int -> width:int -> unit
+
+(** [add_bitvec w v] appends the bits of [v] in index order. *)
+val add_bitvec : t -> Bitvec.t -> unit
+
+(** [append w w'] appends the whole contents of [w'] to [w]. *)
+val append : t -> t -> unit
+
+(** [contents w] freezes the stream into a bit vector of length
+    [length w].  The writer remains usable. *)
+val contents : t -> Bitvec.t

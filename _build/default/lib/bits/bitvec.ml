@@ -1,0 +1,120 @@
+type t = { len : int; words : Bytes.t }
+
+let bits_per_word = 8
+
+let word_count n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  if n < 0 then invalid_arg "Bitvec.create: negative length";
+  { len = n; words = Bytes.make (word_count n) '\000' }
+
+let length v = v.len
+
+let check v i name =
+  if i < 0 || i >= v.len then invalid_arg ("Bitvec." ^ name ^ ": index out of bounds")
+
+let get v i =
+  check v i "get";
+  Char.code (Bytes.get v.words (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let set v i =
+  check v i "set";
+  let w = i / 8 in
+  Bytes.set v.words w (Char.chr (Char.code (Bytes.get v.words w) lor (1 lsl (i mod 8))))
+
+let clear v i =
+  check v i "clear";
+  let w = i / 8 in
+  Bytes.set v.words w (Char.chr (Char.code (Bytes.get v.words w) land lnot (1 lsl (i mod 8)) land 0xff))
+
+let assign v i b = if b then set v i else clear v i
+
+let copy v = { len = v.len; words = Bytes.copy v.words }
+
+(* Number of set bits of a byte, by nibble table. *)
+let nibble_pop = [| 0; 1; 1; 2; 1; 2; 2; 3; 1; 2; 2; 3; 2; 3; 3; 4 |]
+
+let byte_pop c = nibble_pop.(c land 0xf) + nibble_pop.(c lsr 4)
+
+let popcount v =
+  let acc = ref 0 in
+  for w = 0 to Bytes.length v.words - 1 do
+    acc := !acc + byte_pop (Char.code (Bytes.get v.words w))
+  done;
+  !acc
+
+let equal u v = u.len = v.len && Bytes.equal u.words v.words
+
+let compare u v =
+  let c = Stdlib.compare u.len v.len in
+  if c <> 0 then c else Bytes.compare u.words v.words
+
+let iter_set v f =
+  for w = 0 to Bytes.length v.words - 1 do
+    let c = Char.code (Bytes.get v.words w) in
+    if c <> 0 then
+      for b = 0 to 7 do
+        if c land (1 lsl b) <> 0 then f ((w * 8) + b)
+      done
+  done
+
+let fold_set v init f =
+  let acc = ref init in
+  iter_set v (fun i -> acc := f !acc i);
+  !acc
+
+let to_list v = List.rev (fold_set v [] (fun acc i -> i :: acc))
+
+let of_list n l =
+  let v = create n in
+  List.iter (fun i -> set v i) l;
+  v
+
+let same_length u v name =
+  if u.len <> v.len then invalid_arg ("Bitvec." ^ name ^ ": length mismatch")
+
+let map2 name op u v =
+  same_length u v name;
+  let r = create u.len in
+  for w = 0 to Bytes.length u.words - 1 do
+    let c = op (Char.code (Bytes.get u.words w)) (Char.code (Bytes.get v.words w)) in
+    Bytes.set r.words w (Char.chr (c land 0xff))
+  done;
+  r
+
+let union u v = map2 "union" ( lor ) u v
+let inter u v = map2 "inter" ( land ) u v
+let diff u v = map2 "diff" (fun a b -> a land lnot b) u v
+
+let complement v =
+  let r = create v.len in
+  for w = 0 to Bytes.length v.words - 1 do
+    Bytes.set r.words w (Char.chr (lnot (Char.code (Bytes.get v.words w)) land 0xff))
+  done;
+  (* Trailing bits beyond [len] must stay clear so that [equal] and
+     [popcount] remain meaningful. *)
+  let extra = (word_count v.len * 8) - v.len in
+  if extra > 0 && v.len > 0 then begin
+    let w = Bytes.length r.words - 1 in
+    let mask = (1 lsl (8 - extra)) - 1 in
+    Bytes.set r.words w (Char.chr (Char.code (Bytes.get r.words w) land mask))
+  end;
+  r
+
+let is_empty v =
+  let rec go w = w >= Bytes.length v.words || (Bytes.get v.words w = '\000' && go (w + 1)) in
+  go 0
+
+let subset u v =
+  same_length u v "subset";
+  let rec go w =
+    w >= Bytes.length u.words
+    ||
+    let a = Char.code (Bytes.get u.words w) and b = Char.code (Bytes.get v.words w) in
+    a land lnot b = 0 && go (w + 1)
+  in
+  go 0
+
+let to_string v = String.init v.len (fun i -> if get v i then '1' else '0')
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

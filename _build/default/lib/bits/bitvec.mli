@@ -1,0 +1,83 @@
+(** Packed bit vectors.
+
+    A [Bitvec.t] is a fixed-length vector of bits indexed from [0] to
+    [length - 1].  In this library bit vectors mainly represent incidence
+    vectors of vertex sets: bit [i - 1] is set when vertex [i] belongs to
+    the set (vertices are numbered from 1, as in the paper).  The structure
+    is mutable; all mutating operations are in-place. *)
+
+type t
+
+(** [create n] is a vector of [n] bits, all clear.
+    @raise Invalid_argument if [n < 0]. *)
+val create : int -> t
+
+(** [length v] is the number of bits of [v]. *)
+val length : t -> int
+
+(** [get v i] is bit [i].
+    @raise Invalid_argument if [i] is out of bounds. *)
+val get : t -> int -> bool
+
+(** [set v i] sets bit [i]. *)
+val set : t -> int -> unit
+
+(** [clear v i] clears bit [i]. *)
+val clear : t -> int -> unit
+
+(** [assign v i b] sets bit [i] to [b]. *)
+val assign : t -> int -> bool -> unit
+
+(** [copy v] is a fresh vector equal to [v]. *)
+val copy : t -> t
+
+(** [popcount v] is the number of set bits. *)
+val popcount : t -> int
+
+(** [equal u v] is true when [u] and [v] have the same length and the same
+    bits. *)
+val equal : t -> t -> bool
+
+(** [compare] is a total order compatible with [equal]. *)
+val compare : t -> t -> int
+
+(** [iter_set v f] applies [f] to the index of every set bit, in
+    increasing order. *)
+val iter_set : t -> (int -> unit) -> unit
+
+(** [fold_set v init f] folds [f] over the indices of set bits in
+    increasing order. *)
+val fold_set : t -> 'a -> ('a -> int -> 'a) -> 'a
+
+(** [to_list v] is the increasing list of indices of set bits. *)
+val to_list : t -> int list
+
+(** [of_list n l] is the [n]-bit vector whose set bits are exactly the
+    elements of [l].
+    @raise Invalid_argument if an element is out of bounds. *)
+val of_list : int -> int list -> t
+
+(** [union u v] is the bitwise or of [u] and [v].
+    @raise Invalid_argument on length mismatch. *)
+val union : t -> t -> t
+
+(** [inter u v] is the bitwise and of [u] and [v]. *)
+val inter : t -> t -> t
+
+(** [diff u v] has the bits of [u] that are not in [v]. *)
+val diff : t -> t -> t
+
+(** [complement v] flips every bit of [v]. *)
+val complement : t -> t
+
+(** [is_empty v] is true when no bit is set. *)
+val is_empty : t -> bool
+
+(** [subset u v] is true when every set bit of [u] is set in [v]. *)
+val subset : t -> t -> bool
+
+(** [pp] prints the vector as a ['0'/'1'] string, bit 0 leftmost. *)
+val pp : Format.formatter -> t -> unit
+
+(** [to_string v] is the ['0'/'1'] rendering of [v]. *)
+val to_string : t -> string

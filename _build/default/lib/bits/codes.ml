@@ -1,0 +1,47 @@
+let bits_needed v =
+  if v < 0 then invalid_arg "Codes.bits_needed: negative";
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  go 0 v
+
+let id_width n = max 1 (bits_needed n)
+
+let write_fixed w ~width v = Bit_writer.add_bits w ~value:v ~width
+
+let read_fixed r ~width = Bit_reader.read_bits r ~width
+
+let write_unary w v =
+  if v < 0 then invalid_arg "Codes.write_unary: negative";
+  for _ = 1 to v do
+    Bit_writer.add_bit w true
+  done;
+  Bit_writer.add_bit w false
+
+let read_unary r =
+  let rec go acc = if Bit_reader.read_bit r then go (acc + 1) else acc in
+  go 0
+
+let write_gamma w v =
+  if v < 1 then invalid_arg "Codes.write_gamma: value < 1";
+  let width = bits_needed v - 1 in
+  write_unary w width;
+  Bit_writer.add_bits w ~value:(v - (1 lsl width)) ~width
+
+let read_gamma r =
+  let width = read_unary r in
+  (1 lsl width) lor Bit_reader.read_bits r ~width
+
+let write_delta w v =
+  if v < 1 then invalid_arg "Codes.write_delta: value < 1";
+  let width = bits_needed v - 1 in
+  write_gamma w (width + 1);
+  Bit_writer.add_bits w ~value:(v - (1 lsl width)) ~width
+
+let read_delta r =
+  let width = read_gamma r - 1 in
+  (1 lsl width) lor Bit_reader.read_bits r ~width
+
+let write_nonneg w v =
+  if v < 0 then invalid_arg "Codes.write_nonneg: negative";
+  write_gamma w (v + 1)
+
+let read_nonneg r = read_gamma r - 1

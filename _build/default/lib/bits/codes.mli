@@ -1,0 +1,52 @@
+(** Integer codes over bit streams.
+
+    Every encoder has a matching decoder; round-tripping is tested by
+    property tests.  All encoders write to a {!Bit_writer} and all
+    decoders read from a {!Bit_reader}, so code lengths are charged to
+    message sizes automatically.
+
+    Width conventions follow the paper: identifiers in a graph of [n]
+    nodes are written fixed-width on [id_width n] = ceil(log2 (n + 1))
+    bits, so that any identifier in [0..n] fits. *)
+
+(** [bits_needed v] is the number of bits of the binary representation of
+    [v]: [0] for [0], and [floor(log2 v) + 1] otherwise.
+    @raise Invalid_argument if [v < 0]. *)
+val bits_needed : int -> int
+
+(** [id_width n] is the fixed width used for identifiers in [0..n]. *)
+val id_width : int -> int
+
+(** [write_fixed w ~width v] writes [v] on exactly [width] bits. *)
+val write_fixed : Bit_writer.t -> width:int -> int -> unit
+
+(** [read_fixed r ~width] reads a fixed-width value. *)
+val read_fixed : Bit_reader.t -> width:int -> int
+
+(** [write_unary w v] writes [v] as [v] one-bits followed by a zero. *)
+val write_unary : Bit_writer.t -> int -> unit
+
+(** [read_unary r] decodes a unary value. *)
+val read_unary : Bit_reader.t -> int
+
+(** [write_gamma w v] writes [v >= 1] in Elias gamma code
+    (2 floor(log2 v) + 1 bits).
+    @raise Invalid_argument if [v < 1]. *)
+val write_gamma : Bit_writer.t -> int -> unit
+
+(** [read_gamma r] decodes an Elias gamma value. *)
+val read_gamma : Bit_reader.t -> int
+
+(** [write_delta w v] writes [v >= 1] in Elias delta code
+    (log v + O(log log v) bits). *)
+val write_delta : Bit_writer.t -> int -> unit
+
+(** [read_delta r] decodes an Elias delta value. *)
+val read_delta : Bit_reader.t -> int
+
+(** [write_nonneg w v] writes an arbitrary [v >= 0] self-delimiting, as
+    the gamma code of [v + 1]. *)
+val write_nonneg : Bit_writer.t -> int -> unit
+
+(** [read_nonneg r] decodes a value written by {!write_nonneg}. *)
+val read_nonneg : Bit_reader.t -> int

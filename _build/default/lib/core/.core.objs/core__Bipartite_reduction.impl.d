@@ -1,0 +1,1 @@
+lib/core/bipartite_reduction.ml: Array Bipartite Bounded_degree Graph List Message Protocol Reduction Refnet_bits Refnet_graph

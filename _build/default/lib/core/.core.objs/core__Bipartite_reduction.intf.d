@@ -1,0 +1,1 @@
+lib/core/bipartite_reduction.mli: Protocol Refnet_graph

@@ -1,0 +1,1 @@
+lib/core/bounded_degree.ml: Array Bit_reader Bit_writer Bitvec Bounds Codes Graph List Message Printf Protocol Refnet_bits Refnet_graph

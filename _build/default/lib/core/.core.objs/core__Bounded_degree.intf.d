@@ -1,0 +1,1 @@
+lib/core/bounded_degree.mli: Protocol Refnet_graph

@@ -1,0 +1,1 @@
+lib/core/coalition.ml: Array Graph List Message Refnet_graph Simulator Stdlib

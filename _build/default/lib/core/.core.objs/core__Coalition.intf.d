@@ -1,0 +1,1 @@
+lib/core/coalition.mli: Message Refnet_graph Simulator

@@ -1,0 +1,1 @@
+lib/core/connectivity_parts.ml: Array Bit_reader Bit_writer Bounds Coalition Codes Connectivity Graph Hashtbl List Message Refnet_bits Refnet_graph Spanning

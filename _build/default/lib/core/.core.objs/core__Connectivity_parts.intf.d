@@ -1,0 +1,1 @@
+lib/core/connectivity_parts.mli: Coalition Message

@@ -1,0 +1,1 @@
+lib/core/degeneracy_protocol.ml: Array Bit_reader Bit_writer Bounds Codes Graph List Message Nat Nat_codec Power_sum Printf Protocol Queue Refnet_algebra Refnet_bigint Refnet_bits Refnet_graph

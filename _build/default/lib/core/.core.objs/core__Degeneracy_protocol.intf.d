@@ -1,0 +1,1 @@
+lib/core/degeneracy_protocol.mli: Power_sum Protocol Refnet_algebra Refnet_graph

@@ -1,0 +1,1 @@
+lib/core/easy_protocols.ml: Array Bit_writer Bounds Codes List Message Protocol Refnet_bits Stdlib

@@ -1,0 +1,1 @@
+lib/core/easy_protocols.mli: Protocol

@@ -1,0 +1,1 @@
+lib/core/fooling.ml: Bit_reader Bitvec Bounds Buffer Enumerate Graph Hashtbl Message Printf Protocol Refnet_bits Refnet_graph

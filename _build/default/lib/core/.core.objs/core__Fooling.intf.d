@@ -1,0 +1,1 @@
+lib/core/fooling.mli: Graph Message Protocol Refnet_graph

@@ -1,0 +1,1 @@
+lib/core/forest_protocol.ml: Array Bit_reader Bit_writer Bounds Codes Graph List Message Option Protocol Queue Refnet_bits Refnet_graph

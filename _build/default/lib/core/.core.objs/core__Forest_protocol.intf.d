@@ -1,0 +1,1 @@
+lib/core/forest_protocol.mli: Protocol Refnet_graph

@@ -1,0 +1,1 @@
+lib/core/gadgets.ml: Graph List Refnet_graph

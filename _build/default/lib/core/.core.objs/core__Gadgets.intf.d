@@ -1,0 +1,1 @@
+lib/core/gadgets.mli: Graph Refnet_graph

@@ -1,0 +1,1 @@
+lib/core/generalized_degeneracy.ml: Array Bit_reader Bit_writer Bounds Codes Degeneracy_protocol Graph List Message Nat_codec Option Power_sum Printf Protocol Refnet_algebra Refnet_bits Refnet_graph

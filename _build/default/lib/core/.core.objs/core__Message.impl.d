@@ -1,0 +1,1 @@
+lib/core/message.ml: Bit_reader Bit_writer Bitvec List Refnet_bits

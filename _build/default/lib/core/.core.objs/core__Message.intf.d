@@ -1,0 +1,1 @@
+lib/core/message.mli: Bit_reader Bit_writer Bitvec Format Refnet_bits

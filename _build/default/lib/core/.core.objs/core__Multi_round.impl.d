@@ -1,0 +1,1 @@
+lib/core/multi_round.ml: Array Bit_writer Bounds Codes Degeneracy_protocol Graph List Message Protocol Refnet_bits Refnet_graph Stdlib

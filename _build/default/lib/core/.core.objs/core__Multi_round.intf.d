@@ -1,0 +1,1 @@
+lib/core/multi_round.mli: Message Protocol Refnet_graph

@@ -1,0 +1,1 @@
+lib/core/nat_codec.mli: Bit_reader Bit_writer Nat Refnet_bigint Refnet_bits

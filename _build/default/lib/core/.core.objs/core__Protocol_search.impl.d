@@ -1,0 +1,1 @@
+lib/core/protocol_search.ml: Array Bit_writer Codes Enumerate Graph List Message Printf Protocol Refnet_bits Refnet_graph

@@ -1,0 +1,1 @@
+lib/core/protocol_search.mli: Protocol Refnet_graph

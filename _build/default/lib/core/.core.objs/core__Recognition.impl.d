@@ -1,0 +1,1 @@
+lib/core/recognition.ml: Degeneracy_protocol Forest_protocol Option Printf Protocol

@@ -1,0 +1,1 @@
+lib/core/recognition.mli: Degeneracy_protocol Protocol Refnet_graph

@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Array Bit_reader Bit_writer Bounded_degree Codes Cycles Distance Gadgets Graph List Message Protocol Refnet_bits Refnet_graph

@@ -1,0 +1,1 @@
+lib/core/reduction.mli: Graph Message Protocol Refnet_bits Refnet_graph

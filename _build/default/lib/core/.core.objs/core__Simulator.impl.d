@@ -1,0 +1,1 @@
+lib/core/simulator.ml: Array Format Graph Message Protocol Random Refnet_graph

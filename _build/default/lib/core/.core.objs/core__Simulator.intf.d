@@ -1,0 +1,1 @@
+lib/core/simulator.mli: Format Message Protocol Random Refnet_graph

@@ -1,0 +1,1 @@
+lib/core/sketch_connectivity.ml: Array Bit_writer Hashtbl L0_sampler List Message Printf Protocol Random Refnet_bits Refnet_graph Refnet_sketch Union_find

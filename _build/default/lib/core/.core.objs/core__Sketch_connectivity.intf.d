@@ -1,0 +1,1 @@
+lib/core/sketch_connectivity.mli: Protocol

@@ -1,0 +1,67 @@
+open Refnet_graph
+
+let bipartiteness_oracle : bool Protocol.t =
+  Protocol.rename "bipartiteness-oracle"
+    (Protocol.map_output Bipartite.is_bipartite Bounded_degree.full_information)
+
+let odd_cycle_gadget g s t =
+  let n = Graph.order g in
+  if s < 1 || s > n || t < 1 || t > n || s = t then
+    invalid_arg "Bipartite_reduction.odd_cycle_gadget: bad vertex pair";
+  Graph.add_edges (Graph.add_vertices g 2) [ (s, n + 1); (n + 1, n + 2); (n + 2, t) ]
+
+let connectivity ~(oracle : bool Protocol.t) ~left ~right : bool Protocol.t =
+  let local ~n ~id ~neighbors =
+    let size = n + 2 in
+    (* Three shapes, as in Algorithm 2: unchanged, playing s (sees n+1),
+       playing t (sees n+2). *)
+    let m0 = oracle.local ~n:size ~id ~neighbors in
+    let ms = oracle.local ~n:size ~id ~neighbors:(neighbors @ [ n + 1 ]) in
+    let mt = oracle.local ~n:size ~id ~neighbors:(neighbors @ [ n + 2 ]) in
+    (* Degree travels along for the isolated-vertex corner case. *)
+    let w = Refnet_bits.Bit_writer.create () in
+    Refnet_bits.Codes.write_nonneg w (List.length neighbors);
+    Message.concat [ Message.of_writer w; Reduction.bundle [ m0; ms; mt ] ]
+  in
+  let global ~n msgs =
+    let size = n + 2 in
+    let parse i =
+      let r = Message.reader msgs.(i - 1) in
+      let deg = Refnet_bits.Codes.read_nonneg r in
+      let parts =
+        List.init 3 (fun _ -> Reduction.read_part r)
+      in
+      (deg, parts)
+    in
+    let parsed = Array.init n (fun i -> parse (i + 1)) in
+    let deg i = fst parsed.(i - 1) in
+    let part i j = List.nth (snd parsed.(i - 1)) j in
+    (* Same-component query through the bipartiteness oracle. *)
+    let connected s t =
+      let full = Array.make size Message.empty in
+      for i = 1 to n do
+        full.(i - 1) <- (if i = s then part i 1 else if i = t then part i 2 else part i 0)
+      done;
+      full.(n) <- oracle.local ~n:size ~id:(n + 1) ~neighbors:[ s; n + 2 ];
+      full.(n + 1) <- oracle.local ~n:size ~id:(n + 2) ~neighbors:[ t; n + 1 ];
+      (* Bipartite gadget <=> s,t disconnected. *)
+      not (oracle.global ~n:size full)
+    in
+    match (left, right) with
+    | [], [] -> true
+    | [], [ _ ] | [ _ ], [] -> true
+    | _ ->
+      if n >= 2 && Array.exists (fun (d, _) -> d = 0) parsed then false
+      else begin
+        let class_connected = function
+          | [] | [ _ ] -> true
+          | anchor :: rest -> List.for_all (fun v -> connected anchor v) rest
+        in
+        (* No isolated vertices, so if both classes are internally single
+           components, any edge (there is one: degrees are positive)
+           bridges them. *)
+        ignore deg;
+        class_connected left && class_connected right
+      end
+  in
+  { name = "delta-connectivity[" ^ oracle.name ^ "]"; local; global }

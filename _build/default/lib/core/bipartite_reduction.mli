@@ -1,0 +1,41 @@
+(** The paper's "ongoing work" remark, made concrete: {e the existence of
+    a frugal one-round protocol for bipartiteness implies the existence
+    of a frugal one-round protocol deciding if a bipartite graph is
+    connected.}
+
+    Construction.  For a bipartite input [G] and two vertices [s, t] of
+    the {e same} colour class, build [G''_{s,t}] on [n + 2] vertices:
+    [G] plus a 2-vertex bridge [s - (n+1) - (n+2) - t].  Any [s..t] path
+    inside [G] has even length (same class), so closing it through the
+    3-edge bridge yields an odd cycle:
+
+    - [s] and [t] connected in [G]  =>  [G''] has an odd cycle (not
+      bipartite);
+    - [s] and [t] in different components  =>  [G''] is bipartite
+      (recolour [t]'s component).
+
+    A bipartiteness oracle Γ therefore answers same-component queries
+    for all same-class pairs, which determines connectivity: [G] is
+    connected iff each colour class is internally one component and some
+    edge joins the classes (plus the degenerate cases handled below).
+    The local blow-up matches Algorithm 2's pattern: each node sends
+    three Γ-messages ([m0] plain, [ms] as [s], [mt] as [t]), because its
+    gadget neighbourhood takes one of only three shapes.
+
+    The input's bipartition must be known to the nodes (the paper's
+    Theorem 3 setting: parts [{1..n/2}], [{n/2+1..n}]) — nodes of one
+    class only ever play [s]/[t] roles within their class. *)
+
+(** [connectivity ~oracle ~left ~right] is the Δ protocol deciding
+    connectivity of bipartite graphs whose colour classes are the given
+    vertex sets.  Correct whenever the input respects the classes and
+    the oracle decides bipartiteness at sizes [n + 2]. *)
+val connectivity :
+  oracle:bool Protocol.t -> left:int list -> right:int list -> bool Protocol.t
+
+(** [bipartiteness_oracle] — full-information reference oracle. *)
+val bipartiteness_oracle : bool Protocol.t
+
+(** [odd_cycle_gadget g s t] is [G''_{s,t}]; exposed for tests.
+    @raise Invalid_argument if [s = t] or out of range. *)
+val odd_cycle_gadget : Refnet_graph.Graph.t -> int -> int -> Refnet_graph.Graph.t

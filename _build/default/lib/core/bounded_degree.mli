@@ -1,0 +1,25 @@
+(** The paper's footnote 1: on networks of maximum degree [d], the trivial
+    protocol — every node sends its whole adjacency list — is already
+    frugal when [d] is constant, and the referee reconstructs the graph
+    outright.
+
+    Kept both as a baseline against the power-sum protocol (it beats it on
+    very low-degree graphs, loses as soon as max degree exceeds the
+    degeneracy, and is not frugal at all on stars — which have degeneracy
+    1) and as the "cheating oracle" building block of the reduction
+    experiments. *)
+
+(** [reconstruct ~max_degree] sends up to [max_degree] neighbour
+    identifiers per node (length-prefixed).  Output is [None] when some
+    node's degree exceeds the bound. *)
+val reconstruct : max_degree:int -> Refnet_graph.Graph.t option Protocol.t
+
+(** [full_information] is the degenerate variant with no degree bound:
+    every node ships its entire incidence vector ([n] bits — deliberately
+    non-frugal).  The referee learns the graph exactly; reductions use it
+    as a correct-by-construction oracle [Γ]. *)
+val full_information : Refnet_graph.Graph.t Protocol.t
+
+(** [message_bits ~max_degree n] is the worst-case message size of
+    {!reconstruct}. *)
+val message_bits : max_degree:int -> int -> int

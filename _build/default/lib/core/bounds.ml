@@ -1,0 +1,23 @@
+let id_bits n =
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  max 1 (go 0 n)
+
+let forest_message_bits n = 4 * id_bits n
+
+let degeneracy_message_bits ~k n =
+  let w = id_bits n in
+  (2 + (k * (k + 3) / 2)) * w
+
+let generalized_message_bits ~k n =
+  let w = id_bits n in
+  (2 + (k * (k + 3))) * w
+
+let lemma1_budget ~c n = float_of_int (c * n * id_bits n)
+
+let square_free_growth_exponent n = float_of_int n ** 1.5
+
+let reduction_blowup_square ~bits n = bits (2 * n)
+
+let reduction_blowup_diameter ~bits n = 3 * bits (n + 3)
+
+let reduction_blowup_triangle ~bits n = 2 * bits (n + 1)

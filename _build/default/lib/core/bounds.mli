@@ -1,0 +1,48 @@
+(** Closed-form bounds quoted by the paper, as executable formulas.
+
+    Benches print measured values against these, and tests assert that
+    implementations stay within them. *)
+
+(** [id_bits n] is [ceil(log2 (n + 1))] — bits to name a vertex of an
+    [n]-node network (also the unit "log n" of frugality). *)
+val id_bits : int -> int
+
+(** [forest_message_bits n] bounds the Section III.A triple
+    (ID, degree, sum of neighbour IDs): the paper says "less than
+    [4 log n]"; the exact fixed-width layout is
+    [id_bits + id_bits + 2*id_bits]. *)
+val forest_message_bits : int -> int
+
+(** [degeneracy_message_bits ~k n] bounds Algorithm 3's message
+    (ID, degree, b_1..b_k) with [b_p <= n^(p+1)] on [(p+1) * id_bits]
+    bits: total [2*id_bits + sum_{p=1..k} (p+1)*id_bits]
+    [= (2 + k(k+3)/2) * id_bits] — the concrete form of Lemma 2's
+    [O(k^2 log n)]. *)
+val degeneracy_message_bits : k:int -> int -> int
+
+(** [generalized_message_bits ~k n] doubles the power-sum payload (both
+    the neighbourhood and its complement are encoded, with complement
+    sums bounded by [n^(p+1)] as well). *)
+val generalized_message_bits : k:int -> int -> int
+
+(** [lemma1_budget ~c n] is the total information [c * n * id_bits n]
+    received by the referee from a frugal protocol with per-message
+    bound [c * id_bits n]; a family with [log2 g(n)] above this budget
+    cannot be reconstructed (Lemma 1). *)
+val lemma1_budget : c:int -> int -> float
+
+(** [square_free_growth_exponent n] is [n^(3/2)], the Kleitman–Winston
+    growth exponent for labelled square-free graphs, up to constants. *)
+val square_free_growth_exponent : int -> float
+
+(** [reduction_blowup_square ~bits n] maps an oracle message bound
+    [bits(n)] to Δ's bound [bits(2n)] (Theorem 1's accounting). *)
+val reduction_blowup_square : bits:(int -> int) -> int -> int
+
+(** [reduction_blowup_diameter ~bits n] is [3 * bits(n + 3)]
+    (Theorem 2). *)
+val reduction_blowup_diameter : bits:(int -> int) -> int -> int
+
+(** [reduction_blowup_triangle ~bits n] is [2 * bits(n + 1)]
+    (Theorem 3). *)
+val reduction_blowup_triangle : bits:(int -> int) -> int -> int

@@ -1,0 +1,52 @@
+open Refnet_graph
+
+type view = { members : int list; neighborhoods : (int * int list) list }
+
+type 'a t = {
+  name : string;
+  local : n:int -> view -> (int * Message.t) list;
+  global : n:int -> Message.t array -> 'a;
+}
+
+let partition_by_ranges ~n ~parts =
+  if parts < 1 || parts > max n 1 then invalid_arg "Coalition.partition_by_ranges: bad count";
+  let base = n / parts and extra = n mod parts in
+  let rec go start part acc =
+    if part > parts then List.rev acc
+    else begin
+      let size = base + (if part <= extra then 1 else 0) in
+      let members = List.init size (fun i -> start + i) in
+      go (start + size) (part + 1) (members :: acc)
+    end
+  in
+  go 1 1 []
+
+let run (p : 'a t) g ~parts =
+  let n = Graph.order g in
+  let seen = Array.make n false in
+  List.iter
+    (List.iter (fun v ->
+         if v < 1 || v > n || seen.(v - 1) then
+           invalid_arg "Coalition.run: parts do not partition the vertices";
+         seen.(v - 1) <- true))
+    parts;
+  if Array.exists not seen then invalid_arg "Coalition.run: parts do not cover the vertices";
+  let inbox = Array.make n None in
+  List.iter
+    (fun members ->
+      let members = List.sort Stdlib.compare members in
+      let view = { members; neighborhoods = List.map (fun v -> (v, Graph.neighbors g v)) members } in
+      let out = p.local ~n view in
+      if List.length out <> List.length members then
+        invalid_arg "Coalition.run: local function must emit one message per member";
+      List.iter
+        (fun (id, msg) ->
+          if not (List.mem id members) then
+            invalid_arg "Coalition.run: message for a non-member";
+          match inbox.(id - 1) with
+          | Some _ -> invalid_arg "Coalition.run: duplicate message"
+          | None -> inbox.(id - 1) <- Some msg)
+        out)
+    parts;
+  let msgs = Array.map (function Some m -> m | None -> assert false) inbox in
+  (p.global ~n msgs, Simulator.transcript_of_messages msgs)

@@ -1,0 +1,37 @@
+(** The partition (coalition) variant of the model.
+
+    The paper's hardness proofs and its connectivity discussion both use
+    the following strengthening: the vertices are split into parts, and
+    the vertices of a part may pool their local information before each
+    sends its own [O(log n)]-bit message.  Formally a coalition protocol's
+    local function sees a whole part — every member's identifier and
+    neighbour list — and emits one message {e per member}; the referee
+    still receives [n] individual messages.
+
+    The conclusion's observation "if a graph is split into [k] parts ...
+    there is an algorithm for connectivity using [O(k log n)] bits per
+    node" lives in this model; {!Connectivity_parts} implements it. *)
+
+type view = { members : int list; neighborhoods : (int * int list) list }
+(** What a part jointly knows: its member identifiers and each member's
+    neighbour set (in increasing member order). *)
+
+type 'a t = {
+  name : string;
+  local : n:int -> view -> (int * Message.t) list;
+      (** Messages for the part's members, tagged by member id; must
+          cover exactly the part's members. *)
+  global : n:int -> Message.t array -> 'a;
+}
+
+(** [partition_by_ranges ~n ~parts] splits [1..n] into [parts] contiguous
+    ranges of near-equal size.
+    @raise Invalid_argument if [parts < 1] or [parts > n]. *)
+val partition_by_ranges : n:int -> parts:int -> int list list
+
+(** [run p g ~parts] executes a coalition protocol over the given
+    partition of the vertices.
+    @raise Invalid_argument if [parts] does not partition [1..n] or the
+    local function mislabels a message. *)
+val run :
+  'a t -> Refnet_graph.Graph.t -> parts:int list list -> 'a * Simulator.transcript

@@ -1,0 +1,75 @@
+open Refnet_bits
+open Refnet_graph
+
+let owned_edges (view : Coalition.view) =
+  let members = view.Coalition.members in
+  let member = Hashtbl.create 16 in
+  List.iter (fun m -> Hashtbl.replace member m ()) members;
+  let is_member v = Hashtbl.mem member v in
+  List.concat_map
+    (fun (m, nbrs) ->
+      List.filter_map
+        (fun u ->
+          let lo = min m u and hi = max m u in
+          (* Edge owned here iff its smaller endpoint is a member; when
+             both endpoints are members, let the smaller endpoint's entry
+             report it so it is listed once. *)
+          if is_member lo then if m = lo then Some (lo, hi) else None else None)
+        nbrs)
+    view.Coalition.neighborhoods
+
+let spanning_forest_messages ~n (view : Coalition.view) =
+  let forest = Spanning.forest_of_edges ~n (owned_edges view) in
+  let members = Array.of_list view.Coalition.members in
+  let count = Array.length members in
+  if count = 0 then []
+  else begin
+    let w = Bounds.id_bits n in
+    let writers = Array.init count (fun _ -> Bit_writer.create ()) in
+    let shares = Array.make count [] in
+    List.iteri (fun i e -> shares.(i mod count) <- e :: shares.(i mod count)) forest;
+    Array.iteri
+      (fun i share ->
+        Codes.write_nonneg writers.(i) (List.length share);
+        List.iter
+          (fun (u, v) ->
+            Codes.write_fixed writers.(i) ~width:w u;
+            Codes.write_fixed writers.(i) ~width:w v)
+          share)
+      shares;
+    Array.to_list (Array.mapi (fun i m -> (m, Message.of_writer writers.(i))) members)
+  end
+
+let decide : bool Coalition.t =
+  let local ~n view = spanning_forest_messages ~n view in
+  let global ~n msgs =
+    let w = Bounds.id_bits n in
+    let edges = ref [] in
+    (try
+       Array.iter
+         (fun msg ->
+           let r = Message.reader msg in
+           let count = Codes.read_nonneg r in
+           for _ = 1 to count do
+             let u = Codes.read_fixed r ~width:w in
+             let v = Codes.read_fixed r ~width:w in
+             edges := (u, v) :: !edges
+           done)
+         msgs
+     with Bit_reader.Exhausted -> ());
+    match Graph.of_edges n !edges with
+    | g -> Connectivity.is_connected g
+    | exception Invalid_argument _ -> false
+  in
+  { name = "coalition-connectivity"; local; global }
+
+let per_node_bound ~n ~parts =
+  let w = Bounds.id_bits n in
+  if n = 0 then 0
+  else begin
+    let part_size = max 1 (n / parts) in
+    let forest_edges = n - 1 in
+    let per_member = (forest_edges + part_size - 1) / part_size in
+    (* count prefix (gamma code of e+1 <= 2 log(e) + 1) + e edges. *)
+    ((2 * Bounds.id_bits (per_member + 1)) + 1) + (per_member * 2 * w)
+  end

@@ -1,0 +1,31 @@
+(** The conclusion's coalition connectivity protocol: "if a graph is
+    split into [k] parts and vertices of each part are allowed to
+    communicate to each other, there is an algorithm for connectivity
+    using [O(k log n)] bits per node."
+
+    Construction.  Assign every edge to the part owning its smaller
+    endpoint — a partition of the edge set computable inside each
+    coalition from its pooled views.  Each coalition computes a spanning
+    forest of its edge class and spreads the forest edges round-robin
+    over its members' messages.  The referee unions the forests and runs
+    an ordinary connectivity check.
+
+    Correctness is the forest-union lemma (see {!Refnet_graph.Spanning}):
+    replacing each class of an edge partition by a spanning forest of the
+    subgraph it induces preserves connectivity.  Cost: a forest owned by
+    part [P] has at most [|P| + |boundary(P)| - 1 <= n - 1] edges, so
+    balanced parts of size [n/k] send [O((k + n/|P|) log n) = O(k log n)]
+    bits per node. *)
+
+(** [decide] is the coalition protocol; run it with
+    {!Coalition.run}[ ~parts]. *)
+val decide : bool Coalition.t
+
+(** [spanning_forest_messages ~n view] is the per-member payload the
+    protocol generates — exposed for tests and size accounting. *)
+val spanning_forest_messages : n:int -> Coalition.view -> (int * Message.t) list
+
+(** [per_node_bound ~n ~parts] is the closed-form per-node bit bound for
+    balanced parts: [(ceil((n - 1) / (n / parts)) + 1) * 2 * id_bits + overhead]
+    — printed by the T7 experiment next to measured sizes. *)
+val per_node_bound : n:int -> parts:int -> int

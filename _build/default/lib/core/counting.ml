@@ -1,0 +1,28 @@
+open Refnet_graph
+
+type family = Square_free | Triangle_free | All_graphs | Bipartite_fixed_halves
+
+let family_name = function
+  | Square_free -> "square-free"
+  | Triangle_free -> "triangle-free"
+  | All_graphs -> "all graphs"
+  | Bipartite_fixed_halves -> "bipartite (fixed halves)"
+
+let log2_family_size family n =
+  match family with
+  | All_graphs -> float_of_int (n * (n - 1) / 2)
+  | Bipartite_fixed_halves -> float_of_int ((n / 2) * (n - (n / 2)))
+  | Square_free -> Float.log2 (float_of_int (Enumerate.count_square_free n))
+  | Triangle_free -> Float.log2 (float_of_int (Enumerate.count_triangle_free n))
+
+let budget ~c n = Bounds.lemma1_budget ~c n
+
+let reconstructible ~c family n = log2_family_size family n <= budget ~c n
+
+let crossover ~c family ~max_n =
+  let rec go n =
+    if n > max_n then None
+    else if not (reconstructible ~c family n) then Some n
+    else go (n + 1)
+  in
+  go 1

@@ -1,0 +1,37 @@
+(** Lemma 1 made concrete.
+
+    A frugal one-round protocol delivers at most [c * n * log n] bits to
+    the referee, so it can tell apart at most [2^(c n log n)] graphs; a
+    family [F] with [log2 |F_n|] growing faster cannot be reconstructed.
+    The impossibility theorems instantiate [F] with square-free graphs
+    ([2^Theta(n^{3/2})], Kleitman–Winston), all graphs
+    ([2^(n(n-1)/2)]), and balanced bipartite graphs ([2^(n^2/4)]).
+
+    At laptop scale the exact counts come from {!Refnet_graph.Enumerate};
+    the asymptotic families' exponents are closed-form. *)
+
+type family = Square_free | Triangle_free | All_graphs | Bipartite_fixed_halves
+
+(** [log2_family_size family n] is [log2 g(n)] — exact by enumeration for
+    [Square_free]/[Triangle_free] (practical for [n <= 7]), closed form
+    for [All_graphs] ([n(n-1)/2]) and [Bipartite_fixed_halves]
+    ([floor(n/2) * ceil(n/2)] cross pairs).
+    @raise Invalid_argument when enumeration is out of range. *)
+val log2_family_size : family -> int -> float
+
+(** [budget ~c n] is Lemma 1's information budget [c * n * id_bits n]. *)
+val budget : c:int -> int -> float
+
+(** [reconstructible ~c family n] is [log2 g(n) <= budget] — necessary
+    for a frugal protocol with constant [c] to reconstruct the family at
+    size [n]. *)
+val reconstructible : c:int -> family -> int -> bool
+
+(** [crossover ~c family ~max_n] is the smallest [n <= max_n] where the
+    family outgrows the budget, if any.  For [All_graphs] and
+    [Bipartite_fixed_halves] this uses closed forms, so large [max_n] is
+    fine; enumerated families are capped by {!Refnet_graph.Enumerate}. *)
+val crossover : c:int -> family -> max_n:int -> int option
+
+(** [family_name f] for reports. *)
+val family_name : family -> string

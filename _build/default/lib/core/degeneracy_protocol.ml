@@ -1,0 +1,133 @@
+open Refnet_bits
+open Refnet_bigint
+open Refnet_algebra
+open Refnet_graph
+
+type decoder = n:int -> deg:int -> Power_sum.encoding -> int list option
+
+let newton_decoder : decoder = fun ~n ~deg enc -> Power_sum.decode ~n ~deg enc
+
+let table_decoder table : decoder =
+ fun ~n:_ ~deg enc -> Power_sum.Table.lookup table enc ~deg
+
+let message_bits = Bounds.degeneracy_message_bits
+
+let local_time_operations ~k n = k * n
+
+(* Power sum b_p is at most n * n^p = n^(p+1): width (p+1) * id_bits. *)
+let coord_width ~w p = (p + 2) * w
+(* p is 0-based here: coordinate p holds sums of (p+1)-th powers. *)
+
+type layout = Fixed | Compact
+
+let local ~layout ~k ~n ~id ~neighbors =
+  let w = Bounds.id_bits n in
+  let wr = Bit_writer.create () in
+  Codes.write_fixed wr ~width:w id;
+  let enc = Power_sum.encode ~k:(max k (List.length neighbors)) neighbors in
+  (match layout with
+  | Fixed ->
+    Codes.write_fixed wr ~width:w (List.length neighbors);
+    for p = 0 to k - 1 do
+      Nat_codec.write wr ~width:(coord_width ~w p) enc.(p)
+    done
+  | Compact ->
+    Codes.write_nonneg wr (List.length neighbors);
+    for p = 0 to k - 1 do
+      let bits = Refnet_bigint.Nat.num_bits enc.(p) in
+      Codes.write_nonneg wr bits;
+      Nat_codec.write wr ~width:bits enc.(p)
+    done);
+  Message.of_writer wr
+
+exception Malformed
+
+let parse ~layout ~k ~n msgs =
+  let w = Bounds.id_bits n in
+  let deg = Array.make n 0 in
+  let enc = Array.make n [||] in
+  Array.iteri
+    (fun i msg ->
+      let r = Message.reader msg in
+      let id = Codes.read_fixed r ~width:w in
+      if id <> i + 1 then raise Malformed;
+      (match layout with
+      | Fixed ->
+        deg.(i) <- Codes.read_fixed r ~width:w;
+        if deg.(i) > n - 1 then raise Malformed;
+        enc.(i) <- Array.init k (fun p -> Nat_codec.read r ~width:(coord_width ~w p))
+      | Compact ->
+        deg.(i) <- Codes.read_nonneg r;
+        if deg.(i) > n - 1 then raise Malformed;
+        enc.(i) <-
+          Array.init k (fun p ->
+              let bits = Codes.read_nonneg r in
+              if bits > coord_width ~w p then raise Malformed;
+              Nat_codec.read r ~width:bits)))
+    msgs;
+  (deg, enc)
+
+let global ~(decoder : decoder) ~layout ~k ~n msgs =
+  match parse ~layout ~k ~n msgs with
+  | exception Malformed -> None
+  | exception Bit_reader.Exhausted -> None
+  | deg, enc ->
+    let removed = Array.make n false in
+    let b = Graph.Builder.create n in
+    (* Queue of vertices whose degree dropped to at most k; entries may be
+       stale, the degree is rechecked on pop. *)
+    let queue = Queue.create () in
+    for v = 1 to n do
+      if deg.(v - 1) <= k then Queue.add v queue
+    done;
+    let processed = ref 0 in
+    let ok = ref true in
+    (try
+       while !ok && not (Queue.is_empty queue) do
+         let v = Queue.pop queue in
+         if not removed.(v - 1) then begin
+           (* A queued vertex's degree only decreases; it is still <= k. *)
+           let d = deg.(v - 1) in
+           let nbrs =
+             if d = 0 then Some []
+             else if d = 1 then begin
+               (* Fast path: b_1 is the single neighbour's identifier. *)
+               match Nat.to_int_opt enc.(v - 1).(0) with
+               | Some u when u >= 1 && u <= n -> Some [ u ]
+               | _ -> None
+             end
+             else decoder ~n ~deg:d enc.(v - 1)
+           in
+           match nbrs with
+           | None -> ok := false
+           | Some nbrs ->
+             List.iter
+               (fun u ->
+                 if u < 1 || u > n || u = v || removed.(u - 1) || deg.(u - 1) = 0 then
+                   ok := false
+                 else begin
+                   Graph.Builder.add_edge b v u;
+                   deg.(u - 1) <- deg.(u - 1) - 1;
+                   enc.(u - 1) <- Power_sum.subtract enc.(u - 1) ~id:v ~upto:k;
+                   if deg.(u - 1) <= k then Queue.add u queue
+                 end)
+               nbrs;
+             if !ok then begin
+               removed.(v - 1) <- true;
+               incr processed
+             end
+         end
+       done
+     with Invalid_argument _ -> ok := false);
+    if !ok && !processed = n then Some (Graph.Builder.build b) else None
+
+let reconstruct ?(decoder = newton_decoder) ?(layout = Fixed) ~k () :
+    Graph.t option Protocol.t =
+  if k < 1 then invalid_arg "Degeneracy_protocol.reconstruct: k must be positive";
+  {
+    name =
+      Printf.sprintf "degeneracy-%d-reconstruct%s" k
+        (match layout with Fixed -> "" | Compact -> "-compact");
+    local = (fun ~n ~id ~neighbors -> local ~layout ~k ~n ~id ~neighbors);
+    global = (fun ~n msgs -> global ~decoder ~layout ~k ~n msgs);
+  }

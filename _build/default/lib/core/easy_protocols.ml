@@ -1,0 +1,75 @@
+open Refnet_bits
+
+let degree_message ~n ~neighbors =
+  let w = Bit_writer.create () in
+  Codes.write_fixed w ~width:(Bounds.id_bits n) (List.length neighbors);
+  Message.of_writer w
+
+let read_degree ~n msg = Codes.read_fixed (Message.reader msg) ~width:(Bounds.id_bits n)
+
+let degrees ~n msgs = Array.to_list (Array.map (read_degree ~n) msgs)
+
+let degree_sequence : int list Protocol.t =
+  {
+    name = "degree-sequence";
+    local = (fun ~n ~id:_ ~neighbors -> degree_message ~n ~neighbors);
+    global =
+      (fun ~n msgs -> List.sort (fun a b -> Stdlib.compare b a) (degrees ~n msgs));
+  }
+
+let on_degrees name f : 'a Protocol.t =
+  {
+    name;
+    local = (fun ~n ~id:_ ~neighbors -> degree_message ~n ~neighbors);
+    global = (fun ~n msgs -> f (degrees ~n msgs));
+  }
+
+let edge_count = on_degrees "edge-count" (fun ds -> List.fold_left ( + ) 0 ds / 2)
+
+let has_edge = on_degrees "has-edge" (List.exists (fun d -> d > 0))
+
+let max_degree = on_degrees "max-degree" (List.fold_left max 0)
+
+let min_degree =
+  on_degrees "min-degree" (function [] -> 0 | d :: rest -> List.fold_left min d rest)
+
+let is_regular =
+  on_degrees "is-regular" (function [] -> true | d :: rest -> List.for_all (( = ) d) rest)
+
+let has_isolated_vertex = on_degrees "has-isolated" (List.exists (( = ) 0))
+
+let has_universal_vertex : bool Protocol.t =
+  {
+    name = "has-universal";
+    local = (fun ~n ~id:_ ~neighbors -> degree_message ~n ~neighbors);
+    global = (fun ~n msgs -> List.exists (fun d -> d = n - 1) (degrees ~n msgs));
+  }
+
+let all_degrees_even = on_degrees "all-degrees-even" (List.for_all (fun d -> d land 1 = 0))
+
+let sum_of_ids_check : bool Protocol.t =
+  {
+    name = "handshake-fingerprint";
+    local =
+      (fun ~n ~id:_ ~neighbors ->
+        let w = Bit_writer.create () in
+        Codes.write_fixed w ~width:(Bounds.id_bits n) (List.length neighbors);
+        Codes.write_fixed w ~width:(2 * Bounds.id_bits n) (List.fold_left ( + ) 0 neighbors);
+        Message.of_writer w);
+    global =
+      (fun ~n msgs ->
+        (* Each edge {u,v} contributes u + v to the total of neighbour-ID
+           sums, and also u + v to sum over nodes of deg * id when
+           viewed from the other side; the two totals must agree. *)
+        let w = Bounds.id_bits n in
+        let total_sums = ref 0 and weighted_degrees = ref 0 in
+        Array.iteri
+          (fun i msg ->
+            let r = Message.reader msg in
+            let deg = Codes.read_fixed r ~width:w in
+            let s = Codes.read_fixed r ~width:(2 * w) in
+            total_sums := !total_sums + s;
+            weighted_degrees := !weighted_degrees + (deg * (i + 1)))
+          msgs;
+        !total_sums = !weighted_degrees);
+  }

@@ -1,0 +1,52 @@
+(** The easy side of the landscape: properties that {e are} computable in
+    one frugal round.
+
+    The paper's negative results make the contrast sharp — a node cannot
+    tell {e which} of its neighbours matter, so subgraph patterns beyond
+    a single edge are hard — but anything determined by the degree
+    multiset travels in one [O(log n)]-bit message per node.  These
+    protocols are the baseline against which the hardness results are
+    interesting at all, and the bench's T17 table lines them up.
+
+    Every protocol here sends exactly the node's degree (plus, for
+    {!sum_of_ids_check}, the neighbour-ID sum of the forest protocol),
+    so all messages are at most [2 id_bits n] bits. *)
+
+(** [degree_sequence] — the referee learns the exact degree multiset,
+    sorted non-increasing. *)
+val degree_sequence : int list Protocol.t
+
+(** [edge_count] — [m], by the handshake lemma. *)
+val edge_count : int Protocol.t
+
+(** [has_edge] — "does the network have any link at all?", one bit per
+    node. *)
+val has_edge : bool Protocol.t
+
+(** [max_degree] / [min_degree]. *)
+val max_degree : int Protocol.t
+
+val min_degree : int Protocol.t
+
+(** [is_regular] — all degrees equal. *)
+val is_regular : bool Protocol.t
+
+(** [has_isolated_vertex]. *)
+val has_isolated_vertex : bool Protocol.t
+
+(** [has_universal_vertex] — some node adjacent to all others. *)
+val has_universal_vertex : bool Protocol.t
+
+(** [could_be_eulerian] — connected-if-nonzero-degrees assumed aside:
+    checks that every degree is even and at most one "odd component"
+    signal appears.  (Full Eulerianity needs connectivity — exactly the
+    open question — so this decides the degree-parity part.) *)
+val all_degrees_even : bool Protocol.t
+
+(** [sum_of_ids_check] — a consistency fingerprint: referee verifies
+    that the multiset of neighbour-ID sums is consistent with the degree
+    sequence via the handshake identity
+    [sum_v (sum of N(v)) = sum_v deg(v) * ... ] — concretely it checks
+    [sum_v S(v) = sum_v deg(v) * ID(v)] is even-handed: each edge
+    [{u,v}] contributes [u + v] to both sides. *)
+val sum_of_ids_check : bool Protocol.t

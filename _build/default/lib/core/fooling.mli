@@ -1,0 +1,64 @@
+(** Constructive refutation of concrete frugal protocols.
+
+    Lemma 1 is an existence argument: too many graphs, too few message
+    vectors.  This module makes it constructive for any {e given}
+    protocol: enumerate a graph family, index graphs by their full
+    message vector, and return a {e fooling pair} — two graphs the
+    referee provably cannot tell apart (identical message vectors) that
+    disagree on the property.  One pair is a complete proof that this
+    protocol fails; finding none over a family certifies the protocol on
+    it.
+
+    {!truncate} turns any protocol into a "best-effort frugal" one by
+    clipping each message to a bit budget — modelling the inevitably
+    lossy compression a frugal square/triangle/diameter protocol would
+    need, and giving the search something to refute. *)
+
+open Refnet_graph
+
+type 'a pair = { g1 : Graph.t; g2 : Graph.t; out1 : 'a; out2 : 'a }
+(** Two indistinguishable graphs and the property values they should
+    have produced. *)
+
+(** [truncate ~budget p] clips every local message of [p] to
+    [budget * ceil(log2 (n + 1))] bits (dropping the tail).  The global
+    function is unchanged and receives the clipped messages — decision
+    protocols whose referee reads beyond the clip see zero-padding
+    (reader exhaustion is the caller's concern; the reference oracles
+    read fixed layouts and simply see fewer distinct inputs). *)
+val truncate : budget:int -> 'a Protocol.t -> 'a Protocol.t
+
+(** [find_pair ~n ~property ~local enum] enumerates graphs of order [n]
+    via [enum] (e.g. {!Refnet_graph.Enumerate.iter}), computes each
+    graph's message vector with [local], and returns the first two
+    graphs with equal vectors but different [property] values. *)
+val find_pair :
+  n:int ->
+  property:(Graph.t -> 'a) ->
+  local:(n:int -> id:int -> neighbors:int list -> Message.t) ->
+  ((Graph.t -> unit) -> unit) ->
+  'a pair option
+
+(** [fooling_pair_for ~n ~budget p ~property] specializes {!find_pair}
+    to the truncation of [p] over all labelled graphs of order [n]. *)
+val fooling_pair_for :
+  n:int -> budget:int -> 'b Protocol.t -> property:(Graph.t -> 'a) -> 'a pair option
+
+(** [certify ~n ~property ~local enum] is [None] when no fooling pair
+    exists — the message vectors separate every pair of graphs the
+    property separates (injectivity where it matters). *)
+val certify :
+  n:int ->
+  property:(Graph.t -> 'a) ->
+  local:(n:int -> id:int -> neighbors:int list -> Message.t) ->
+  ((Graph.t -> unit) -> unit) ->
+  'a pair option
+
+(** [vector_count ~n ~local enum] is the number of distinct message
+    vectors over the enumeration — the protocol's effective capacity,
+    to compare against the family size (Lemma 1 numerically). *)
+val vector_count :
+  n:int ->
+  local:(n:int -> id:int -> neighbors:int list -> Message.t) ->
+  ((Graph.t -> unit) -> unit) ->
+  int

@@ -1,0 +1,71 @@
+open Refnet_bits
+open Refnet_graph
+
+let message_bits = Bounds.forest_message_bits
+
+let local ~n ~id ~neighbors =
+  let w = Bounds.id_bits n in
+  let wr = Bit_writer.create () in
+  Codes.write_fixed wr ~width:w id;
+  Codes.write_fixed wr ~width:w (List.length neighbors);
+  (* Sum of at most n identifiers of at most n: fits 2w bits. *)
+  Codes.write_fixed wr ~width:(2 * w) (List.fold_left ( + ) 0 neighbors);
+  Message.of_writer wr
+
+exception Malformed
+
+let parse ~n msgs =
+  let w = Bounds.id_bits n in
+  let deg = Array.make n 0 and sum = Array.make n 0 in
+  Array.iteri
+    (fun i msg ->
+      let r = Message.reader msg in
+      let id = Codes.read_fixed r ~width:w in
+      if id <> i + 1 then raise Malformed;
+      deg.(i) <- Codes.read_fixed r ~width:w;
+      sum.(i) <- Codes.read_fixed r ~width:(2 * w);
+      if deg.(i) > n - 1 then raise Malformed)
+    msgs;
+  (deg, sum)
+
+let global ~n msgs =
+  match parse ~n msgs with
+  | exception Malformed -> None
+  | exception Bit_reader.Exhausted -> None
+  | deg, sum ->
+    let removed = Array.make n false in
+    let b = Graph.Builder.create n in
+    (* Queue of candidate prune points; stale entries are skipped. *)
+    let queue = Queue.create () in
+    for v = 1 to n do
+      if deg.(v - 1) <= 1 then Queue.add v queue
+    done;
+    let processed = ref 0 in
+    let ok = ref true in
+    while !ok && not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      if not removed.(v - 1) then begin
+        if deg.(v - 1) = 1 then begin
+          let u = sum.(v - 1) in
+          if u < 1 || u > n || u = v || removed.(u - 1) || deg.(u - 1) = 0 then ok := false
+          else begin
+            Graph.Builder.add_edge b v u;
+            deg.(u - 1) <- deg.(u - 1) - 1;
+            sum.(u - 1) <- sum.(u - 1) - v;
+            if deg.(u - 1) <= 1 then Queue.add u queue
+          end
+        end
+        else if deg.(v - 1) <> 0 || sum.(v - 1) <> 0 then ok := false;
+        if !ok then begin
+          removed.(v - 1) <- true;
+          incr processed
+        end
+      end
+    done;
+    if !ok && !processed = n then Some (Graph.Builder.build b) else None
+
+let reconstruct : Graph.t option Protocol.t =
+  { name = "forest-reconstruct"; local; global }
+
+let recognize : bool Protocol.t =
+  Protocol.rename "forest-recognize" (Protocol.map_output Option.is_some reconstruct)

@@ -1,0 +1,142 @@
+open Refnet_bits
+open Refnet_algebra
+open Refnet_graph
+
+let message_bits = Bounds.generalized_message_bits
+
+let coord_width ~w p = (p + 2) * w
+
+let local ~k ~n ~id ~neighbors =
+  let w = Bounds.id_bits n in
+  let wr = Bit_writer.create () in
+  Codes.write_fixed wr ~width:w id;
+  Codes.write_fixed wr ~width:w (List.length neighbors);
+  let is_nbr = Array.make (n + 1) false in
+  List.iter (fun u -> is_nbr.(u) <- true) neighbors;
+  let non_neighbors =
+    List.filter (fun u -> u <> id && not is_nbr.(u)) (List.init n (fun i -> i + 1))
+  in
+  let encode ids =
+    Power_sum.encode ~k:(max k (List.length ids)) ids
+  in
+  let write enc =
+    for p = 0 to k - 1 do
+      Nat_codec.write wr ~width:(coord_width ~w p) enc.(p)
+    done
+  in
+  write (encode neighbors);
+  write (encode non_neighbors);
+  Message.of_writer wr
+
+exception Malformed
+
+let parse ~k ~n msgs =
+  let w = Bounds.id_bits n in
+  let deg = Array.make n 0 in
+  let enc_n = Array.make n [||] in
+  let enc_c = Array.make n [||] in
+  Array.iteri
+    (fun i msg ->
+      let r = Message.reader msg in
+      let id = Codes.read_fixed r ~width:w in
+      if id <> i + 1 then raise Malformed;
+      deg.(i) <- Codes.read_fixed r ~width:w;
+      if deg.(i) > n - 1 then raise Malformed;
+      enc_n.(i) <- Array.init k (fun p -> Nat_codec.read r ~width:(coord_width ~w p));
+      enc_c.(i) <- Array.init k (fun p -> Nat_codec.read r ~width:(coord_width ~w p)))
+    msgs;
+  (deg, enc_n, enc_c)
+
+let global ~(decoder : Degeneracy_protocol.decoder) ~k ~n msgs =
+  match parse ~k ~n msgs with
+  | exception Malformed -> None
+  | exception Bit_reader.Exhausted -> None
+  | deg, enc_n, enc_c ->
+    let removed = Array.make n false in
+    let remaining = ref n in
+    let b = Graph.Builder.create n in
+    let ok = ref true in
+    (try
+       while !ok && !remaining > 0 do
+         (* Find a prunable vertex: sparse side or dense side. *)
+         let r = !remaining in
+         let pick = ref 0 in
+         (try
+            for v = 1 to n do
+              if not removed.(v - 1) then begin
+                if deg.(v - 1) <= k || deg.(v - 1) >= r - 1 - k then begin
+                  pick := v;
+                  raise Exit
+                end
+              end
+            done
+          with Exit -> ());
+         if !pick = 0 then ok := false
+         else begin
+           let y = !pick in
+           let d = deg.(y - 1) in
+           let nbrs =
+             if d <= k then decoder ~n ~deg:d enc_n.(y - 1)
+             else begin
+               (* Decode the complement within the remaining set and
+                  invert it. *)
+               match decoder ~n ~deg:(r - 1 - d) enc_c.(y - 1) with
+               | None -> None
+               | Some non ->
+                 let keep = Array.make (n + 1) true in
+                 List.iter (fun u -> keep.(u) <- false) non;
+                 let nbrs = ref [] in
+                 for u = n downto 1 do
+                   if u <> y && (not removed.(u - 1)) && keep.(u) then nbrs := u :: !nbrs
+                 done;
+                 (* The decoded complement must consist of remaining
+                    vertices. *)
+                 if List.exists (fun u -> u = y || u < 1 || u > n || removed.(u - 1)) non
+                 then None
+                 else Some !nbrs
+             end
+           in
+           match nbrs with
+           | None -> ok := false
+           | Some nbrs ->
+             if List.length nbrs <> d then ok := false
+             else begin
+               let is_nbr = Array.make (n + 1) false in
+               List.iter
+                 (fun u ->
+                   if u < 1 || u > n || u = y || removed.(u - 1) then ok := false
+                   else is_nbr.(u) <- true)
+                 nbrs;
+               if !ok then begin
+                 List.iter (fun u -> Graph.Builder.add_edge b y u) nbrs;
+                 for u = 1 to n do
+                   if u <> y && not removed.(u - 1) then begin
+                     if is_nbr.(u) then begin
+                       deg.(u - 1) <- deg.(u - 1) - 1;
+                       enc_n.(u - 1) <- Power_sum.subtract enc_n.(u - 1) ~id:y ~upto:k
+                     end
+                     else enc_c.(u - 1) <- Power_sum.subtract enc_c.(u - 1) ~id:y ~upto:k
+                   end
+                 done;
+                 removed.(y - 1) <- true;
+                 decr remaining
+               end
+             end
+         end
+       done
+     with Invalid_argument _ -> ok := false);
+    if !ok then Some (Graph.Builder.build b) else None
+
+let reconstruct ?(decoder = Degeneracy_protocol.newton_decoder) ~k () :
+    Graph.t option Protocol.t =
+  if k < 0 then invalid_arg "Generalized_degeneracy.reconstruct: negative k";
+  {
+    name = Printf.sprintf "generalized-degeneracy-%d-reconstruct" k;
+    local = (fun ~n ~id ~neighbors -> local ~k ~n ~id ~neighbors);
+    global = (fun ~n msgs -> global ~decoder ~k ~n msgs);
+  }
+
+let recognize ?decoder k =
+  Protocol.rename
+    (Printf.sprintf "generalized-degeneracy<=%d" k)
+    (Protocol.map_output Option.is_some (reconstruct ?decoder ~k ()))

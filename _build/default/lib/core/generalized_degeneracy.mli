@@ -1,0 +1,31 @@
+(** The paper's "generalized degeneracy" extension (end of Section III):
+    reconstruction of graphs that can be peeled by repeatedly removing a
+    vertex of degree at most [k] {e either in the remaining graph or in
+    its complement}, "by encoding both the neighborhood and the
+    non-neighborhood of each vertex".
+
+    Each node sends (ID, degree, power sums of its neighbourhood, power
+    sums of its non-neighbourhood).  The referee tracks, for every
+    remaining vertex, both encodings relative to the remaining vertex
+    set: pruning a vertex [y] patches its neighbours' neighbourhood sums
+    and its non-neighbours' complement sums — the referee knows which is
+    which because it has just decoded [N(y)].  A vertex is prunable when
+    its remaining degree is at most [k] (decode the neighbourhood) or at
+    least [r - 1 - k] where [r] counts remaining vertices (decode the
+    complement and take the rest).
+
+    Dense graphs — complements of forests, near-cliques — become
+    reconstructible this way even though their plain degeneracy is
+    [Theta(n)]. *)
+
+(** [reconstruct ?decoder ~k ()] outputs [Some g] whenever the input's
+    generalized degeneracy is at most [k]. *)
+val reconstruct :
+  ?decoder:Degeneracy_protocol.decoder -> k:int -> unit -> Refnet_graph.Graph.t option Protocol.t
+
+(** [recognize ?decoder k] decides "generalized degeneracy <= k". *)
+val recognize : ?decoder:Degeneracy_protocol.decoder -> int -> bool Protocol.t
+
+(** [message_bits ~k n] — exactly double the power-sum payload of the
+    plain protocol plus the shared header. *)
+val message_bits : k:int -> int -> int

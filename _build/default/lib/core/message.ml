@@ -1,0 +1,20 @@
+open Refnet_bits
+
+type t = Bitvec.t
+
+let bits = Bitvec.length
+
+let of_writer = Bit_writer.contents
+
+let reader = Bit_reader.of_bitvec
+
+let empty = Bitvec.create 0
+
+let concat ms =
+  let w = Bit_writer.create () in
+  List.iter (fun m -> Bit_writer.add_bitvec w m) ms;
+  Bit_writer.contents w
+
+let equal = Bitvec.equal
+
+let pp = Bitvec.pp

@@ -1,0 +1,27 @@
+(** Messages sent to the referee.
+
+    A message is a genuine bit string — frugality ([O(log n)] bits per
+    node, Definition 1) is measured on real lengths, never estimated. *)
+
+open Refnet_bits
+
+type t = Bitvec.t
+
+(** [bits m] is the exact length in bits. *)
+val bits : t -> int
+
+(** [of_writer w] freezes a writer's contents into a message. *)
+val of_writer : Bit_writer.t -> t
+
+(** [reader m] starts decoding the message. *)
+val reader : t -> Bit_reader.t
+
+val empty : t
+
+(** [concat ms] joins messages; used by reduction protocols that bundle
+    several simulated oracle messages into one (each should be written
+    self-delimiting by the caller). *)
+val concat : t list -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,153 @@
+open Refnet_bits
+open Refnet_graph
+
+type node_state = { n : int; id : int; neighbors : int list; extra : Message.t list }
+
+type 'a t = {
+  name : string;
+  rounds : int;
+  init : n:int -> id:int -> neighbors:int list -> node_state;
+  send : round:int -> node_state -> Message.t * node_state;
+  receive : round:int -> broadcast:Message.t -> node_state -> node_state;
+  referee : round:int -> n:int -> Message.t array -> Message.t;
+  output : n:int -> Message.t array -> 'a;
+}
+
+let make_state ~n ~id ~neighbors ~extra = { n; id; neighbors; extra }
+
+let state_n s = s.n
+let state_id s = s.id
+let state_neighbors s = s.neighbors
+let state_extra s = s.extra
+let push_extra s m = { s with extra = m :: s.extra }
+
+type transcript = {
+  rounds : int;
+  per_round_max_bits : int list;
+  broadcast_bits : int list;
+  max_bits : int;
+}
+
+let run (p : 'a t) g =
+  if p.rounds < 1 then invalid_arg "Multi_round.run: need at least one round";
+  let n = Graph.order g in
+  let states =
+    Array.init n (fun i -> p.init ~n ~id:(i + 1) ~neighbors:(Graph.neighbors g (i + 1)))
+  in
+  let per_round = ref [] and broadcasts = ref [] in
+  let last_msgs = ref [||] in
+  for round = 1 to p.rounds do
+    let msgs =
+      Array.map
+        (fun _ -> Message.empty)
+        states
+    in
+    Array.iteri
+      (fun i s ->
+        let m, s' = p.send ~round s in
+        msgs.(i) <- m;
+        states.(i) <- s')
+      states;
+    per_round := Array.fold_left (fun acc m -> max acc (Message.bits m)) 0 msgs :: !per_round;
+    last_msgs := msgs;
+    if round < p.rounds then begin
+      let b = p.referee ~round ~n msgs in
+      broadcasts := Message.bits b :: !broadcasts;
+      Array.iteri (fun i s -> states.(i) <- p.receive ~round ~broadcast:b s) states
+    end
+  done;
+  let out = p.output ~n !last_msgs in
+  let per_round_max_bits = List.rev !per_round in
+  ( out,
+    {
+      rounds = p.rounds;
+      per_round_max_bits;
+      broadcast_bits = List.rev !broadcasts;
+      max_bits = List.fold_left max 0 per_round_max_bits;
+    } )
+
+let of_one_round (p : 'a Protocol.t) : 'a t =
+  {
+    name = p.Protocol.name;
+    rounds = 1;
+    init = (fun ~n ~id ~neighbors -> make_state ~n ~id ~neighbors ~extra:[]);
+    send =
+      (fun ~round:_ s ->
+        (p.Protocol.local ~n:s.n ~id:s.id ~neighbors:s.neighbors, s));
+    receive = (fun ~round:_ ~broadcast:_ s -> s);
+    referee = (fun ~round:_ ~n:_ _ -> Message.empty);
+    output = (fun ~n msgs -> p.Protocol.global ~n msgs);
+  }
+
+module Adaptive_degeneracy = struct
+  let degree_bound degrees =
+    (* Largest d with at least d + 1 vertices of degree >= d.  A subgraph
+       of minimum degree delta has delta + 1 vertices whose G-degrees are
+       all >= delta, so degeneracy(G) <= this bound. *)
+    let sorted = Array.copy degrees in
+    Array.sort (fun a b -> Stdlib.compare b a) sorted;
+    let best = ref 0 in
+    Array.iteri
+      (fun i d ->
+        (* i is 0-based: position i+1 in the descending order. *)
+        let candidate = min d i in
+        if candidate > !best then best := candidate)
+      sorted;
+    !best
+
+  let protocol () : Graph.t option t =
+    let width n = Bounds.id_bits n in
+    {
+      name = "adaptive-degeneracy (2 rounds)";
+      rounds = 2;
+      init = (fun ~n ~id ~neighbors -> make_state ~n ~id ~neighbors ~extra:[]);
+      send =
+        (fun ~round s ->
+          match round with
+          | 1 ->
+            let w = Bit_writer.create () in
+            Codes.write_fixed w ~width:(width s.n) (List.length s.neighbors);
+            (Message.of_writer w, s)
+          | _ ->
+            (* Round 2: the broadcast carries k-hat. *)
+            let k_hat =
+              match s.extra with
+              | b :: _ -> Codes.read_fixed (Message.reader b) ~width:(width s.n)
+              | [] -> invalid_arg "adaptive: missing broadcast"
+            in
+            let k = max 1 k_hat in
+            let p = Degeneracy_protocol.reconstruct ~k () in
+            (p.Protocol.local ~n:s.n ~id:s.id ~neighbors:s.neighbors, s));
+      receive = (fun ~round:_ ~broadcast s -> push_extra s broadcast);
+      referee =
+        (fun ~round:_ ~n msgs ->
+          let degrees =
+            Array.map (fun m -> Codes.read_fixed (Message.reader m) ~width:(width n)) msgs
+          in
+          let k_hat = degree_bound degrees in
+          let w = Bit_writer.create () in
+          Codes.write_fixed w ~width:(width n) k_hat;
+          Message.of_writer w);
+      output =
+        (fun ~n msgs ->
+          if n = 0 then Some (Graph.empty 0)
+          else begin
+            (* The referee recomputes k-hat from its own round-1 record.
+               In this implementation the degree is also recoverable from
+               the round-2 header, which keeps the output function a pure
+               function of the final messages as in Definition 1. *)
+            let w = Bounds.id_bits n in
+            let degrees =
+              Array.map
+                (fun m ->
+                  let r = Message.reader m in
+                  let _id = Codes.read_fixed r ~width:w in
+                  Codes.read_fixed r ~width:w)
+                msgs
+            in
+            let k = max 1 (degree_bound degrees) in
+            let p = Degeneracy_protocol.reconstruct ~k () in
+            p.Protocol.global ~n msgs
+          end);
+    }
+end

@@ -1,0 +1,21 @@
+open Refnet_bits
+open Refnet_bigint
+
+let write w ~width v =
+  if Nat.num_bits v > width then invalid_arg "Nat_codec.write: value does not fit";
+  let digits = Nat.to_digits v in
+  let bit i =
+    let d = i / 30 and o = i mod 30 in
+    d < Array.length digits && digits.(d) land (1 lsl o) <> 0
+  in
+  for i = width - 1 downto 0 do
+    Bit_writer.add_bit w (bit i)
+  done
+
+let read r ~width =
+  if width < 0 then invalid_arg "Nat_codec.read: negative width";
+  let digits = Array.make ((width / 30) + 1) 0 in
+  for i = width - 1 downto 0 do
+    if Bit_reader.read_bit r then digits.(i / 30) <- digits.(i / 30) lor (1 lsl (i mod 30))
+  done;
+  Nat.of_digits digits

@@ -1,0 +1,17 @@
+(** Fixed-width serialization of {!Refnet_bigint.Nat} values into
+    messages.
+
+    The degeneracy protocol's power sums are bounded by [n^(p+1)], so a
+    coordinate fits in [(p+1) * ceil(log2(n+1))] bits; the caller picks
+    the width from that bound and the codec enforces it. *)
+
+open Refnet_bits
+open Refnet_bigint
+
+(** [write w ~width v] appends [v] on exactly [width] bits, most
+    significant first.
+    @raise Invalid_argument if [v] needs more than [width] bits. *)
+val write : Bit_writer.t -> width:int -> Nat.t -> unit
+
+(** [read r ~width] reads a value written by {!write}. *)
+val read : Bit_reader.t -> width:int -> Nat.t

@@ -1,0 +1,9 @@
+type 'a t = {
+  name : string;
+  local : n:int -> id:int -> neighbors:int list -> Message.t;
+  global : n:int -> Message.t array -> 'a;
+}
+
+let map_output f p = { p with global = (fun ~n msgs -> f (p.global ~n msgs)) }
+
+let rename name p = { p with name }

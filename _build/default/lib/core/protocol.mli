@@ -1,0 +1,35 @@
+(** One-round protocols (the paper's Definition 1).
+
+    A protocol is a family of pairs [(local_n, global_n)]: the local
+    function maps a node's knowledge — its identifier, its neighbour set
+    and the network size [n] — to a message, and the global function maps
+    the [n] collected messages to the output.  Following the paper, the
+    local function must be evaluable at {e any} pair [(i, N)] with
+    [N ⊆ {1..n}], not only pairs arising from an actual input graph; the
+    reduction protocols of Section II exploit exactly this by evaluating
+    an oracle's local function on fictitious gadget vertices.
+
+    The output type is a parameter: reconstruction protocols produce
+    [Graph.t option], decision protocols produce [bool].  This mirrors
+    the paper's untyped [{0,1}*] output without forcing callers to
+    re-parse bit strings. *)
+
+type 'a t = {
+  name : string;  (** for reports and transcripts *)
+  local : n:int -> id:int -> neighbors:int list -> Message.t;
+      (** [Γ^l_n(i, N)]: the message node [i] sends when its neighbour
+          set is [N] in a network of size [n].  [N] is a {e set}; by
+          convention callers (the simulator, the reductions) always pass
+          it as a strictly increasing list, and implementations must be
+          pure — same inputs, same message. *)
+  global : n:int -> Message.t array -> 'a;
+      (** [Γ^g_n]: referee decoding; [messages.(i - 1)] is node [i]'s
+          message (the referee knows [n] and waits for all messages, so
+          indexing by identifier is faithful to the model). *)
+}
+
+(** [map_output f p] is [p] with [f] applied to the global result. *)
+val map_output : ('a -> 'b) -> 'a t -> 'b t
+
+(** [rename name p]. *)
+val rename : string -> 'a t -> 'a t

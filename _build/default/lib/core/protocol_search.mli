@@ -1,0 +1,69 @@
+(** Exhaustive search over {e all} one-round protocols at small scale.
+
+    Lemma 1 rules protocols out by counting, but is silent when the
+    budget formally suffices.  At tiny [n] the whole protocol space is
+    finite: a local function for node [i] is just a table from its
+    [2^(n-1)] possible neighbourhoods to one of [2^b] messages, and a
+    decision protocol exists iff some choice of tables {e separates}
+    every pair of graphs on which the property differs (the referee can
+    then be taken to be any function constant on message-vector
+    classes).  This module decides that existence question exactly, by
+    backtracking with per-pair constraint propagation:
+
+    - {!search_decider} — does any [n]-node protocol with [colors]
+      distinct message values per node decide the property?
+    - {!search_reconstructor} — can the message vectors distinguish
+      {e all} graphs (one-round reconstruction)?
+
+    Either a concrete witness protocol comes back — runnable through
+    {!to_protocol} — or [Impossible] is a machine-checked universal
+    lower bound over every protocol of that shape, deterministic
+    referees and all.  Fixed-length messages of [log2 colors] bits are
+    assumed; variable-length messages with at most that many bits only
+    add more colours, so [Impossible] at [colors = 2^b + 2^(b-1) + ...]
+    covers them.
+
+    Search cost grows like [colors^(n * 2^(n-1))]; [n <= 4] with
+    [colors <= 4] is comfortable, [n = 5] is out of reach. *)
+
+type witness = int array array
+(** [w.(i - 1).(mask)] is the message value node [i] sends when its
+    neighbourhood, encoded as a bitmask over the other vertices in
+    increasing order, is [mask]. *)
+
+type result =
+  | Found of witness
+  | Impossible  (** no protocol of this shape exists — exhaustively verified *)
+  | Aborted  (** node budget exhausted before the search finished *)
+
+(** [search_decider ~n ~colors ~property ()] explores all assignments.
+    [budget] caps backtracking nodes (default 20 million).
+    @raise Invalid_argument if [n < 1], [n > 4] or [colors < 1]. *)
+val search_decider :
+  ?budget:int -> n:int -> colors:int -> property:(Refnet_graph.Graph.t -> bool) -> unit -> result
+
+(** [search_reconstructor ~n ~colors ()] — injectivity on all [2^C(n,2)]
+    graphs. *)
+val search_reconstructor : ?budget:int -> n:int -> colors:int -> unit -> result
+
+(** [search_family_reconstructor ~n ~colors ~family ()] — injectivity
+    restricted to the graphs satisfying [family]: exactly Lemma 1's
+    setting ("a protocol reconstructing graphs in G"), decided
+    exhaustively.  Lemma 1 gives impossibility when
+    [log2 |family| > n log2 colors]; this search also settles the cases
+    counting leaves open. *)
+val search_family_reconstructor :
+  ?budget:int -> n:int -> colors:int -> family:(Refnet_graph.Graph.t -> bool) -> unit -> result
+
+(** [to_protocol ~n ~colors w ~property] wraps a witness as a runnable
+    {!Protocol.t}: nodes send their table entries on
+    [ceil(log2 colors)] bits and the referee classifies the message
+    vector by comparing against all graphs (exhaustively — this is a
+    tiny-[n] device). *)
+val to_protocol :
+  n:int -> colors:int -> witness -> property:(Refnet_graph.Graph.t -> bool) -> bool Protocol.t
+
+(** [neighborhood_mask ~id neighbors] — the table index used by
+    witnesses: bit [j] set when the [j]-th other vertex (in increasing
+    order) is a neighbour. *)
+val neighborhood_mask : n:int -> id:int -> int list -> int

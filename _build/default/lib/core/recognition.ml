@@ -1,0 +1,11 @@
+let degeneracy_at_most ?decoder k =
+  Protocol.rename
+    (Printf.sprintf "degeneracy<=%d" k)
+    (Protocol.map_output Option.is_some (Degeneracy_protocol.reconstruct ?decoder ~k ()))
+
+let is_forest = Forest_protocol.recognize
+
+let reconstruct_and_check ?decoder ~k ~check () =
+  Protocol.rename
+    (Printf.sprintf "reconstruct-%d-and-check" k)
+    (Protocol.map_output (Option.map check) (Degeneracy_protocol.reconstruct ?decoder ~k ()))

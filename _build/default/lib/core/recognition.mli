@@ -1,0 +1,27 @@
+(** Recognition protocols derived from reconstruction (end of the paper's
+    Section III: "our protocol can also be turned into a recognition
+    protocol ... rejecting if, during the pruning process, we find no
+    vertex of degree at most k").
+
+    Each recognizer runs the corresponding reconstruction global function
+    and accepts exactly when it completes. *)
+
+(** [degeneracy_at_most ?decoder k] decides "degeneracy(G) <= k" in one
+    frugal round. *)
+val degeneracy_at_most :
+  ?decoder:Degeneracy_protocol.decoder -> int -> bool Protocol.t
+
+(** [is_forest] — alias of {!Forest_protocol.recognize}. *)
+val is_forest : bool Protocol.t
+
+(** [reconstruct_and_check ?decoder ~k ~check ()] reconstructs and then
+    applies an arbitrary graph predicate at the referee — how any
+    decidable property of a bounded-degeneracy class becomes one-round
+    decidable (the referee has the whole graph).  Output [None] when
+    reconstruction fails. *)
+val reconstruct_and_check :
+  ?decoder:Degeneracy_protocol.decoder ->
+  k:int ->
+  check:(Refnet_graph.Graph.t -> bool) ->
+  unit ->
+  bool option Protocol.t

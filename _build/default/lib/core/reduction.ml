@@ -1,0 +1,111 @@
+open Refnet_bits
+open Refnet_graph
+
+let square_oracle : bool Protocol.t =
+  Protocol.rename "square-oracle"
+    (Protocol.map_output Cycles.has_square Bounded_degree.full_information)
+
+let diameter3_oracle : bool Protocol.t =
+  Protocol.rename "diameter<=3-oracle"
+    (Protocol.map_output (fun g -> Distance.diameter_at_most g 3) Bounded_degree.full_information)
+
+let triangle_oracle : bool Protocol.t =
+  Protocol.rename "triangle-oracle"
+    (Protocol.map_output Cycles.has_triangle Bounded_degree.full_information)
+
+(* Rebuild a graph from one oracle run per vertex pair. *)
+let graph_of_probe ~n probe =
+  let b = Graph.Builder.create n in
+  for s = 1 to n do
+    for t = s + 1 to n do
+      if probe s t then Graph.Builder.add_edge b s t
+    done
+  done;
+  Graph.Builder.build b
+
+let square ~(oracle : bool Protocol.t) : Graph.t Protocol.t =
+  let local ~n ~id ~neighbors =
+    (* Node id's neighbourhood in every G'_{s,t} is N(id) + its pendant —
+       independent of s and t, so one Γ-message covers all pairs. *)
+    oracle.local ~n:(2 * n) ~id ~neighbors:(neighbors @ [ id + n ])
+  in
+  let global ~n msgs =
+    graph_of_probe ~n (fun s t ->
+        let full = Array.make (2 * n) Message.empty in
+        Array.blit msgs 0 full 0 n;
+        for j = n + 1 to 2 * n do
+          full.(j - 1) <-
+            oracle.local ~n:(2 * n) ~id:j ~neighbors:(Gadgets.square_fictitious ~n ~s ~t j)
+        done;
+        oracle.global ~n:(2 * n) full)
+  in
+  { name = "delta-square[" ^ oracle.name ^ "]"; local; global }
+
+(* Bundled messages: each part written as a gamma length prefix followed
+   by the raw bits, so the referee can split the bundle. *)
+let write_part w msg =
+  Codes.write_nonneg w (Message.bits msg);
+  Bit_writer.add_bitvec w msg
+
+let read_part r =
+  let len = Codes.read_nonneg r in
+  Bit_reader.read_bitvec r ~len
+
+let bundle parts =
+  let w = Bit_writer.create () in
+  List.iter (write_part w) parts;
+  Message.of_writer w
+
+let unbundle ~count msg =
+  let r = Message.reader msg in
+  List.init count (fun _ -> read_part r)
+
+let diameter ~(oracle : bool Protocol.t) : Graph.t Protocol.t =
+  let local ~n ~id ~neighbors =
+    let size = n + 3 in
+    (* m0: id keeps only the universal vertex; ms: id additionally sees
+       n+1 (id plays s); mt: id additionally sees n+2 (id plays t). *)
+    let m0 = oracle.local ~n:size ~id ~neighbors:(neighbors @ [ n + 3 ]) in
+    let ms = oracle.local ~n:size ~id ~neighbors:(neighbors @ [ n + 1; n + 3 ]) in
+    let mt = oracle.local ~n:size ~id ~neighbors:(neighbors @ [ n + 2; n + 3 ]) in
+    bundle [ m0; ms; mt ]
+  in
+  let global ~n msgs =
+    let size = n + 3 in
+    let parts = Array.map (unbundle ~count:3) msgs in
+    let part i j = List.nth parts.(i - 1) j in
+    graph_of_probe ~n (fun s t ->
+        let full = Array.make size Message.empty in
+        for i = 1 to n do
+          full.(i - 1) <- (if i = s then part i 1 else if i = t then part i 2 else part i 0)
+        done;
+        for j = n + 1 to n + 3 do
+          full.(j - 1) <-
+            oracle.local ~n:size ~id:j ~neighbors:(Gadgets.diameter_fictitious ~n ~s ~t j)
+        done;
+        oracle.global ~n:size full)
+  in
+  { name = "delta-diameter[" ^ oracle.name ^ "]"; local; global }
+
+let triangle ~(oracle : bool Protocol.t) : Graph.t Protocol.t =
+  let local ~n ~id ~neighbors =
+    let size = n + 1 in
+    let plain = oracle.local ~n:size ~id ~neighbors in
+    let touched = oracle.local ~n:size ~id ~neighbors:(neighbors @ [ n + 1 ]) in
+    bundle [ plain; touched ]
+  in
+  let global ~n msgs =
+    let size = n + 1 in
+    let parts = Array.map (unbundle ~count:2) msgs in
+    let part i j = List.nth parts.(i - 1) j in
+    graph_of_probe ~n (fun s t ->
+        let full = Array.make size Message.empty in
+        for i = 1 to n do
+          full.(i - 1) <- (if i = s || i = t then part i 1 else part i 0)
+        done;
+        full.(n) <-
+          oracle.local ~n:size ~id:(n + 1)
+            ~neighbors:(Gadgets.triangle_fictitious ~n ~s ~t (n + 1));
+        oracle.global ~n:size full)
+  in
+  { name = "delta-triangle[" ^ oracle.name ^ "]"; local; global }

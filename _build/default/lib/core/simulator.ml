@@ -1,0 +1,62 @@
+open Refnet_graph
+
+type transcript = {
+  n : int;
+  message_bits : int array;
+  max_bits : int;
+  total_bits : int;
+}
+
+let transcript_of_messages msgs =
+  let message_bits = Array.map Message.bits msgs in
+  {
+    n = Array.length msgs;
+    message_bits;
+    max_bits = Array.fold_left max 0 message_bits;
+    total_bits = Array.fold_left ( + ) 0 message_bits;
+  }
+
+let local_phase (p : 'a Protocol.t) g =
+  let n = Graph.order g in
+  Array.init n (fun i -> p.local ~n ~id:(i + 1) ~neighbors:(Graph.neighbors g (i + 1)))
+
+let run (p : 'a Protocol.t) g =
+  let msgs = local_phase p g in
+  let out = p.global ~n:(Graph.order g) msgs in
+  (out, transcript_of_messages msgs)
+
+let run_async ?rng (p : 'a Protocol.t) g =
+  let rng = match rng with Some r -> r | None -> Random.State.make [| 0x5eed |] in
+  let n = Graph.order g in
+  let order = Array.init n (fun i -> i + 1) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- t
+  done;
+  (* Compute in scheduling order, deliver in another order, reassemble by
+     identifier: the referee waits for one message per node. *)
+  let inbox = Array.make n None in
+  Array.iter
+    (fun id ->
+      inbox.(id - 1) <- Some (p.local ~n ~id ~neighbors:(Graph.neighbors g id)))
+    order;
+  let msgs =
+    Array.map (function Some m -> m | None -> assert false) inbox
+  in
+  let out = p.global ~n msgs in
+  (out, transcript_of_messages msgs)
+
+let ceil_log2 n =
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  max 1 (go 0 n)
+
+let is_frugal t ~c = t.max_bits <= c * ceil_log2 t.n
+
+let frugality_ratio t =
+  if t.n = 0 then 0.0 else float_of_int t.max_bits /. float_of_int (ceil_log2 t.n)
+
+let pp_transcript fmt t =
+  Format.fprintf fmt "n=%d max=%d bits total=%d bits (%.2f x log n)" t.n t.max_bits
+    t.total_bits (frugality_ratio t)

@@ -1,0 +1,41 @@
+(** Protocol execution over a concrete network.
+
+    The simulator enforces the model's information boundary: the local
+    phase hands each node only [(n, id, N(id))]; the global phase hands
+    the referee only the message vector.  Message lengths are recorded
+    exactly, in bits. *)
+
+type transcript = {
+  n : int;
+  message_bits : int array;  (** [message_bits.(i - 1)] for node [i] *)
+  max_bits : int;
+  total_bits : int;
+}
+
+(** [local_phase p g] runs every node's local function. *)
+val local_phase : 'a Protocol.t -> Refnet_graph.Graph.t -> Message.t array
+
+(** [run p g] executes both phases; returns the referee's output and the
+    transcript. *)
+val run : 'a Protocol.t -> Refnet_graph.Graph.t -> 'a * transcript
+
+(** [run_async ?rng p g] is [run] but evaluates local functions in a
+    random order and delivers messages in another random order before
+    reassembling them by identifier — a check that nothing in a protocol
+    depends on scheduling (the paper notes one-round protocols tolerate
+    asynchrony). *)
+val run_async : ?rng:Random.State.t -> 'a Protocol.t -> Refnet_graph.Graph.t -> 'a * transcript
+
+(** [transcript_of_messages msgs] summarizes an externally-built message
+    vector. *)
+val transcript_of_messages : Message.t array -> transcript
+
+(** [is_frugal t ~c] checks [max_bits <= c * ceil(log2 (n + 1))] — the
+    frugality test at a specific constant [c]. *)
+val is_frugal : transcript -> c:int -> bool
+
+(** [frugality_ratio t] is [max_bits / ceil(log2 (n + 1))], the measured
+    constant in front of [log n]. *)
+val frugality_ratio : transcript -> float
+
+val pp_transcript : Format.formatter -> transcript -> unit

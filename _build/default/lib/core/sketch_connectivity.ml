@@ -1,0 +1,100 @@
+open Refnet_bits
+open Refnet_graph
+open Refnet_sketch
+
+let edge_index ~u ~v =
+  if u = v || u < 1 || v < 1 then invalid_arg "Sketch_connectivity.edge_index: bad edge";
+  let lo = min u v and hi = max u v in
+  ((hi - 1) * (hi - 2) / 2) + lo - 1
+
+let edge_of_index idx =
+  if idx < 0 then invalid_arg "Sketch_connectivity.edge_of_index: negative";
+  (* Find hi with C(hi-1, 2) <= idx < C(hi, 2). *)
+  let rec find hi = if (hi * (hi - 1)) / 2 > idx then hi else find (hi + 1) in
+  let hi = find 2 in
+  let lo = idx - ((hi - 1) * (hi - 2) / 2) + 1 in
+  (lo, hi)
+
+let default_rounds n =
+  let rec lg acc v = if v <= 1 then acc else lg (acc + 1) ((v + 1) / 2) in
+  lg 0 n + 2
+
+let default_levels n =
+  let rec lg acc v = if v <= 1 then acc else lg (acc + 1) ((v + 1) / 2) in
+  (2 * lg 0 n) + 2
+
+(* All nodes derive the same sampler templates from the public seed. *)
+let templates ~seed ~rounds ~levels =
+  let rng = Random.State.make [| 0xa6e1; seed |] in
+  Array.init rounds (fun _ -> L0_sampler.create ~rng ~levels)
+
+let protocol ~seed ?rounds ?levels () : bool Protocol.t =
+  let name = Printf.sprintf "sketch-connectivity(seed=%d)" seed in
+  let params n =
+    let r = match rounds with Some r -> r | None -> default_rounds n in
+    let l = match levels with Some l -> l | None -> default_levels n in
+    (max 1 r, max 1 l)
+  in
+  let local ~n ~id ~neighbors =
+    let r, l = params n in
+    let ts = templates ~seed ~rounds:r ~levels:l in
+    let w = Bit_writer.create () in
+    Array.iter
+      (fun template ->
+        let sampler =
+          List.fold_left
+            (fun acc u ->
+              L0_sampler.update acc ~index:(edge_index ~u ~v:id)
+                ~delta:(if id < u then 1 else -1))
+            template neighbors
+        in
+        L0_sampler.write w sampler)
+      ts;
+    Message.of_writer w
+  in
+  let global ~n msgs =
+    if n = 0 then true
+    else begin
+      let r, l = params n in
+      let ts = templates ~seed ~rounds:r ~levels:l in
+      (* Parse every node's sampler bank. *)
+      let banks =
+        Array.map
+          (fun msg ->
+            let reader = Message.reader msg in
+            Array.map (fun template -> L0_sampler.read reader ~template) ts)
+          msgs
+      in
+      let uf = Union_find.create n in
+      (* Borůvka phases: one fresh sampler bank column per phase. *)
+      for round = 0 to r - 1 do
+        if Union_find.count uf > 1 then begin
+          (* Sum this round's samplers per current component. *)
+          let sums = Hashtbl.create 16 in
+          for v = 1 to n do
+            let root = Union_find.find uf (v - 1) in
+            let s = banks.(v - 1).(round) in
+            match Hashtbl.find_opt sums root with
+            | None -> Hashtbl.replace sums root s
+            | Some acc -> Hashtbl.replace sums root (L0_sampler.combine acc s)
+          done;
+          (* Sample an outgoing edge per component and merge. *)
+          Hashtbl.iter
+            (fun _root sampler ->
+              match L0_sampler.sample sampler with
+              | Some (idx, value) when value = 1 || value = -1 ->
+                let u, v = edge_of_index idx in
+                if u >= 1 && v <= n then ignore (Union_find.union uf (u - 1) (v - 1))
+              | Some _ | None -> ())
+            sums
+        end
+      done;
+      Union_find.count uf = 1
+    end
+  in
+  { name; local; global }
+
+let message_bits ~n ?rounds ?levels () =
+  let r = match rounds with Some r -> r | None -> default_rounds n in
+  let l = match levels with Some l -> l | None -> default_levels n in
+  max 1 r * L0_sampler.bits ~levels:(max 1 l)

@@ -1,0 +1,28 @@
+type summary = {
+  runs : int;
+  max_bits : int;
+  mean_max_bits : float;
+  mean_total_bits : float;
+  max_ratio : float;
+}
+
+let summarize ts =
+  if ts = [] then invalid_arg "Stats.summarize: no transcripts";
+  let runs = List.length ts in
+  let max_bits = List.fold_left (fun acc t -> max acc t.Simulator.max_bits) 0 ts in
+  let sum_max = List.fold_left (fun acc t -> acc + t.Simulator.max_bits) 0 ts in
+  let sum_total = List.fold_left (fun acc t -> acc + t.Simulator.total_bits) 0 ts in
+  let max_ratio =
+    List.fold_left (fun acc t -> Float.max acc (Simulator.frugality_ratio t)) 0.0 ts
+  in
+  {
+    runs;
+    max_bits;
+    mean_max_bits = float_of_int sum_max /. float_of_int runs;
+    mean_total_bits = float_of_int sum_total /. float_of_int runs;
+    max_ratio;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "runs=%d max=%db mean-max=%.1fb mean-total=%.1fb worst-ratio=%.2f"
+    s.runs s.max_bits s.mean_max_bits s.mean_total_bits s.max_ratio

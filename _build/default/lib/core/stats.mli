@@ -1,0 +1,17 @@
+(** Aggregation of message-size measurements across runs — the raw
+    material of the Lemma 2 experiment tables. *)
+
+type summary = {
+  runs : int;
+  max_bits : int;       (** largest single message over all runs *)
+  mean_max_bits : float;(** mean over runs of each run's max message *)
+  mean_total_bits : float;
+  max_ratio : float;    (** worst measured [max_bits / log2 n] *)
+}
+
+(** [summarize ts] aggregates transcripts (which may have different [n];
+    ratios normalize per-run).
+    @raise Invalid_argument on the empty list. *)
+val summarize : Simulator.transcript list -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

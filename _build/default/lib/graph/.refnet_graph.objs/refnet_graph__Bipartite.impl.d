@@ -1,0 +1,1 @@
+lib/graph/bipartite.ml: Array Graph List Queue

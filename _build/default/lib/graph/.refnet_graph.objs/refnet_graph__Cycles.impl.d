@@ -1,0 +1,1 @@
+lib/graph/cycles.ml: Array Bitvec Graph List Queue Refnet_bits

@@ -1,0 +1,1 @@
+lib/graph/degeneracy.ml: Array Graph List

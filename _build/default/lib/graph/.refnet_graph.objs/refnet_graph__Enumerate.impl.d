@@ -1,0 +1,1 @@
+lib/graph/enumerate.ml: Array Cycles Graph

@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Array Connectivity Graph Hashtbl List Random Stdlib

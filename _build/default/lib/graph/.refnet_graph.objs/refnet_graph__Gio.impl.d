@@ -1,0 +1,1 @@
+lib/graph/gio.ml: Buffer Bytes Char Graph List Printf String

@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Bitvec Format List Refnet_bits Stdlib

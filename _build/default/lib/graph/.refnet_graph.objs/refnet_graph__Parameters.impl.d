@@ -1,0 +1,1 @@
+lib/graph/parameters.ml: Array Degeneracy Graph List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/graph/spanning.ml: Connectivity Graph List Union_find

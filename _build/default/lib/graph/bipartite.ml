@@ -1,0 +1,48 @@
+let bipartition g =
+  let n = Graph.order g in
+  let colour = Array.make n (-1) in
+  let ok = ref true in
+  for src = 1 to n do
+    if colour.(src - 1) < 0 then begin
+      colour.(src - 1) <- 0;
+      let queue = Queue.create () in
+      Queue.add src queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        List.iter
+          (fun v ->
+            if colour.(v - 1) < 0 then begin
+              colour.(v - 1) <- 1 - colour.(u - 1);
+              Queue.add v queue
+            end
+            else if colour.(v - 1) = colour.(u - 1) then ok := false)
+          (Graph.neighbors g u)
+      done
+    end
+  done;
+  if not !ok then None
+  else begin
+    let a = ref [] and b = ref [] in
+    for v = n downto 1 do
+      if colour.(v - 1) = 0 then a := v :: !a else b := v :: !b
+    done;
+    Some (!a, !b)
+  end
+
+let is_bipartite g = bipartition g <> None
+
+let respects_parts g ~left ~right =
+  let n = Graph.order g in
+  let side = Array.make n (-1) in
+  let place s v =
+    if v < 1 || v > n || side.(v - 1) >= 0 then
+      invalid_arg "Bipartite.respects_parts: not a partition";
+    side.(v - 1) <- s
+  in
+  List.iter (place 0) left;
+  List.iter (place 1) right;
+  if Array.exists (fun s -> s < 0) side then
+    invalid_arg "Bipartite.respects_parts: not a partition";
+  let ok = ref true in
+  Graph.iter_edges g (fun u v -> if side.(u - 1) = side.(v - 1) then ok := false);
+  !ok

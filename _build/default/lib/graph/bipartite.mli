@@ -1,0 +1,17 @@
+(** Bipartiteness testing and bipartition extraction. *)
+
+(** [bipartition g] is [Some (a, b)] when [g] is bipartite, with [a] and
+    [b] the two colour classes as increasing lists ([a] contains vertex 1
+    or the smallest vertex of each component).  [None] when [g] has an odd
+    cycle. *)
+val bipartition : Graph.t -> (int list * int list) option
+
+(** [is_bipartite g] tests 2-colourability. *)
+val is_bipartite : Graph.t -> bool
+
+(** [respects_parts g ~left ~right] checks that every edge of [g] joins
+    [left] to [right] — the shape Theorem 3 requires ("bipartite graphs
+    with parts [{1..n/2}] and [{n/2+1..n}]").
+    @raise Invalid_argument if [left] and [right] do not partition the
+    vertices. *)
+val respects_parts : Graph.t -> left:int list -> right:int list -> bool

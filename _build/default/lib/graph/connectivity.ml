@@ -1,0 +1,31 @@
+let components g =
+  let n = Graph.order g in
+  let comp = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 1 to n do
+    if comp.(v - 1) < 0 then begin
+      let id = !next in
+      incr next;
+      List.iter (fun u -> comp.(u - 1) <- id) (Traversal.bfs_order g v)
+    end
+  done;
+  comp
+
+let component_count g =
+  let comp = components g in
+  Array.fold_left (fun acc c -> max acc (c + 1)) 0 comp
+
+let is_connected g = component_count g <= 1
+
+let component_members g =
+  let comp = components g in
+  let count = Array.fold_left (fun acc c -> max acc (c + 1)) 0 comp in
+  let buckets = Array.make count [] in
+  for v = Graph.order g downto 1 do
+    buckets.(comp.(v - 1)) <- v :: buckets.(comp.(v - 1))
+  done;
+  Array.to_list buckets
+
+let same_component g u v =
+  let comp = components g in
+  comp.(u - 1) = comp.(v - 1)

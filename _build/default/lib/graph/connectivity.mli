@@ -1,0 +1,19 @@
+(** Connected components. *)
+
+(** [components g] labels vertices with component indices: result [c] has
+    [c.(v - 1)] in [0..count-1], numbered by smallest member. *)
+val components : Graph.t -> int array
+
+(** [component_count g] is the number of connected components; [0] for the
+    empty graph. *)
+val component_count : Graph.t -> int
+
+(** [is_connected g] — the empty graph and singletons are connected. *)
+val is_connected : Graph.t -> bool
+
+(** [component_members g] lists the components as increasing vertex
+    lists, ordered by smallest member. *)
+val component_members : Graph.t -> int list list
+
+(** [same_component g u v] tests whether [u] and [v] are connected. *)
+val same_component : Graph.t -> int -> int -> bool

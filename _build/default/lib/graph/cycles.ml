@@ -1,0 +1,89 @@
+open Refnet_bits
+
+let find_triangle g =
+  let n = Graph.order g in
+  let found = ref None in
+  (try
+     for u = 1 to n do
+       List.iter
+         (fun v ->
+           if v > u then begin
+             let common = Bitvec.inter (Graph.neighborhood g u) (Graph.neighborhood g v) in
+             Bitvec.iter_set common (fun w0 ->
+                 let w = w0 + 1 in
+                 if w > v && !found = None then begin
+                   found := Some (u, v, w);
+                   raise Exit
+                 end)
+           end)
+         (Graph.neighbors g u)
+     done
+   with Exit -> ());
+  !found
+
+let has_triangle g = find_triangle g <> None
+
+let triangle_count g =
+  let n = Graph.order g in
+  let count = ref 0 in
+  for u = 1 to n do
+    List.iter
+      (fun v ->
+        if v > u then begin
+          let common = Bitvec.inter (Graph.neighborhood g u) (Graph.neighborhood g v) in
+          Bitvec.iter_set common (fun w0 -> if w0 + 1 > v then incr count)
+        end)
+      (Graph.neighbors g u)
+  done;
+  !count
+
+let find_square g =
+  (* A 4-cycle exists iff two vertices share two common neighbours. *)
+  let n = Graph.order g in
+  let found = ref None in
+  (try
+     for u = 1 to n do
+       for v = u + 1 to n do
+         let common = Bitvec.inter (Graph.neighborhood g u) (Graph.neighborhood g v) in
+         if Bitvec.popcount common >= 2 then begin
+           match Bitvec.to_list common with
+           | a0 :: b0 :: _ ->
+             found := Some (u, a0 + 1, v, b0 + 1);
+             raise Exit
+           | _ -> assert false
+         end
+       done
+     done
+   with Exit -> ());
+  !found
+
+let has_square g = find_square g <> None
+
+let girth g =
+  (* BFS from each vertex; a non-tree edge closing at depths d1, d2 gives a
+     cycle of length d1 + d2 + 1 through the root's BFS tree. *)
+  let n = Graph.order g in
+  let best = ref max_int in
+  for src = 1 to n do
+    let dist = Array.make n (-1) in
+    let parent = Array.make n 0 in
+    let queue = Queue.create () in
+    dist.(src - 1) <- 0;
+    Queue.add src queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          if dist.(v - 1) < 0 then begin
+            dist.(v - 1) <- dist.(u - 1) + 1;
+            parent.(v - 1) <- u;
+            Queue.add v queue
+          end
+          else if parent.(u - 1) <> v && u < v then
+            best := min !best (dist.(u - 1) + dist.(v - 1) + 1))
+        (Graph.neighbors g u)
+    done
+  done;
+  if !best = max_int then None else Some !best
+
+let is_acyclic g = girth g = None

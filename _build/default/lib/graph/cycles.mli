@@ -1,0 +1,29 @@
+(** Small-cycle detection: triangles (C3), squares (C4), girth.
+
+    Theorems 1 and 3 of the paper concern deciding the presence of a
+    square or a triangle as a (not necessarily induced) subgraph; these
+    are the referee-side "ground truth" deciders used by the gadget
+    experiments. *)
+
+(** [find_triangle g] is a triangle [(u, v, w)] with [u < v < w], if one
+    exists. *)
+val find_triangle : Graph.t -> (int * int * int) option
+
+(** [has_triangle g] tests for a triangle subgraph. *)
+val has_triangle : Graph.t -> bool
+
+(** [triangle_count g] counts triangles. *)
+val triangle_count : Graph.t -> int
+
+(** [find_square g] is a 4-cycle [(a, b, c, d)] in cyclic order, if one
+    exists (not necessarily induced). *)
+val find_square : Graph.t -> (int * int * int * int) option
+
+(** [has_square g] tests for a 4-cycle subgraph. *)
+val has_square : Graph.t -> bool
+
+(** [girth g] is the length of a shortest cycle, [None] for forests. *)
+val girth : Graph.t -> int option
+
+(** [is_acyclic g] — equivalent to [girth g = None]. *)
+val is_acyclic : Graph.t -> bool

@@ -1,0 +1,166 @@
+(* Matula–Beck bucketed min-degree peeling: O(n + m). *)
+let peel g =
+  let n = Graph.order g in
+  let deg = Array.init n (fun i -> Graph.degree g (i + 1)) in
+  let maxd = Array.fold_left max 0 deg in
+  (* bucket.(d) holds vertices of current degree d; pos/where track each
+     vertex's slot so removal is O(1). *)
+  let bucket = Array.make (maxd + 1) [] in
+  for v = n downto 1 do
+    bucket.(deg.(v - 1)) <- v :: bucket.(deg.(v - 1))
+  done;
+  let removed = Array.make n false in
+  let order = ref [] in
+  let degeneracy = ref 0 in
+  let cur = ref 0 in
+  for _ = 1 to n do
+    (* Find the smallest non-empty bucket.  [cur] only needs to back up by
+       at most one per removal, keeping the scan linear overall. *)
+    while !cur <= maxd && bucket.(!cur) = [] do
+      incr cur
+    done;
+    let rec pop d =
+      match bucket.(d) with
+      | [] -> pop (d + 1)
+      | v :: rest ->
+        if removed.(v - 1) || deg.(v - 1) <> d then begin
+          (* Stale entry: the vertex moved buckets; skip it. *)
+          bucket.(d) <- rest;
+          pop d
+        end
+        else begin
+          bucket.(d) <- rest;
+          v
+        end
+    in
+    let v = pop !cur in
+    removed.(v - 1) <- true;
+    degeneracy := max !degeneracy deg.(v - 1);
+    order := v :: !order;
+    List.iter
+      (fun u ->
+        if not removed.(u - 1) then begin
+          deg.(u - 1) <- deg.(u - 1) - 1;
+          bucket.(deg.(u - 1)) <- u :: bucket.(deg.(u - 1));
+          if deg.(u - 1) < !cur then cur := deg.(u - 1)
+        end)
+      (Graph.neighbors g v);
+    (* After lazy skips [cur] may point past a refilled bucket. *)
+    cur := max 0 (min !cur maxd)
+  done;
+  (!degeneracy, List.rev !order)
+
+let degeneracy g = fst (peel g)
+
+let elimination_order g = snd (peel g)
+
+let is_elimination_order g ~k order =
+  let n = Graph.order g in
+  if List.length order <> n then invalid_arg "Degeneracy.is_elimination_order: wrong length";
+  let seen = Array.make n false in
+  List.iter
+    (fun v ->
+      if v < 1 || v > n || seen.(v - 1) then
+        invalid_arg "Degeneracy.is_elimination_order: not a permutation";
+      seen.(v - 1) <- true)
+    order;
+  let removed = Array.make n false in
+  let ok = ref true in
+  List.iter
+    (fun v ->
+      let live_deg =
+        List.fold_left
+          (fun acc u -> if removed.(u - 1) then acc else acc + 1)
+          0 (Graph.neighbors g v)
+      in
+      if live_deg > k then ok := false;
+      removed.(v - 1) <- true)
+    order;
+  !ok
+
+let core_numbers g =
+  let n = Graph.order g in
+  let core = Array.make n 0 in
+  let deg = Array.init n (fun i -> Graph.degree g (i + 1)) in
+  let removed = Array.make n false in
+  let current = ref 0 in
+  for _ = 1 to n do
+    (* O(n^2) scan variant: simple and adequate for core labelling. *)
+    let best = ref 0 and best_deg = ref max_int in
+    for v = 1 to n do
+      if (not removed.(v - 1)) && deg.(v - 1) < !best_deg then begin
+        best := v;
+        best_deg := deg.(v - 1)
+      end
+    done;
+    let v = !best in
+    current := max !current deg.(v - 1);
+    core.(v - 1) <- !current;
+    removed.(v - 1) <- true;
+    List.iter
+      (fun u -> if not removed.(u - 1) then deg.(u - 1) <- deg.(u - 1) - 1)
+      (Graph.neighbors g v)
+  done;
+  core
+
+(* Greedy peeling by min(degree, co-degree); exchange argument as for
+   ordinary degeneracy shows greedy is optimal here too. *)
+let generalized_peel g =
+  let n = Graph.order g in
+  let deg = Array.init n (fun i -> Graph.degree g (i + 1)) in
+  let removed = Array.make n false in
+  let remaining = ref n in
+  let order = ref [] in
+  let worst = ref 0 in
+  for _ = 1 to n do
+    let best = ref 0 and best_val = ref max_int in
+    for v = 1 to n do
+      if not removed.(v - 1) then begin
+        let d = deg.(v - 1) in
+        let value = min d (!remaining - 1 - d) in
+        if value < !best_val then begin
+          best := v;
+          best_val := value
+        end
+      end
+    done;
+    let v = !best in
+    let d = deg.(v - 1) in
+    let side = if d <= !remaining - 1 - d then `Graph else `Complement in
+    worst := max !worst !best_val;
+    order := (v, side) :: !order;
+    removed.(v - 1) <- true;
+    decr remaining;
+    List.iter
+      (fun u -> if not removed.(u - 1) then deg.(u - 1) <- deg.(u - 1) - 1)
+      (Graph.neighbors g v)
+  done;
+  (!worst, List.rev !order)
+
+let generalized_degeneracy g = fst (generalized_peel g)
+
+let generalized_elimination_order g ~k =
+  let worst, order = generalized_peel g in
+  if worst <= k then begin
+    (* Recompute sides against the threshold k rather than the greedy
+       minimum: a vertex qualifies on whichever side is within k. *)
+    let n = Graph.order g in
+    let deg = Array.init n (fun i -> Graph.degree g (i + 1)) in
+    let removed = Array.make n false in
+    let remaining = ref n in
+    let resolved =
+      List.map
+        (fun (v, _) ->
+          let d = deg.(v - 1) in
+          let side = if d <= k then `Graph else `Complement in
+          removed.(v - 1) <- true;
+          decr remaining;
+          List.iter
+            (fun u -> if not removed.(u - 1) then deg.(u - 1) <- deg.(u - 1) - 1)
+            (Graph.neighbors g v);
+          (v, side))
+        order
+    in
+    Some resolved
+  end
+  else None

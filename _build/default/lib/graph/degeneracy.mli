@@ -1,0 +1,43 @@
+(** Degeneracy and elimination orders (the paper's Definition 2).
+
+    [G] has degeneracy [k] when there is an ordering [(r_1, ..., r_n)] of
+    the vertices such that each [r_i] has degree at most [k] in the
+    subgraph induced by [{r_1, ..., r_i}] — equivalently, repeatedly
+    removing a minimum-degree vertex never meets degree above [k].
+
+    Forests have degeneracy 1, planar graphs at most 5, treewidth-[k]
+    graphs at most [k]. *)
+
+(** [degeneracy g] is the degeneracy number, [0] for edgeless graphs.
+    Computed in [O(n + m)] by bucketed min-degree peeling. *)
+val degeneracy : Graph.t -> int
+
+(** [elimination_order g] is an ordering [(r_1, ..., r_n)] witnessing
+    [degeneracy g], listed in removal order [r_n] first — i.e. the head
+    is removed first, matching the referee's pruning order. *)
+val elimination_order : Graph.t -> int list
+
+(** [is_elimination_order g ~k order] verifies Definition 2 for removal
+    order [order] (head removed first): every removed vertex must have
+    at most [k] neighbours among the not-yet-removed.
+    @raise Invalid_argument when [order] is not a permutation. *)
+val is_elimination_order : Graph.t -> k:int -> int list -> bool
+
+(** [core_numbers g] assigns each vertex its coreness: [c.(v - 1)] is the
+    largest [j] such that [v] belongs to the [j]-core. *)
+val core_numbers : Graph.t -> int array
+
+(** [generalized_degeneracy g] is the "generalized degeneracy" of the
+    paper's Section III: peel, at every step, a vertex of degree at most
+    [k] either in the remaining graph or in its complement; the
+    smallest [k] for which this empties the graph.  Dense graphs (e.g.
+    complements of forests) get small values. *)
+val generalized_degeneracy : Graph.t -> int
+
+(** [generalized_elimination_order g ~k] is a removal order (head first)
+    witnessing generalized degeneracy at most [k], where each element is
+    [(v, side)] with [side] indicating whether [v] was small-degree in
+    the graph ([`Graph]) or in its complement ([`Complement]).  [None]
+    when the peeling gets stuck. *)
+val generalized_elimination_order :
+  Graph.t -> k:int -> (int * [ `Graph | `Complement ]) list option

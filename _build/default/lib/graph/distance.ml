@@ -1,0 +1,45 @@
+let pairwise g =
+  Array.init (Graph.order g) (fun i -> Traversal.bfs_distances g (i + 1))
+
+let eccentricity g v =
+  let dist = Traversal.bfs_distances g v in
+  Array.fold_left
+    (fun acc d -> if d < 0 then max_int else max acc d)
+    0 dist
+
+let diameter g =
+  let n = Graph.order g in
+  if n = 0 then None
+  else begin
+    let rec go v acc =
+      if v > n then Some acc
+      else begin
+        let e = eccentricity g v in
+        if e = max_int then None else go (v + 1) (max acc e)
+      end
+    in
+    go 1 0
+  end
+
+let radius g =
+  let n = Graph.order g in
+  if n = 0 then None
+  else begin
+    let rec go v acc =
+      if v > n then if acc = max_int then None else Some acc
+      else begin
+        let e = eccentricity g v in
+        if e = max_int then None else go (v + 1) (min acc e)
+      end
+    in
+    go 1 max_int
+  end
+
+let diameter_at_most g d =
+  let n = Graph.order g in
+  let rec go v = v > n || (eccentricity g v <= d && go (v + 1)) in
+  n = 0 || go 1
+
+let distance g u v =
+  let dist = Traversal.bfs_distances g u in
+  if dist.(v - 1) < 0 then None else Some dist.(v - 1)

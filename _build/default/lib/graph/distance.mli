@@ -1,0 +1,27 @@
+(** Hop distances, eccentricities, diameter.
+
+    Theorem 2 of the paper concerns deciding "diameter at most 3" — the
+    gadget experiments check diameters with {!diameter} and the early-exit
+    {!diameter_at_most}. *)
+
+(** [pairwise g] is the distance matrix: entry [(u - 1, v - 1)] is the
+    hop distance, [-1] when disconnected.  [O(n (n + m))]. *)
+val pairwise : Graph.t -> int array array
+
+(** [eccentricity g v] is the largest distance from [v] to a reachable
+    vertex; raises [Invalid_argument] on out-of-range [v]. *)
+val eccentricity : Graph.t -> int -> int
+
+(** [diameter g] is the largest eccentricity; [None] when [g] is
+    disconnected (infinite diameter) or empty. *)
+val diameter : Graph.t -> int option
+
+(** [radius g] is the smallest eccentricity, [None] as for diameter. *)
+val radius : Graph.t -> int option
+
+(** [diameter_at_most g d] decides [diameter <= d] with early exit —
+    disconnected graphs answer [false]. *)
+val diameter_at_most : Graph.t -> int -> bool
+
+(** [distance g u v] is the hop distance, [None] when disconnected. *)
+val distance : Graph.t -> int -> int -> int option

@@ -1,0 +1,35 @@
+let all_edge_slots n =
+  let acc = ref [] in
+  for u = n downto 1 do
+    for v = n downto u + 1 do
+      acc := (u, v) :: !acc
+    done
+  done;
+  !acc
+
+let iter n f =
+  if n < 0 then invalid_arg "Enumerate.iter: negative order";
+  if n > 10 then invalid_arg "Enumerate.iter: order too large to enumerate";
+  let slots = Array.of_list (all_edge_slots n) in
+  let total_masks = 1 lsl Array.length slots in
+  for mask = 0 to total_masks - 1 do
+    let edges = ref [] in
+    Array.iteri (fun i e -> if mask land (1 lsl i) <> 0 then edges := e :: !edges) slots;
+    f (Graph.of_edges n !edges)
+  done
+
+let count n ~where =
+  let acc = ref 0 in
+  iter n (fun g -> if where g then incr acc);
+  !acc
+
+let count_square_free n = count n ~where:(fun g -> not (Cycles.has_square g))
+
+let count_triangle_free n = count n ~where:(fun g -> not (Cycles.has_triangle g))
+
+let count_bipartite_between ~half =
+  let n = 2 * half in
+  count n ~where:(fun g ->
+      let ok = ref true in
+      Graph.iter_edges g (fun u v -> if (u <= half) = (v <= half) then ok := false);
+      !ok)

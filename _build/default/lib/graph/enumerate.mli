@@ -1,0 +1,35 @@
+(** Exhaustive enumeration of labelled graphs on [1..n].
+
+    Lemma 1 of the paper bounds what any frugal one-round protocol can
+    reconstruct by [log g(n) = O(n log n)] where [g(n)] counts the family.
+    These enumerators make the counting argument concrete at small [n]:
+    counting square-free graphs exhibits the [2^Theta(n^{3/2})] growth
+    from Kleitman–Winston that the impossibility proofs lean on.
+
+    There are [2^(n(n-1)/2)] labelled graphs, so [n <= 7] is the practical
+    envelope for full sweeps (2^21 graphs); [n = 8] (2^28) is minutes, not
+    seconds. *)
+
+(** [iter n f] applies [f] to every labelled graph on [1..n], in
+    edge-mask order.
+    @raise Invalid_argument if [n < 0] or [n > 10] (guard against
+    accidental explosion). *)
+val iter : int -> (Graph.t -> unit) -> unit
+
+(** [count n ~where] counts graphs satisfying the predicate. *)
+val count : int -> where:(Graph.t -> bool) -> int
+
+(** [count_square_free n] counts labelled graphs with no 4-cycle. *)
+val count_square_free : int -> int
+
+(** [count_triangle_free n] counts labelled graphs with no triangle. *)
+val count_triangle_free : int -> int
+
+(** [count_bipartite_between ~half] counts the bipartite graphs with fixed
+    parts [{1..half}] and [{half+1..2*half}] — there are [2^(half^2)];
+    used to sanity-check Theorem 3's counting step. *)
+val count_bipartite_between : half:int -> int
+
+(** [all_edge_slots n] is the list of vertex pairs [(u, v)], [u < v], in
+    the mask order used by {!iter}; exposed for tests. *)
+val all_edge_slots : int -> (int * int) list

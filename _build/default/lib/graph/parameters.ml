@@ -1,0 +1,31 @@
+let average_degree g =
+  let n = Graph.order g in
+  if n = 0 then 0.0 else 2.0 *. float_of_int (Graph.size g) /. float_of_int n
+
+let density g =
+  let n = Graph.order g in
+  if n < 2 then 0.0
+  else float_of_int (Graph.size g) /. float_of_int (n * (n - 1) / 2)
+
+let h_index g =
+  let degrees = List.sort (fun a b -> Stdlib.compare b a) (List.map (Graph.degree g) (Graph.vertices g)) in
+  let rec go h = function
+    | d :: rest when d >= h + 1 -> go (h + 1) rest
+    | _ -> h
+  in
+  go 0 degrees
+
+let max_core g =
+  let cores = Degeneracy.core_numbers g in
+  Array.fold_left max 0 cores
+
+let arboricity_bounds g =
+  let d = Degeneracy.degeneracy g in
+  if d = 0 then (0, 0) else (((d + 1) + 1) / 2, d)
+
+let summary g =
+  Printf.sprintf
+    "n=%d m=%d avg-deg=%.2f density=%.3f max-deg=%d h-index=%d degeneracy=%d gen-degeneracy=%d"
+    (Graph.order g) (Graph.size g) (average_degree g) (density g) (Graph.max_degree g)
+    (h_index g) (Degeneracy.degeneracy g)
+    (Degeneracy.generalized_degeneracy g)

@@ -1,0 +1,30 @@
+(** Sparseness parameters around degeneracy.
+
+    The paper situates degeneracy in a hierarchy — forests 1, planar
+    ≤ 5, treewidth-k graphs ≤ k, H-minor-free bounded.  These helpers
+    expose the neighbouring quantities so experiments and the CLI can
+    report where an input sits. *)
+
+(** [average_degree g] is [2m / n]; [0.] for the empty graph. *)
+val average_degree : Graph.t -> float
+
+(** [density g] is [m / (n choose 2)]; [0.] when undefined. *)
+val density : Graph.t -> float
+
+(** [h_index g] is the largest [h] with at least [h] vertices of degree
+    at least [h] — sits between average degree / 2 and max degree, and
+    upper-bounds nothing but is a familiar sparseness proxy. *)
+val h_index : Graph.t -> int
+
+(** [max_core g] is the largest [j] with a non-empty [j]-core — equal to
+    the degeneracy; exposed as a cross-check. *)
+val max_core : Graph.t -> int
+
+(** [arboricity_bounds g] is [(lo, hi)] with
+    [lo = max over computed cores of ceil((j + 1) / 2)]-style bound via
+    degeneracy: [ceil((d + 1) / 2) <= arboricity <= d] for degeneracy
+    [d] (Nash-Williams sandwich).  [(0, 0)] on edgeless graphs. *)
+val arboricity_bounds : Graph.t -> int * int
+
+(** [summary g] is a one-line human-readable parameter report. *)
+val summary : Graph.t -> string

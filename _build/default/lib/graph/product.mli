@@ -1,0 +1,31 @@
+(** Graph products.
+
+    The interconnection topologies the model cares about are mostly
+    products: grids are path products, tori are cycle products, the
+    hypercube is an iterated [K2] product.  Besides generating them
+    uniformly, products give the test suite strong structural oracles
+    ([grid w h = path w □ path h], etc.).
+
+    Vertex [(a, b)] of a product of graphs with [n1] and [n2] vertices
+    is labelled [(b - 1) * n1 + a]. *)
+
+(** [cartesian g h] — edges between [(a,b)] and [(a',b')] when
+    ([a = a'] and [b ~ b']) or ([b = b'] and [a ~ a']). *)
+val cartesian : Graph.t -> Graph.t -> Graph.t
+
+(** [tensor g h] — edges when [a ~ a'] and [b ~ b'] (categorical
+    product). *)
+val tensor : Graph.t -> Graph.t -> Graph.t
+
+(** [strong g h] — union of the two above. *)
+val strong : Graph.t -> Graph.t -> Graph.t
+
+(** [pair_label ~n1 a b] and [unpair_label ~n1 v] convert between
+    coordinates and labels. *)
+val pair_label : n1:int -> int -> int -> int
+
+val unpair_label : n1:int -> int -> int * int
+
+(** [power ~op g d] iterates a product [d - 1] times ([power g 1 = g]).
+    @raise Invalid_argument if [d < 1]. *)
+val power : op:(Graph.t -> Graph.t -> Graph.t) -> Graph.t -> int -> Graph.t

@@ -1,0 +1,15 @@
+let forest_of_edges ~n edges =
+  let uf = Union_find.create n in
+  List.fold_left
+    (fun acc (u, v) ->
+      if u < 1 || u > n || v < 1 || v > n then
+        invalid_arg "Spanning.forest_of_edges: endpoint out of range";
+      if u = v then invalid_arg "Spanning.forest_of_edges: self-loop";
+      if Union_find.union uf (u - 1) (v - 1) then (min u v, max u v) :: acc else acc)
+    [] edges
+  |> List.rev
+
+let spanning_forest g = forest_of_edges ~n:(Graph.order g) (Graph.edges g)
+
+let is_forest g =
+  Graph.size g + Connectivity.component_count g = Graph.order g

@@ -1,0 +1,20 @@
+(** Spanning forests.
+
+    The coalition connectivity protocol (paper's conclusion) rests on the
+    forest-union lemma: if the edge set is partitioned and each class is
+    replaced by a spanning forest of the subgraph it induces, the union
+    preserves connectivity.  {!forest_of_edges} is the per-coalition step;
+    {!spanning_forest} the plain graph version. *)
+
+(** [spanning_forest g] is a maximal cycle-free subset of [g]'s edges
+    ([n - c] edges for [c] components), each as [(u, v)] with [u < v]. *)
+val spanning_forest : Graph.t -> (int * int) list
+
+(** [forest_of_edges ~n edges] computes a spanning forest of the graph on
+    [1..n] whose edge multiset is [edges] (duplicates and either
+    orientation tolerated).
+    @raise Invalid_argument on loops or out-of-range endpoints. *)
+val forest_of_edges : n:int -> (int * int) list -> (int * int) list
+
+(** [is_forest g] tests acyclicity by edge count per component. *)
+val is_forest : Graph.t -> bool

@@ -1,0 +1,83 @@
+(* Backtracking embedding search with degree pruning.  Pattern vertices
+   are assigned in descending-degree order so dense pattern vertices fail
+   fast. *)
+
+let embedding_search ~pattern g ~induced ~on_found =
+  let np = Graph.order pattern and ng = Graph.order g in
+  if np = 0 then on_found [||]
+  else if np <= ng then begin
+    (* Assignment order: pattern vertices by descending degree, ties by
+       connectivity to already-placed vertices (simple static order keeps
+       the code clear; degree order alone prunes well at these sizes). *)
+    let order =
+      List.sort
+        (fun a b -> Stdlib.compare (Graph.degree pattern b) (Graph.degree pattern a))
+        (Graph.vertices pattern)
+      |> Array.of_list
+    in
+    let assignment = Array.make np 0 in
+    (* assignment.(p - 1) = image of pattern vertex p, 0 if unset *)
+    let used = Array.make ng false in
+    let compatible p v =
+      (* All already-assigned pattern neighbours/non-neighbours of p must
+         map consistently. *)
+      Graph.degree pattern p <= Graph.degree g v
+      && List.for_all
+           (fun q ->
+             let img = assignment.(q - 1) in
+             img = 0 || Graph.has_edge g v img)
+           (Graph.neighbors pattern p)
+      && ((not induced)
+         ||
+         let ok = ref true in
+         for q = 1 to np do
+           let img = assignment.(q - 1) in
+           if img <> 0 && q <> p && (not (Graph.has_edge pattern p q)) && Graph.has_edge g v img
+           then ok := false
+         done;
+         !ok)
+    in
+    let rec place idx =
+      if idx >= np then on_found (Array.copy assignment)
+      else begin
+        let p = order.(idx) in
+        for v = 1 to ng do
+          if (not used.(v - 1)) && compatible p v then begin
+            assignment.(p - 1) <- v;
+            used.(v - 1) <- true;
+            place (idx + 1);
+            assignment.(p - 1) <- 0;
+            used.(v - 1) <- false
+          end
+        done
+      end
+    in
+    place 0
+  end
+
+exception Found of int array
+
+let find ~pattern g =
+  match embedding_search ~pattern g ~induced:false ~on_found:(fun a -> raise (Found a)) with
+  | () -> None
+  | exception Found a -> Some a
+
+let contains ~pattern g = find ~pattern g <> None
+
+let count ~pattern g =
+  let acc = ref 0 in
+  embedding_search ~pattern g ~induced:false ~on_found:(fun _ -> incr acc);
+  !acc
+
+let induced_contains ~pattern g =
+  match embedding_search ~pattern g ~induced:true ~on_found:(fun a -> raise (Found a)) with
+  | () -> false
+  | exception Found _ -> true
+
+let path_pattern n = Generators.path n
+
+let cycle_pattern n = Generators.cycle n
+
+let clique_pattern n = Generators.complete n
+
+let star_pattern n = Generators.star n

@@ -1,0 +1,33 @@
+(** Generic (not necessarily induced) subgraph containment.
+
+    Section II of the paper opens with the general question "does [G]
+    admit [S] as a subgraph?" and proves hardness for two instances
+    (squares, triangles).  This module decides the question for any
+    small pattern by backtracking, so experiments can sweep over
+    patterns and tests can cross-check the specialized detectors in
+    {!Cycles}. *)
+
+(** [contains ~pattern g] is true when some injective map from the
+    pattern's vertices to [g]'s vertices sends every pattern edge to an
+    edge of [g].  Exponential in [order pattern]; intended for patterns
+    of at most ~8 vertices. *)
+val contains : pattern:Graph.t -> Graph.t -> bool
+
+(** [find ~pattern g] returns a witness embedding: position [i - 1]
+    holds the [g]-vertex that pattern vertex [i] maps to. *)
+val find : pattern:Graph.t -> Graph.t -> int array option
+
+(** [count ~pattern g] counts the injective embeddings (labelled copies
+    — every automorphism of the pattern is counted separately). *)
+val count : pattern:Graph.t -> Graph.t -> int
+
+(** [induced_contains ~pattern g] requires non-edges to map to
+    non-edges as well (induced containment). *)
+val induced_contains : pattern:Graph.t -> Graph.t -> bool
+
+(** Common patterns, for convenience and the hardness sweep. *)
+val path_pattern : int -> Graph.t
+
+val cycle_pattern : int -> Graph.t
+val clique_pattern : int -> Graph.t
+val star_pattern : int -> Graph.t

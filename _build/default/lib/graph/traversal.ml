@@ -1,0 +1,45 @@
+let bfs_visit g src ~on_edge =
+  let n = Graph.order g in
+  if src < 1 || src > n then invalid_arg "Traversal: source out of range";
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src - 1) <- 0;
+  Queue.add src queue;
+  let order = ref [ src ] in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if dist.(v - 1) < 0 then begin
+          dist.(v - 1) <- dist.(u - 1) + 1;
+          on_edge u v;
+          order := v :: !order;
+          Queue.add v queue
+        end)
+      (Graph.neighbors g u)
+  done;
+  (dist, List.rev !order)
+
+let bfs_distances g src = fst (bfs_visit g src ~on_edge:(fun _ _ -> ()))
+
+let bfs_order g src = snd (bfs_visit g src ~on_edge:(fun _ _ -> ()))
+
+let bfs_tree g src =
+  let acc = ref [] in
+  let _ = bfs_visit g src ~on_edge:(fun u v -> acc := (u, v) :: !acc) in
+  List.rev !acc
+
+let dfs_order g src =
+  let n = Graph.order g in
+  if src < 1 || src > n then invalid_arg "Traversal: source out of range";
+  let seen = Array.make n false in
+  let order = ref [] in
+  let rec go v =
+    if not seen.(v - 1) then begin
+      seen.(v - 1) <- true;
+      order := v :: !order;
+      List.iter go (Graph.neighbors g v)
+    end
+  in
+  go src;
+  List.rev !order

@@ -1,0 +1,17 @@
+(** Breadth-first and depth-first traversal. *)
+
+(** [bfs_distances g src] is an array [d] with [d.(v - 1)] the hop
+    distance from [src] to [v], or [-1] when unreachable.
+    @raise Invalid_argument if [src] is out of range. *)
+val bfs_distances : Graph.t -> int -> int array
+
+(** [bfs_order g src] is the list of vertices reachable from [src] in
+    visit order, starting with [src]. *)
+val bfs_order : Graph.t -> int -> int list
+
+(** [bfs_tree g src] is the list of tree edges [(parent, child)]
+    discovered by the BFS. *)
+val bfs_tree : Graph.t -> int -> (int * int) list
+
+(** [dfs_order g src] is the preorder of the DFS from [src]. *)
+val dfs_order : Graph.t -> int -> int list

@@ -1,0 +1,79 @@
+(* Subset DP over elimination orders, with bitmask adjacency.  All sets
+   are int masks over bits 0..n-1 (vertex v <-> bit v-1). *)
+
+let adjacency_masks g =
+  let n = Graph.order g in
+  Array.init n (fun i ->
+      List.fold_left (fun acc u -> acc lor (1 lsl (u - 1))) 0 (Graph.neighbors g (i + 1)))
+
+let popcount =
+  let rec go acc m = if m = 0 then acc else go (acc + 1) (m land (m - 1)) in
+  fun m -> go 0 m
+
+(* Vertices outside [s] (and /= v) reachable from v through s only. *)
+let cost_mask adj s v =
+  let self = 1 lsl (v - 1) in
+  let rec go visited frontier =
+    if frontier = 0 then visited
+    else begin
+      let visited = visited lor frontier in
+      (* Only frontier vertices inside the eliminated set conduct. *)
+      let conduct = frontier land s in
+      let expand = ref 0 in
+      let m = ref conduct in
+      while !m <> 0 do
+        let bit = !m land - !m in
+        let w = popcount (bit - 1) in
+        expand := !expand lor adj.(w);
+        m := !m land lnot bit
+      done;
+      go visited (!expand land lnot visited)
+    end
+  in
+  let visited = go self adj.(v - 1) in
+  popcount (visited land lnot s land lnot self)
+
+let elimination_cost g ~eliminated v =
+  let adj = adjacency_masks g in
+  let s = List.fold_left (fun acc u -> acc lor (1 lsl (u - 1))) 0 eliminated in
+  if s land (1 lsl (v - 1)) <> 0 then
+    invalid_arg "Treewidth.elimination_cost: vertex already eliminated";
+  cost_mask adj s v
+
+let width_of_order g order =
+  let adj = adjacency_masks g in
+  let s = ref 0 and worst = ref 0 in
+  List.iter
+    (fun v ->
+      worst := max !worst (cost_mask adj !s v);
+      s := !s lor (1 lsl (v - 1)))
+    order;
+  !worst
+
+let treewidth g =
+  let n = Graph.order g in
+  if n > 22 then invalid_arg "Treewidth.treewidth: order above the 2^n DP guard";
+  if n = 0 then 0
+  else begin
+    let adj = adjacency_masks g in
+    let size = 1 lsl n in
+    let tw = Bytes.make size '\000' in
+    (* tw.(s) = minimal width of an order eliminating exactly the set s
+       first; widths fit a byte for n <= 22. *)
+    for s = 1 to size - 1 do
+      let best = ref max_int in
+      let m = ref s in
+      while !m <> 0 do
+        let bit = !m land - !m in
+        let v = popcount (bit - 1) + 1 in
+        let rest = s land lnot bit in
+        let candidate =
+          max (Char.code (Bytes.get tw rest)) (cost_mask adj rest v)
+        in
+        if candidate < !best then best := candidate;
+        m := !m land lnot bit
+      done;
+      Bytes.set tw s (Char.chr !best)
+    done;
+    Char.code (Bytes.get tw (size - 1))
+  end

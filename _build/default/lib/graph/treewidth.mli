@@ -1,0 +1,30 @@
+(** Exact treewidth of small graphs.
+
+    The paper places degeneracy below treewidth ("the degeneracy of a
+    graph is upper bounded by its treewidth") and motivates the
+    degeneracy protocol through treewidth-bounded classes.  This module
+    computes exact treewidth by the elimination-order dynamic program of
+    Bodlaender–Fomin–Koster–Kratsch–Thilikos over vertex subsets
+    ([O(2^n · n^2)] time and [O(2^n)] space), so tests and experiments
+    can verify those relationships on concrete graphs.
+
+    For a set [S] of already-eliminated vertices and a next victim [v],
+    the cost of eliminating [v] is the number of vertices outside
+    [S ∪ {v}] reachable from [v] through [S] — exactly [v]'s degree in
+    the graph where [S] has been eliminated with fill-in. *)
+
+(** [treewidth g] — exact.  Guarded to [order g <= 22] (the table has
+    [2^n] entries).
+    @raise Invalid_argument beyond the guard. *)
+val treewidth : Graph.t -> int
+
+(** [elimination_cost g ~eliminated v] is the DP's step cost: the number
+    of vertices outside [eliminated] and different from [v] reachable
+    from [v] using intermediate vertices taken only from [eliminated].
+    Exposed for tests. *)
+val elimination_cost : Graph.t -> eliminated:int list -> int -> int
+
+(** [width_of_order g order] is the width of a concrete elimination
+    order (head eliminated first): the max step cost.  Any order's width
+    upper-bounds the treewidth, with equality for some order. *)
+val width_of_order : Graph.t -> int list -> int

@@ -1,0 +1,27 @@
+type t = { parent : int array; rank : int array; mutable sets : int }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0; sets = n }
+
+let rec find u i =
+  let p = u.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find u p in
+    u.parent.(i) <- root;
+    root
+  end
+
+let union u i j =
+  let ri = find u i and rj = find u j in
+  if ri = rj then false
+  else begin
+    let ri, rj = if u.rank.(ri) < u.rank.(rj) then (rj, ri) else (ri, rj) in
+    u.parent.(rj) <- ri;
+    if u.rank.(ri) = u.rank.(rj) then u.rank.(ri) <- u.rank.(ri) + 1;
+    u.sets <- u.sets - 1;
+    true
+  end
+
+let same u i j = find u i = find u j
+
+let count u = u.sets

@@ -1,0 +1,19 @@
+(** Disjoint-set forest with union by rank and path compression. *)
+
+type t
+
+(** [create n] has singletons [0..n-1]. *)
+val create : int -> t
+
+(** [find u i] is the representative of [i]'s set. *)
+val find : t -> int -> int
+
+(** [union u i j] merges the sets of [i] and [j]; returns [true] when the
+    sets were distinct. *)
+val union : t -> int -> int -> bool
+
+(** [same u i j] tests whether [i] and [j] share a set. *)
+val same : t -> int -> int -> bool
+
+(** [count u] is the current number of sets. *)
+val count : t -> int

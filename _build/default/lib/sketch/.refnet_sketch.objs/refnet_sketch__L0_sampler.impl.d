@@ -1,0 +1,1 @@
+lib/sketch/l0_sampler.ml: Array Field Hash One_sparse Random

@@ -1,0 +1,1 @@
+lib/sketch/one_sparse.ml: Codes Field Refnet_bits

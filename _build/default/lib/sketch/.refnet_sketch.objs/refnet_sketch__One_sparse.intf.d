@@ -1,0 +1,1 @@
+lib/sketch/one_sparse.mli: Refnet_bits

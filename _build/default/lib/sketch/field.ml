@@ -1,0 +1,33 @@
+type t = int
+
+let p = (1 lsl 31) - 1
+
+let of_int v =
+  let r = v mod p in
+  if r < 0 then r + p else r
+
+let zero = 0
+let one = 1
+
+let add a b =
+  let s = a + b in
+  if s >= p then s - p else s
+
+let sub a b = if a >= b then a - b else a + p - b
+
+let neg a = if a = 0 then 0 else p - a
+
+(* a, b < 2^31 so a * b < 2^62 fits. *)
+let mul a b = a * b mod p
+
+let pow b e =
+  if e < 0 then invalid_arg "Field.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else go (if e land 1 = 1 then mul acc b else acc) (mul b b) (e lsr 1)
+  in
+  go one b e
+
+let inv x = if x = 0 then raise Division_by_zero else pow x (p - 2)
+
+let equal (a : int) (b : int) = a = b

@@ -1,0 +1,25 @@
+(** Seeded pairwise-independent hash functions over GF(2^31 - 1).
+
+    [h(x) = a x + b mod p] with [(a, b)] drawn from the seed.  Public
+    randomness in the sketching protocol is exactly a shared seed: every
+    node derives the same hash functions from it, which is what makes
+    the node sketches summable at the referee. *)
+
+type t
+
+(** [create rng] draws [a <> 0] and [b]. *)
+val create : Random.State.t -> t
+
+(** [apply h x] for [x >= 0]. *)
+val apply : t -> int -> int
+
+(** [level h x ~max_level] is the sub-sampling level of [x]: the number
+    of low-order zero bits of [apply h x], capped at [max_level].  Item
+    [x] participates in levels [0 .. level]; a uniform hash lands at
+    level [j] with probability about [2^-j]. *)
+val level : t -> int -> max_level:int -> int
+
+(** [seed_family ~seed ~count] derives [count] independent hash
+    functions deterministically from an integer seed — the protocol's
+    public coin tape. *)
+val seed_family : seed:int -> count:int -> t array

@@ -1,0 +1,1 @@
+test/test_bipartite.ml: Alcotest Bipartite Connectivity Generators Graph Hashtbl List QCheck2 QCheck_alcotest Random Refnet_graph

@@ -1,0 +1,1 @@
+test/test_bipartite_reduction.ml: Alcotest Bipartite Connectivity Core Generators Graph List QCheck2 QCheck_alcotest Random Refnet_graph

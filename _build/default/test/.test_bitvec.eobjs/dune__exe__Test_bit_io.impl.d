@@ -1,0 +1,1 @@
+test/test_bit_io.ml: Alcotest Bit_reader Bit_writer Bitvec Codes List Printf QCheck2 QCheck_alcotest Refnet_bits

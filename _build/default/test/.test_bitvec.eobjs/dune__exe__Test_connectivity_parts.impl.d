@@ -1,0 +1,1 @@
+test/test_connectivity_parts.ml: Alcotest Array Connectivity Core Generators Graph List Printf QCheck2 QCheck_alcotest Random Refnet_graph

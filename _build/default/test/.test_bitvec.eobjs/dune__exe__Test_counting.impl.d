@@ -1,0 +1,1 @@
+test/test_counting.ml: Alcotest Core Float List

@@ -1,0 +1,1 @@
+test/test_cycles.ml: Alcotest Cycles Generators Graph List QCheck2 QCheck_alcotest Random Refnet_graph

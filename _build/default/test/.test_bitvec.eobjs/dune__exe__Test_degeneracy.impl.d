@@ -1,0 +1,1 @@
+test/test_degeneracy.ml: Alcotest Array Degeneracy Generators Graph Hashtbl List QCheck2 QCheck_alcotest Random Refnet_graph

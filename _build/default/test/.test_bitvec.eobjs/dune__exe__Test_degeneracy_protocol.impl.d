@@ -1,0 +1,1 @@
+test/test_degeneracy_protocol.ml: Alcotest Core Degeneracy Generators Graph List QCheck2 QCheck_alcotest Random Refnet_algebra Refnet_graph

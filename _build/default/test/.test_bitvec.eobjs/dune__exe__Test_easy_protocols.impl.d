@@ -1,0 +1,1 @@
+test/test_easy_protocols.ml: Alcotest Core Generators Graph List QCheck2 QCheck_alcotest Random Refnet_graph

@@ -1,0 +1,1 @@
+test/test_easy_protocols.mli:

@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Alcotest Connectivity Cycles Enumerate Gio Hashtbl List Printf Refnet_graph Spanning

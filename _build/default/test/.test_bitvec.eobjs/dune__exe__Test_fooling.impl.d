@@ -1,0 +1,1 @@
+test/test_fooling.ml: Alcotest Array Core Cycles Degeneracy Enumerate Generators Graph List Printf QCheck2 QCheck_alcotest Refnet_graph

@@ -1,0 +1,1 @@
+test/test_forest_protocol.ml: Alcotest Core Cycles Generators Graph List QCheck2 QCheck_alcotest Random Refnet_graph

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Bitvec Core Generators Graph Hashtbl List Printexc Random Refnet_bits Refnet_graph Spanning

@@ -1,0 +1,1 @@
+test/test_gadgets.ml: Alcotest Core Cycles Distance Generators Graph List Printf QCheck2 QCheck_alcotest Random Refnet_graph

@@ -1,0 +1,1 @@
+test/test_generators.ml: Alcotest Bipartite Connectivity Cycles Degeneracy Distance Generators Graph List Printf Random Refnet_graph Spanning

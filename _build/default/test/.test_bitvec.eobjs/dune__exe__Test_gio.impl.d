@@ -1,0 +1,1 @@
+test/test_gio.ml: Alcotest Generators Gio Graph List QCheck2 QCheck_alcotest Random Refnet_graph String

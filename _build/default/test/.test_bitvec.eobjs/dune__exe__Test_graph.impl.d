@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bitvec Graph List QCheck2 QCheck_alcotest Refnet_bits Refnet_graph

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Bit_reader Bit_writer Codes Core Generators Graph List Nat QCheck2 QCheck_alcotest Random Refnet_bigint Refnet_bits Refnet_graph

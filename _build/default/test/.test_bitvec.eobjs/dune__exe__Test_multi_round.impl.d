@@ -1,0 +1,1 @@
+test/test_multi_round.ml: Alcotest Array Core Degeneracy Generators Graph List QCheck2 QCheck_alcotest Random Refnet_graph

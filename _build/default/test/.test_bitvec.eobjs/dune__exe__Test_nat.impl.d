@@ -1,0 +1,1 @@
+test/test_nat.ml: Alcotest List Nat QCheck2 QCheck_alcotest Refnet_bigint String

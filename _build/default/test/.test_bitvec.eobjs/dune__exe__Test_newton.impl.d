@@ -1,0 +1,1 @@
+test/test_newton.ml: Alcotest Bigint Fmt List Newton Poly Printf QCheck2 QCheck_alcotest Refnet_algebra Refnet_bigint

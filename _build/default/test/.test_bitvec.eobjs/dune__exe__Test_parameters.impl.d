@@ -1,0 +1,1 @@
+test/test_parameters.ml: Alcotest Degeneracy Generators Graph List Parameters Refnet_graph String

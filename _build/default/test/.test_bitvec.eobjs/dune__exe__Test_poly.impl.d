@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Array Bigint List Poly Printf QCheck2 QCheck_alcotest Refnet_algebra Refnet_bigint

@@ -1,0 +1,1 @@
+test/test_power_sum.ml: Alcotest Array List Nat Power_sum Printf QCheck2 QCheck_alcotest Refnet_algebra Refnet_bigint String Vandermonde

@@ -1,0 +1,1 @@
+test/test_product.ml: Alcotest Bipartite Connectivity Core Degeneracy Distance Generators Graph List Printf Product QCheck2 QCheck_alcotest Random Refnet_graph

@@ -1,0 +1,1 @@
+test/test_protocol_search.ml: Alcotest Connectivity Core Cycles Enumerate List Refnet_graph Spanning

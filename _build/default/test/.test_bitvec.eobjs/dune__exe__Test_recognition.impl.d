@@ -1,0 +1,1 @@
+test/test_recognition.ml: Alcotest Connectivity Core Degeneracy Generators Graph List QCheck2 QCheck_alcotest Random Refnet_graph

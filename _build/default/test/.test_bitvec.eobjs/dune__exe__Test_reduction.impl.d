@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Core Cycles Generators Graph List QCheck2 QCheck_alcotest Random Refnet_graph

@@ -1,0 +1,1 @@
+test/test_sketch.ml: Alcotest Array Field Hash L0_sampler List One_sparse QCheck2 QCheck_alcotest Random Refnet_bits Refnet_sketch

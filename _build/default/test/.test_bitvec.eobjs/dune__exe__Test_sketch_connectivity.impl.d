@@ -1,0 +1,1 @@
+test/test_sketch_connectivity.ml: Alcotest Connectivity Core Generators Graph List Printf QCheck2 QCheck_alcotest Random Refnet_graph

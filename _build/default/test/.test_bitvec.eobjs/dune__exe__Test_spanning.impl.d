@@ -1,0 +1,1 @@
+test/test_spanning.ml: Alcotest Array Connectivity Generators Graph List QCheck2 QCheck_alcotest Random Refnet_graph Spanning Union_find

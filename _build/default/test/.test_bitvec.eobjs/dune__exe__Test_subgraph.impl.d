@@ -1,0 +1,1 @@
+test/test_subgraph.ml: Alcotest Array Cycles Generators Graph List Printf QCheck2 QCheck_alcotest Random Refnet_graph Subgraph

@@ -1,0 +1,1 @@
+test/test_traversal.ml: Alcotest Array Connectivity Distance Generators Graph List QCheck2 QCheck_alcotest Random Refnet_graph Traversal

@@ -1,0 +1,1 @@
+test/test_treewidth.ml: Alcotest Cycles Degeneracy Generators Graph List Printf QCheck2 QCheck_alcotest Random Refnet_graph Treewidth

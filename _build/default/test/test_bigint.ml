@@ -1,0 +1,117 @@
+open Refnet_bigint
+
+let big = Alcotest.testable (fun fmt n -> Bigint.pp fmt n) Bigint.equal
+
+let of_i = Bigint.of_int
+
+let test_signs () =
+  Alcotest.(check int) "pos" 1 (Bigint.sign (of_i 5));
+  Alcotest.(check int) "neg" (-1) (Bigint.sign (of_i (-5)));
+  Alcotest.(check int) "zero" 0 (Bigint.sign Bigint.zero);
+  Alcotest.check big "neg" (of_i (-5)) (Bigint.neg (of_i 5));
+  Alcotest.check big "abs" (of_i 5) (Bigint.abs (of_i (-5)))
+
+let test_add_mixed_signs () =
+  Alcotest.check big "3 + -5" (of_i (-2)) (Bigint.add (of_i 3) (of_i (-5)));
+  Alcotest.check big "-3 + 5" (of_i 2) (Bigint.add (of_i (-3)) (of_i 5));
+  Alcotest.check big "-3 + -5" (of_i (-8)) (Bigint.add (of_i (-3)) (of_i (-5)));
+  Alcotest.check big "5 + -5" Bigint.zero (Bigint.add (of_i 5) (of_i (-5)))
+
+let test_sub () =
+  Alcotest.check big "3 - 5" (of_i (-2)) (Bigint.sub (of_i 3) (of_i 5));
+  Alcotest.check big "-3 - -5" (of_i 2) (Bigint.sub (of_i (-3)) (of_i (-5)))
+
+let test_mul_signs () =
+  Alcotest.check big "-3 * 5" (of_i (-15)) (Bigint.mul (of_i (-3)) (of_i 5));
+  Alcotest.check big "-3 * -5" (of_i 15) (Bigint.mul (of_i (-3)) (of_i (-5)));
+  Alcotest.check big "0 * -5" Bigint.zero (Bigint.mul Bigint.zero (of_i (-5)))
+
+let test_divmod_truncation () =
+  (* Matches OCaml's native / and mod on all sign combinations. *)
+  List.iter
+    (fun (a, b) ->
+      let q, r = Bigint.divmod (of_i a) (of_i b) in
+      Alcotest.check big (Printf.sprintf "%d / %d" a b) (of_i (a / b)) q;
+      Alcotest.check big (Printf.sprintf "%d mod %d" a b) (of_i (a mod b)) r)
+    [ (7, 2); (-7, 2); (7, -2); (-7, -2); (6, 3); (-6, 3) ]
+
+let test_div_exact () =
+  Alcotest.check big "exact" (of_i (-4)) (Bigint.div_exact (of_i 12) (of_i (-3)));
+  Alcotest.check_raises "inexact" (Invalid_argument "Bigint.div_exact: inexact division")
+    (fun () -> ignore (Bigint.div_exact (of_i 7) (of_i 2)))
+
+let test_pow () =
+  Alcotest.check big "(-2)^3" (of_i (-8)) (Bigint.pow (of_i (-2)) 3);
+  Alcotest.check big "(-2)^4" (of_i 16) (Bigint.pow (of_i (-2)) 4);
+  Alcotest.check big "0^0" Bigint.one (Bigint.pow Bigint.zero 0)
+
+let test_string () =
+  Alcotest.(check string) "neg" "-123456789012345678901" (Bigint.to_string (Bigint.of_string "-123456789012345678901"));
+  Alcotest.check big "roundtrip" (of_i (-42)) (Bigint.of_string "-42")
+
+let test_compare () =
+  Alcotest.(check bool) "-5 < 3" true (Bigint.compare (of_i (-5)) (of_i 3) < 0);
+  Alcotest.(check bool) "-5 < -3" true (Bigint.compare (of_i (-5)) (of_i (-3)) < 0);
+  Alcotest.(check bool) "5 > 3" true (Bigint.compare (of_i 5) (of_i 3) > 0)
+
+let test_nat_embedding () =
+  Alcotest.check big "of_nat" (of_i 9) (Bigint.of_nat (Nat.of_int 9));
+  Alcotest.(check string) "to_nat" "9" (Nat.to_string (Bigint.to_nat (of_i 9)));
+  Alcotest.check_raises "to_nat negative" (Invalid_argument "Bigint.to_nat: negative")
+    (fun () -> ignore (Bigint.to_nat (of_i (-1))))
+
+let gen_big =
+  QCheck2.Gen.(
+    map
+      (fun (s, a, b) ->
+        let v =
+          Bigint.add
+            (Bigint.mul (of_i a) (Bigint.pow (of_i 2) 50))
+            (of_i b)
+        in
+        if s then v else Bigint.neg v)
+      (triple bool (int_bound 1_000_000) (int_bound 1_000_000)))
+
+let prop_ring_distributes =
+  QCheck2.Test.make ~name:"a(b+c) = ab+ac (signed)" ~count:300
+    (QCheck2.Gen.triple gen_big gen_big gen_big) (fun (a, b, c) ->
+      Bigint.equal (Bigint.mul a (Bigint.add b c))
+        (Bigint.add (Bigint.mul a b) (Bigint.mul a c)))
+
+let prop_divmod =
+  QCheck2.Test.make ~name:"a = qb + r, |r| < |b|, sign r = sign a" ~count:300
+    (QCheck2.Gen.pair gen_big gen_big) (fun (a, b) ->
+      QCheck2.assume (not (Bigint.is_zero b));
+      let q, r = Bigint.divmod a b in
+      Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+      && Bigint.compare (Bigint.abs r) (Bigint.abs b) < 0
+      && (Bigint.is_zero r || Bigint.sign r = Bigint.sign a))
+
+let prop_neg_involutive =
+  QCheck2.Test.make ~name:"neg (neg a) = a" ~count:300 gen_big (fun a ->
+      Bigint.equal a (Bigint.neg (Bigint.neg a)))
+
+let prop_string_roundtrip =
+  QCheck2.Test.make ~name:"decimal roundtrip (signed)" ~count:300 gen_big (fun a ->
+      Bigint.equal a (Bigint.of_string (Bigint.to_string a)))
+
+let () =
+  Alcotest.run "bigint"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "signs" `Quick test_signs;
+          Alcotest.test_case "add mixed signs" `Quick test_add_mixed_signs;
+          Alcotest.test_case "sub" `Quick test_sub;
+          Alcotest.test_case "mul signs" `Quick test_mul_signs;
+          Alcotest.test_case "divmod truncates like native" `Quick test_divmod_truncation;
+          Alcotest.test_case "div_exact" `Quick test_div_exact;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "strings" `Quick test_string;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "nat embedding" `Quick test_nat_embedding;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_ring_distributes; prop_divmod; prop_neg_involutive; prop_string_roundtrip ] );
+    ]

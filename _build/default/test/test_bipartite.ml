@@ -1,0 +1,94 @@
+open Refnet_graph
+
+let test_bipartition_path () =
+  match Bipartite.bipartition (Generators.path 4) with
+  | None -> Alcotest.fail "path is bipartite"
+  | Some (a, b) ->
+    Alcotest.(check (list int)) "evens/odds" [ 1; 3 ] a;
+    Alcotest.(check (list int)) "other side" [ 2; 4 ] b
+
+let test_even_cycle () =
+  Alcotest.(check bool) "C6" true (Bipartite.is_bipartite (Generators.cycle 6));
+  Alcotest.(check bool) "C7" false (Bipartite.is_bipartite (Generators.cycle 7))
+
+let test_disconnected () =
+  let g = Graph.of_edges 6 [ (1, 2); (4, 5); (5, 6); (6, 4) ] in
+  Alcotest.(check bool) "odd component poisons" false (Bipartite.is_bipartite g);
+  let h = Graph.of_edges 5 [ (1, 2); (4, 5) ] in
+  Alcotest.(check bool) "all even" true (Bipartite.is_bipartite h)
+
+let test_known_families () =
+  Alcotest.(check bool) "K34" true (Bipartite.is_bipartite (Generators.complete_bipartite 3 4));
+  Alcotest.(check bool) "grid" true (Bipartite.is_bipartite (Generators.grid 5 4));
+  Alcotest.(check bool) "hypercube" true (Bipartite.is_bipartite (Generators.hypercube 5));
+  Alcotest.(check bool) "K4" false (Bipartite.is_bipartite (Generators.complete 4));
+  Alcotest.(check bool) "petersen" false (Bipartite.is_bipartite (Generators.petersen ()))
+
+let test_empty () =
+  Alcotest.(check bool) "empty" true (Bipartite.is_bipartite (Graph.empty 0));
+  Alcotest.(check bool) "edgeless" true (Bipartite.is_bipartite (Graph.empty 5))
+
+let test_respects_parts () =
+  let g = Generators.complete_bipartite 2 2 in
+  Alcotest.(check bool) "yes" true (Bipartite.respects_parts g ~left:[ 1; 2 ] ~right:[ 3; 4 ]);
+  Alcotest.(check bool) "no" false (Bipartite.respects_parts g ~left:[ 1; 3 ] ~right:[ 2; 4 ]);
+  Alcotest.check_raises "bad partition"
+    (Invalid_argument "Bipartite.respects_parts: not a partition") (fun () ->
+      ignore (Bipartite.respects_parts g ~left:[ 1 ] ~right:[ 3; 4 ]))
+
+let gen_bipartite =
+  QCheck2.Gen.(
+    bind (pair (int_range 1 10) (int_range 1 10)) (fun (l, r) ->
+        map
+          (fun seed ->
+            (l, Refnet_graph.Generators.random_bipartite (Random.State.make [| seed |]) ~left:l ~right:r 0.4))
+          int))
+
+let prop_generated_bipartite_accepted =
+  QCheck2.Test.make ~name:"random bipartite graphs pass" ~count:200 gen_bipartite
+    (fun (_, g) -> Bipartite.is_bipartite g)
+
+let prop_coloring_valid =
+  QCheck2.Test.make ~name:"returned bipartition is a proper 2-colouring" ~count:200
+    gen_bipartite (fun (_, g) ->
+      match Bipartite.bipartition g with
+      | None -> false
+      | Some (a, b) ->
+        let side = Hashtbl.create 16 in
+        List.iter (fun v -> Hashtbl.replace side v 0) a;
+        List.iter (fun v -> Hashtbl.replace side v 1) b;
+        let ok = ref (List.length a + List.length b = Graph.order g) in
+        Graph.iter_edges g (fun u v ->
+            if Hashtbl.find side u = Hashtbl.find side v then ok := false);
+        !ok)
+
+let prop_odd_cycle_rejected =
+  QCheck2.Test.make ~name:"adding an odd chord inside one part breaks bipartiteness" ~count:100
+    gen_bipartite (fun (l, g) ->
+      QCheck2.assume (l >= 2);
+      let g' = Graph.add_edges g [ (1, 2) ] in
+      (* 1 and 2 are on the same side; any 2-colouring must now fail
+         whenever they are connected through the bipartite part... the
+         direct edge alone already forces them apart, so the original
+         bipartition is invalid; is_bipartite may still succeed only if a
+         different valid colouring exists, which requires 1 and 2 to be in
+         different components of g. *)
+      if Connectivity.same_component g 1 2 then not (Bipartite.is_bipartite g')
+      else true)
+
+let () =
+  Alcotest.run "bipartite"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "path bipartition" `Quick test_bipartition_path;
+          Alcotest.test_case "even/odd cycles" `Quick test_even_cycle;
+          Alcotest.test_case "disconnected" `Quick test_disconnected;
+          Alcotest.test_case "known families" `Quick test_known_families;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "respects_parts" `Quick test_respects_parts;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_generated_bipartite_accepted; prop_coloring_valid; prop_odd_cycle_rejected ] );
+    ]

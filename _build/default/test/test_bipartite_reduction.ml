@@ -1,0 +1,104 @@
+open Refnet_graph
+
+let halves n =
+  let half = n / 2 in
+  (List.init half (fun i -> i + 1), List.init (n - half) (fun i -> half + i + 1))
+
+let decide g =
+  let n = Graph.order g in
+  let left, right = halves n in
+  let delta =
+    Core.Bipartite_reduction.connectivity ~oracle:Core.Bipartite_reduction.bipartiteness_oracle
+      ~left ~right
+  in
+  fst (Core.Simulator.run delta g)
+
+let test_gadget_shape () =
+  let g = Generators.complete_bipartite 2 2 in
+  let g' = Core.Bipartite_reduction.odd_cycle_gadget g 1 2 in
+  Alcotest.(check int) "order + 2" 6 (Graph.order g');
+  Alcotest.(check bool) "bridge 1" true (Graph.has_edge g' 1 5);
+  Alcotest.(check bool) "bridge mid" true (Graph.has_edge g' 5 6);
+  Alcotest.(check bool) "bridge 2" true (Graph.has_edge g' 6 2)
+
+let test_gadget_parity () =
+  (* Same-class pair, connected -> odd cycle; disconnected -> bipartite. *)
+  let g = Graph.of_edges 6 [ (1, 4); (2, 4); (3, 6) ] in
+  (* classes {1,2,3} / {4,5,6}: 1 and 2 connected through 4; 3 apart. *)
+  Alcotest.(check bool) "connected pair breaks bipartiteness" false
+    (Bipartite.is_bipartite (Core.Bipartite_reduction.odd_cycle_gadget g 1 2));
+  Alcotest.(check bool) "disconnected pair stays bipartite" true
+    (Bipartite.is_bipartite (Core.Bipartite_reduction.odd_cycle_gadget g 1 3))
+
+let test_connected_bipartite () =
+  Alcotest.(check bool) "K33" true (decide (Generators.complete_bipartite 3 3));
+  let r = Random.State.make [| 5 |] in
+  let g = Generators.random_bipartite r ~left:5 ~right:5 0.6 in
+  Alcotest.(check bool) "dense random bipartite" (Connectivity.is_connected g) (decide g)
+
+let test_disconnected_bipartite () =
+  (* Two disjoint K22-style blocks laid out to respect halves
+     {1..4} / {5..8}: block A = {1,2}x{5,6}, block B = {3,4}x{7,8}. *)
+  let g = Graph.of_edges 8 [ (1, 5); (2, 6); (1, 6); (3, 7); (4, 8); (3, 8) ] in
+  Alcotest.(check bool) "two blocks" false (decide g);
+  Alcotest.(check bool) "isolated vertex" false
+    (decide (Graph.of_edges 6 [ (1, 4); (2, 4); (2, 5); (3, 5) ] |> fun g ->
+             Graph.add_vertices g 0))
+
+let test_small_cases () =
+  Alcotest.(check bool) "empty" true (decide (Graph.empty 0));
+  Alcotest.(check bool) "singleton" true (decide (Graph.empty 1));
+  Alcotest.(check bool) "one edge" true (decide (Graph.of_edges 2 [ (1, 2) ]));
+  Alcotest.(check bool) "two isolated" false (decide (Graph.empty 2))
+
+let test_blowup_is_three_messages () =
+  let n = 10 in
+  let g = Generators.random_bipartite (Random.State.make [| 7 |]) ~left:5 ~right:5 0.5 in
+  let left, right = halves n in
+  let delta =
+    Core.Bipartite_reduction.connectivity ~oracle:Core.Bipartite_reduction.bipartiteness_oracle
+      ~left ~right
+  in
+  let _, t = Core.Simulator.run delta g in
+  (* Three (n+2)-bit oracle messages + framing + degree header. *)
+  Alcotest.(check bool) "at least 3 x (n+2)" true (t.Core.Simulator.max_bits >= 3 * (n + 2));
+  Alcotest.(check bool) "framing logarithmic" true
+    (t.Core.Simulator.max_bits <= (3 * (n + 2)) + (4 * ((2 * Core.Bounds.id_bits (n + 2)) + 1)))
+
+let prop_matches_truth =
+  QCheck2.Test.make ~name:"Δ-connectivity = true connectivity on bipartite inputs" ~count:60
+    QCheck2.Gen.(triple (int_range 1 7) (int_range 0 10) int)
+    (fun (half, p10, seed) ->
+      let rng = Random.State.make [| seed; half; p10 |] in
+      let g = Generators.random_bipartite rng ~left:half ~right:half (float_of_int p10 /. 10.0) in
+      decide g = Connectivity.is_connected g)
+
+let prop_parity_argument =
+  QCheck2.Test.make ~name:"gadget bipartite iff same-class pair disconnected" ~count:80
+    QCheck2.Gen.(triple (int_range 2 8) (int_range 0 10) int)
+    (fun (half, p10, seed) ->
+      let rng = Random.State.make [| seed; half; p10 |] in
+      let g = Generators.random_bipartite rng ~left:half ~right:half (float_of_int p10 /. 10.0) in
+      (* Pick two left-class vertices. *)
+      let s = 1 and t = 2 in
+      Bipartite.is_bipartite (Core.Bipartite_reduction.odd_cycle_gadget g s t)
+      = not (Connectivity.same_component g s t))
+
+let () =
+  Alcotest.run "bipartite_reduction"
+    [
+      ( "gadget",
+        [
+          Alcotest.test_case "shape" `Quick test_gadget_shape;
+          Alcotest.test_case "parity" `Quick test_gadget_parity;
+        ] );
+      ( "Δ-connectivity",
+        [
+          Alcotest.test_case "connected inputs" `Quick test_connected_bipartite;
+          Alcotest.test_case "disconnected inputs" `Quick test_disconnected_bipartite;
+          Alcotest.test_case "small cases" `Quick test_small_cases;
+          Alcotest.test_case "3x blow-up" `Quick test_blowup_is_three_messages;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_matches_truth; prop_parity_argument ] );
+    ]

@@ -1,0 +1,172 @@
+open Refnet_bits
+
+let test_writer_basics () =
+  let w = Bit_writer.create () in
+  Alcotest.(check int) "empty" 0 (Bit_writer.length w);
+  Bit_writer.add_bit w true;
+  Bit_writer.add_bit w false;
+  Bit_writer.add_bit w true;
+  Alcotest.(check int) "three bits" 3 (Bit_writer.length w);
+  Alcotest.(check string) "contents" "101" (Bitvec.to_string (Bit_writer.contents w))
+
+let test_add_bits_msb_first () =
+  let w = Bit_writer.create () in
+  Bit_writer.add_bits w ~value:5 ~width:4;
+  Alcotest.(check string) "0101" "0101" (Bitvec.to_string (Bit_writer.contents w))
+
+let test_add_bits_guards () =
+  let w = Bit_writer.create () in
+  Alcotest.check_raises "does not fit"
+    (Invalid_argument "Bit_writer.add_bits: value does not fit") (fun () ->
+      Bit_writer.add_bits w ~value:16 ~width:4);
+  Alcotest.check_raises "negative" (Invalid_argument "Bit_writer.add_bits: negative value")
+    (fun () -> Bit_writer.add_bits w ~value:(-1) ~width:4)
+
+let test_append () =
+  let a = Bit_writer.create () and b = Bit_writer.create () in
+  Bit_writer.add_bits a ~value:3 ~width:2;
+  Bit_writer.add_bits b ~value:1 ~width:2;
+  Bit_writer.append a b;
+  Alcotest.(check string) "1101" "1101" (Bitvec.to_string (Bit_writer.contents a))
+
+let test_reader_roundtrip () =
+  let w = Bit_writer.create () in
+  Bit_writer.add_bits w ~value:42 ~width:7;
+  Bit_writer.add_bit w true;
+  Bit_writer.add_bits w ~value:3 ~width:2;
+  let r = Bit_reader.of_bitvec (Bit_writer.contents w) in
+  Alcotest.(check int) "value" 42 (Bit_reader.read_bits r ~width:7);
+  Alcotest.(check bool) "bit" true (Bit_reader.read_bit r);
+  Alcotest.(check int) "tail" 3 (Bit_reader.read_bits r ~width:2);
+  Alcotest.(check int) "exhausted" 0 (Bit_reader.remaining r)
+
+let test_reader_exhaustion () =
+  let r = Bit_reader.of_bitvec (Bitvec.create 2) in
+  ignore (Bit_reader.read_bits r ~width:2);
+  Alcotest.check_raises "end" Bit_reader.Exhausted (fun () -> ignore (Bit_reader.read_bit r))
+
+let test_bitvec_payload () =
+  let w = Bit_writer.create () in
+  let payload = Bitvec.of_list 9 [ 0; 4; 8 ] in
+  Bit_writer.add_bitvec w payload;
+  let r = Bit_reader.of_bitvec (Bit_writer.contents w) in
+  Alcotest.(check bool) "roundtrip" true (Bitvec.equal payload (Bit_reader.read_bitvec r ~len:9))
+
+let test_bits_needed () =
+  Alcotest.(check int) "0" 0 (Codes.bits_needed 0);
+  Alcotest.(check int) "1" 1 (Codes.bits_needed 1);
+  Alcotest.(check int) "7" 3 (Codes.bits_needed 7);
+  Alcotest.(check int) "8" 4 (Codes.bits_needed 8)
+
+let test_id_width () =
+  Alcotest.(check int) "n=1" 1 (Codes.id_width 1);
+  Alcotest.(check int) "n=7" 3 (Codes.id_width 7);
+  Alcotest.(check int) "n=8" 4 (Codes.id_width 8);
+  Alcotest.(check int) "n=0" 1 (Codes.id_width 0)
+
+let roundtrip_code write read v =
+  let w = Bit_writer.create () in
+  write w v;
+  let r = Bit_reader.of_bitvec (Bit_writer.contents w) in
+  let v' = read r in
+  Alcotest.(check int) "decoded" v v';
+  Alcotest.(check int) "fully consumed" 0 (Bit_reader.remaining r)
+
+let test_unary () = List.iter (roundtrip_code Codes.write_unary Codes.read_unary) [ 0; 1; 5; 17 ]
+
+let test_gamma () =
+  List.iter (roundtrip_code Codes.write_gamma Codes.read_gamma) [ 1; 2; 3; 4; 100; 4097 ]
+
+let test_gamma_length () =
+  (* gamma(v) takes exactly 2 floor(log2 v) + 1 bits. *)
+  List.iter
+    (fun v ->
+      let w = Bit_writer.create () in
+      Codes.write_gamma w v;
+      Alcotest.(check int)
+        (Printf.sprintf "len gamma %d" v)
+        ((2 * (Codes.bits_needed v - 1)) + 1)
+        (Bit_writer.length w))
+    [ 1; 2; 7; 8; 1000 ]
+
+let test_delta () =
+  List.iter (roundtrip_code Codes.write_delta Codes.read_delta) [ 1; 2; 3; 9; 511; 70000 ]
+
+let test_nonneg () =
+  List.iter (roundtrip_code Codes.write_nonneg Codes.read_nonneg) [ 0; 1; 63; 64; 12345 ]
+
+let test_mixed_stream () =
+  let w = Bit_writer.create () in
+  Codes.write_gamma w 9;
+  Codes.write_fixed w ~width:5 17;
+  Codes.write_delta w 33;
+  Codes.write_nonneg w 0;
+  let r = Bit_reader.of_bitvec (Bit_writer.contents w) in
+  Alcotest.(check int) "gamma" 9 (Codes.read_gamma r);
+  Alcotest.(check int) "fixed" 17 (Codes.read_fixed r ~width:5);
+  Alcotest.(check int) "delta" 33 (Codes.read_delta r);
+  Alcotest.(check int) "nonneg" 0 (Codes.read_nonneg r)
+
+let prop_gamma_roundtrip =
+  QCheck2.Test.make ~name:"gamma roundtrip" ~count:500
+    QCheck2.Gen.(int_range 1 1_000_000)
+    (fun v ->
+      let w = Bit_writer.create () in
+      Codes.write_gamma w v;
+      Codes.read_gamma (Bit_reader.of_bitvec (Bit_writer.contents w)) = v)
+
+let prop_delta_roundtrip =
+  QCheck2.Test.make ~name:"delta roundtrip" ~count:500
+    QCheck2.Gen.(int_range 1 1_000_000)
+    (fun v ->
+      let w = Bit_writer.create () in
+      Codes.write_delta w v;
+      Codes.read_delta (Bit_reader.of_bitvec (Bit_writer.contents w)) = v)
+
+let prop_fixed_roundtrip =
+  QCheck2.Test.make ~name:"fixed roundtrip at minimal width" ~count:500
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun v ->
+      let width = max 1 (Codes.bits_needed v) in
+      let w = Bit_writer.create () in
+      Codes.write_fixed w ~width v;
+      Codes.read_fixed (Bit_reader.of_bitvec (Bit_writer.contents w)) ~width = v)
+
+let prop_concat_streams =
+  QCheck2.Test.make ~name:"sequential values decode in order" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 30) (int_range 0 10_000))
+    (fun vs ->
+      let w = Bit_writer.create () in
+      List.iter (Codes.write_nonneg w) vs;
+      let r = Bit_reader.of_bitvec (Bit_writer.contents w) in
+      List.for_all (fun v -> Codes.read_nonneg r = v) vs)
+
+let () =
+  Alcotest.run "bit_io"
+    [
+      ( "writer/reader",
+        [
+          Alcotest.test_case "writer basics" `Quick test_writer_basics;
+          Alcotest.test_case "msb first" `Quick test_add_bits_msb_first;
+          Alcotest.test_case "guards" `Quick test_add_bits_guards;
+          Alcotest.test_case "append" `Quick test_append;
+          Alcotest.test_case "roundtrip" `Quick test_reader_roundtrip;
+          Alcotest.test_case "exhaustion" `Quick test_reader_exhaustion;
+          Alcotest.test_case "bitvec payload" `Quick test_bitvec_payload;
+        ] );
+      ( "codes",
+        [
+          Alcotest.test_case "bits_needed" `Quick test_bits_needed;
+          Alcotest.test_case "id_width" `Quick test_id_width;
+          Alcotest.test_case "unary" `Quick test_unary;
+          Alcotest.test_case "gamma" `Quick test_gamma;
+          Alcotest.test_case "gamma length" `Quick test_gamma_length;
+          Alcotest.test_case "delta" `Quick test_delta;
+          Alcotest.test_case "nonneg" `Quick test_nonneg;
+          Alcotest.test_case "mixed stream" `Quick test_mixed_stream;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_gamma_roundtrip; prop_delta_roundtrip; prop_fixed_roundtrip; prop_concat_streams ]
+      );
+    ]

@@ -1,0 +1,67 @@
+open Refnet_graph
+
+let graph_opt =
+  Alcotest.option (Alcotest.testable (fun fmt g -> Graph.pp fmt g) Graph.equal)
+
+let run ~d g = fst (Core.Simulator.run (Core.Bounded_degree.reconstruct ~max_degree:d) g)
+
+let test_reconstructs_low_degree () =
+  List.iter
+    (fun (name, d, g) -> Alcotest.check graph_opt name (Some g) (run ~d g))
+    [
+      ("cycle", 2, Generators.cycle 10);
+      ("grid", 4, Generators.grid 4 4);
+      ("petersen", 3, Generators.petersen ());
+      ("edgeless", 0, Graph.empty 6);
+    ]
+
+let test_rejects_over_degree () =
+  Alcotest.check graph_opt "star blows the bound" None (run ~d:3 (Generators.star 8));
+  Alcotest.check graph_opt "exact bound passes" (Some (Generators.star 8))
+    (run ~d:7 (Generators.star 8))
+
+let test_message_size_grows_with_degree () =
+  let g = Generators.star 64 in
+  let _, t = Core.Simulator.run (Core.Bounded_degree.reconstruct ~max_degree:63) g in
+  (* The centre ships 63 identifiers: message size is linear in degree,
+     which is why this baseline is not frugal in general. *)
+  Alcotest.(check bool) "centre message is large" true
+    (t.Core.Simulator.max_bits >= 63 * Core.Bounds.id_bits 64);
+  Alcotest.(check bool) "not frugal at c=8" false (Core.Simulator.is_frugal t ~c:8)
+
+let test_full_information () =
+  let g = Generators.gnp (Random.State.make [| 3 |]) 20 0.5 in
+  let out, t = Core.Simulator.run Core.Bounded_degree.full_information g in
+  Alcotest.(check bool) "exact" true (Graph.equal g out);
+  Alcotest.(check int) "n bits each" 20 t.Core.Simulator.max_bits
+
+let prop_within_bound_roundtrip =
+  QCheck2.Test.make ~name:"max-degree-bounded graphs reconstruct" ~count:100
+    QCheck2.Gen.(pair (int_range 1 30) int)
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; n |] in
+      let g = Generators.gnp rng n 0.2 in
+      run ~d:(Graph.max_degree g) g = Some g)
+
+let prop_full_information_always_exact =
+  QCheck2.Test.make ~name:"full information protocol is the identity" ~count:100
+    QCheck2.Gen.(pair (int_range 0 25) int)
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; n |] in
+      let g = Generators.gnp rng n 0.5 in
+      Graph.equal g (fst (Core.Simulator.run Core.Bounded_degree.full_information g)))
+
+let () =
+  Alcotest.run "bounded_degree"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "reconstructs low degree" `Quick test_reconstructs_low_degree;
+          Alcotest.test_case "rejects over bound" `Quick test_rejects_over_degree;
+          Alcotest.test_case "message size linear in degree" `Quick test_message_size_grows_with_degree;
+          Alcotest.test_case "full information" `Quick test_full_information;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_within_bound_roundtrip; prop_full_information_always_exact ] );
+    ]

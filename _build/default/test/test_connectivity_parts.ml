@@ -1,0 +1,117 @@
+open Refnet_graph
+
+let decide g ~parts =
+  let partition = Core.Coalition.partition_by_ranges ~n:(Graph.order g) ~parts in
+  Core.Coalition.run Core.Connectivity_parts.decide g ~parts:partition
+
+let test_connected_families () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun parts ->
+          Alcotest.(check bool) (Printf.sprintf "%s/%d" name parts) true (fst (decide g ~parts)))
+        [ 1; 2; 3; 5 ])
+    [
+      ("cycle", Generators.cycle 15);
+      ("grid", Generators.grid 5 4);
+      ("tree", Generators.random_tree (Random.State.make [| 1 |]) 20);
+    ]
+
+let test_disconnected_families () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun parts ->
+          Alcotest.(check bool) (Printf.sprintf "%s/%d" name parts) false (fst (decide g ~parts)))
+        [ 1; 2; 4 ])
+    [
+      ("two cliques", Graph.disjoint_union (Generators.complete 5) (Generators.complete 4));
+      ("isolated vertex", Graph.add_vertices (Generators.cycle 8) 1);
+      ("edgeless", Graph.empty 6);
+    ]
+
+let test_boundary_heavy_partition () =
+  (* A complete bipartite graph split exactly along the parts puts every
+     edge on the boundary; the forest-union argument must still hold. *)
+  let g = Generators.complete_bipartite 6 6 in
+  Alcotest.(check bool) "crossing split" true (fst (decide g ~parts:2))
+
+let test_message_budget () =
+  let n = 64 in
+  let g = Generators.random_connected (Random.State.make [| 2 |]) n 0.08 in
+  List.iter
+    (fun parts ->
+      let _, t = decide g ~parts in
+      Alcotest.(check bool)
+        (Printf.sprintf "within closed-form bound at %d parts" parts)
+        true
+        (t.Core.Simulator.max_bits <= Core.Connectivity_parts.per_node_bound ~n ~parts))
+    [ 2; 4; 8 ]
+
+let test_per_member_messages_cover_members () =
+  let g = Generators.cycle 9 in
+  let view =
+    {
+      Core.Coalition.members = [ 2; 3; 4 ];
+      neighborhoods = List.map (fun v -> (v, Graph.neighbors g v)) [ 2; 3; 4 ];
+    }
+  in
+  let msgs = Core.Connectivity_parts.spanning_forest_messages ~n:9 view in
+  Alcotest.(check (list int)) "one message per member" [ 2; 3; 4 ]
+    (List.map fst msgs |> List.sort compare)
+
+let prop_matches_referee_truth =
+  QCheck2.Test.make ~name:"coalition verdict = real connectivity" ~count:150
+    QCheck2.Gen.(triple (int_range 1 40) (int_range 1 6) int)
+    (fun (n, parts, seed) ->
+      let rng = Random.State.make [| seed; n; parts |] in
+      let g = Generators.gnp rng n 0.08 in
+      let parts = min parts n in
+      fst (decide g ~parts) = Connectivity.is_connected g)
+
+let prop_random_partitions =
+  (* Contiguous ranges are just a convenience; correctness must hold for
+     ANY partition of the vertices into coalitions. *)
+  QCheck2.Test.make ~name:"arbitrary partitions give the true verdict" ~count:100
+    QCheck2.Gen.(triple (int_range 2 30) (int_range 1 5) int)
+    (fun (n, parts, seed) ->
+      let rng = Random.State.make [| seed; n; parts |] in
+      let g = Generators.gnp rng n 0.12 in
+      let parts = min parts n in
+      (* Deal vertices into buckets at random, then drop empties. *)
+      let buckets = Array.make parts [] in
+      List.iter
+        (fun v ->
+          let b = Random.State.int rng parts in
+          buckets.(b) <- v :: buckets.(b))
+        (Graph.vertices g);
+      let partition = List.filter (fun l -> l <> []) (Array.to_list buckets) in
+      fst (Core.Coalition.run Core.Connectivity_parts.decide g ~parts:partition)
+      = Connectivity.is_connected g)
+
+let prop_partition_invariance =
+  QCheck2.Test.make ~name:"verdict independent of the number of parts" ~count:80
+    QCheck2.Gen.(pair (int_range 2 30) int)
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; n |] in
+      let g = Generators.gnp rng n 0.12 in
+      let verdicts = List.map (fun parts -> fst (decide g ~parts)) [ 1; 2; min 5 n ] in
+      match verdicts with
+      | v :: rest -> List.for_all (fun x -> x = v) rest
+      | [] -> false)
+
+let () =
+  Alcotest.run "connectivity_parts"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "connected families" `Quick test_connected_families;
+          Alcotest.test_case "disconnected families" `Quick test_disconnected_families;
+          Alcotest.test_case "boundary-heavy partition" `Quick test_boundary_heavy_partition;
+          Alcotest.test_case "message budget" `Quick test_message_budget;
+          Alcotest.test_case "messages cover members" `Quick test_per_member_messages_cover_members;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_matches_referee_truth; prop_random_partitions; prop_partition_invariance ] );
+    ]

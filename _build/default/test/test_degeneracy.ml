@@ -1,0 +1,171 @@
+open Refnet_graph
+
+let test_known_values () =
+  Alcotest.(check int) "edgeless" 0 (Degeneracy.degeneracy (Graph.empty 5));
+  Alcotest.(check int) "path" 1 (Degeneracy.degeneracy (Generators.path 6));
+  Alcotest.(check int) "tree" 1 (Degeneracy.degeneracy (Generators.complete_binary_tree 15));
+  Alcotest.(check int) "cycle" 2 (Degeneracy.degeneracy (Generators.cycle 9));
+  Alcotest.(check int) "K5" 4 (Degeneracy.degeneracy (Generators.complete 5));
+  Alcotest.(check int) "K33" 3 (Degeneracy.degeneracy (Generators.complete_bipartite 3 3));
+  Alcotest.(check int) "grid" 2 (Degeneracy.degeneracy (Generators.grid 5 5));
+  Alcotest.(check int) "petersen" 3 (Degeneracy.degeneracy (Generators.petersen ()))
+
+let test_elimination_order_witnesses () =
+  List.iter
+    (fun (name, g) ->
+      let k = Degeneracy.degeneracy g in
+      let order = Degeneracy.elimination_order g in
+      Alcotest.(check bool) (name ^ " witness valid") true
+        (Degeneracy.is_elimination_order g ~k order);
+      Alcotest.(check bool)
+        (name ^ " not valid for k-1")
+        (k = 0)
+        (k = 0 || Degeneracy.is_elimination_order g ~k:(k - 1) order))
+    [
+      ("cycle", Generators.cycle 8);
+      ("K5", Generators.complete 5);
+      ("grid", Generators.grid 4 4);
+      ("petersen", Generators.petersen ());
+    ]
+
+let test_is_elimination_order_guards () =
+  let g = Generators.path 3 in
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Degeneracy.is_elimination_order: wrong length") (fun () ->
+      ignore (Degeneracy.is_elimination_order g ~k:1 [ 1; 2 ]));
+  Alcotest.check_raises "not a permutation"
+    (Invalid_argument "Degeneracy.is_elimination_order: not a permutation") (fun () ->
+      ignore (Degeneracy.is_elimination_order g ~k:1 [ 1; 1; 2 ]))
+
+let test_bad_order_rejected () =
+  (* Removing the star centre first sees full degree. *)
+  let g = Generators.star 5 in
+  Alcotest.(check bool) "centre-first fails k=1" false
+    (Degeneracy.is_elimination_order g ~k:1 [ 1; 2; 3; 4; 5 ]);
+  Alcotest.(check bool) "leaves-first works k=1" true
+    (Degeneracy.is_elimination_order g ~k:1 [ 2; 3; 4; 5; 1 ])
+
+let test_core_numbers () =
+  (* A K4 with a pendant: K4 vertices have coreness 3, pendant 1. *)
+  let g = Graph.of_edges 5 [ (1, 2); (1, 3); (1, 4); (2, 3); (2, 4); (3, 4); (4, 5) ] in
+  let cores = Degeneracy.core_numbers g in
+  Alcotest.(check int) "pendant" 1 cores.(4);
+  List.iter (fun v -> Alcotest.(check int) "clique" 3 cores.(v - 1)) [ 1; 2; 3; 4 ]
+
+let test_generalized_small_on_dense () =
+  (* Complement of a path has huge plain degeneracy but generalized 1. *)
+  let g = Graph.complement (Generators.path 12) in
+  Alcotest.(check bool) "plain is large" true (Degeneracy.degeneracy g > 5);
+  Alcotest.(check int) "generalized" 1 (Degeneracy.generalized_degeneracy g)
+
+let test_generalized_on_sparse_matches () =
+  (* On sparse graphs the generalized value can only be smaller or equal. *)
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "gd <= d" true
+        (Degeneracy.generalized_degeneracy g <= Degeneracy.degeneracy g))
+    [ Generators.grid 4 4; Generators.cycle 9; Generators.petersen () ]
+
+let test_generalized_clique () =
+  Alcotest.(check int) "clique is generalized-0" 0
+    (Degeneracy.generalized_degeneracy (Generators.complete 8));
+  Alcotest.(check int) "edgeless is 0" 0 (Degeneracy.generalized_degeneracy (Graph.empty 8))
+
+let test_generalized_order () =
+  let g = Graph.complement (Generators.cycle 10) in
+  match Degeneracy.generalized_elimination_order g ~k:2 with
+  | None -> Alcotest.fail "complement of cycle peels at k=2"
+  | Some order ->
+    Alcotest.(check int) "full length" 10 (List.length order);
+    (* Replay the order and verify each step's side claim. *)
+    let removed = Hashtbl.create 16 in
+    let remaining = ref 10 in
+    List.iter
+      (fun (v, side) ->
+        let live_deg =
+          List.fold_left
+            (fun acc u -> if Hashtbl.mem removed u then acc else acc + 1)
+            0 (Graph.neighbors g v)
+        in
+        (match side with
+        | `Graph -> Alcotest.(check bool) "graph side small" true (live_deg <= 2)
+        | `Complement ->
+          Alcotest.(check bool) "complement side small" true (!remaining - 1 - live_deg <= 2));
+        Hashtbl.replace removed v ();
+        decr remaining)
+      order
+
+let test_generalized_order_rejects () =
+  (* The Petersen graph is 3-regular on 10 vertices: plain degree 3,
+     complement degree 6 — nothing peels at k = 2. *)
+  Alcotest.(check bool) "stuck" true
+    (Degeneracy.generalized_elimination_order (Generators.petersen ()) ~k:2 = None)
+
+let gen_graph =
+  QCheck2.Gen.(
+    bind (int_range 1 20) (fun n ->
+        map
+          (fun seed -> Refnet_graph.Generators.gnp (Random.State.make [| seed; n |]) n 0.3)
+          int))
+
+let prop_degeneracy_bounds =
+  QCheck2.Test.make ~name:"min degree <= degeneracy <= max degree" ~count:200 gen_graph
+    (fun g ->
+      let d = Degeneracy.degeneracy g in
+      Graph.min_degree g <= d && d <= Graph.max_degree g)
+
+let prop_witness_always_valid =
+  QCheck2.Test.make ~name:"elimination order witnesses the degeneracy" ~count:200 gen_graph
+    (fun g ->
+      Degeneracy.is_elimination_order g ~k:(Degeneracy.degeneracy g)
+        (Degeneracy.elimination_order g))
+
+let prop_core_max_is_degeneracy =
+  QCheck2.Test.make ~name:"max core number = degeneracy" ~count:200 gen_graph (fun g ->
+      let cores = Degeneracy.core_numbers g in
+      Array.fold_left max 0 cores = Degeneracy.degeneracy g)
+
+let prop_subgraph_monotone =
+  QCheck2.Test.make ~name:"degeneracy is monotone under vertex deletion" ~count:100 gen_graph
+    (fun g ->
+      QCheck2.assume (Graph.order g >= 2);
+      let h, _ = Graph.remove_vertex g 1 in
+      Degeneracy.degeneracy h <= Degeneracy.degeneracy g)
+
+let prop_generalized_le_plain =
+  QCheck2.Test.make ~name:"generalized degeneracy <= plain degeneracy" ~count:200 gen_graph
+    (fun g -> Degeneracy.generalized_degeneracy g <= Degeneracy.degeneracy g)
+
+let prop_generalized_complement_invariant =
+  QCheck2.Test.make ~name:"generalized degeneracy is complement-invariant" ~count:100 gen_graph
+    (fun g ->
+      Degeneracy.generalized_degeneracy g
+      = Degeneracy.generalized_degeneracy (Graph.complement g))
+
+let () =
+  Alcotest.run "degeneracy"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "known values" `Quick test_known_values;
+          Alcotest.test_case "elimination order witnesses" `Quick test_elimination_order_witnesses;
+          Alcotest.test_case "guards" `Quick test_is_elimination_order_guards;
+          Alcotest.test_case "bad order rejected" `Quick test_bad_order_rejected;
+          Alcotest.test_case "core numbers" `Quick test_core_numbers;
+          Alcotest.test_case "generalized on dense" `Quick test_generalized_small_on_dense;
+          Alcotest.test_case "generalized <= plain (families)" `Quick test_generalized_on_sparse_matches;
+          Alcotest.test_case "generalized clique" `Quick test_generalized_clique;
+          Alcotest.test_case "generalized order replay" `Quick test_generalized_order;
+          Alcotest.test_case "generalized order rejects" `Quick test_generalized_order_rejects;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_degeneracy_bounds;
+            prop_witness_always_valid;
+            prop_core_max_is_degeneracy;
+            prop_subgraph_monotone;
+            prop_generalized_le_plain;
+            prop_generalized_complement_invariant;
+          ] );
+    ]

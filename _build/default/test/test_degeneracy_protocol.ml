@@ -1,0 +1,154 @@
+open Refnet_graph
+
+let graph_opt =
+  Alcotest.option (Alcotest.testable (fun fmt g -> Graph.pp fmt g) Graph.equal)
+
+let run ?decoder ~k g =
+  fst (Core.Simulator.run (Core.Degeneracy_protocol.reconstruct ?decoder ~k ()) g)
+
+let test_k1_on_forests () =
+  let g = Generators.caterpillar ~spine:5 ~legs:3 in
+  Alcotest.check graph_opt "caterpillar" (Some g) (run ~k:1 g)
+
+let test_k2_families () =
+  List.iter
+    (fun (name, g) -> Alcotest.check graph_opt name (Some g) (run ~k:2 g))
+    [
+      ("cycle", Generators.cycle 12);
+      ("grid", Generators.grid 4 5);
+      ("outerplanar", Generators.random_maximal_outerplanar (Random.State.make [| 2 |]) 18);
+    ]
+
+let test_k3_families () =
+  List.iter
+    (fun (name, g) -> Alcotest.check graph_opt name (Some g) (run ~k:3 g))
+    [
+      ("apollonian", Generators.random_apollonian (Random.State.make [| 3 |]) 25);
+      ("petersen", Generators.petersen ());
+      ("3-tree", Generators.random_k_tree (Random.State.make [| 4 |]) 20 ~k:3);
+    ]
+
+let test_k5_planar_budget () =
+  (* Planar graphs have degeneracy <= 5; Apollonian networks (3-degenerate)
+     must in particular pass with the planar budget k = 5. *)
+  let g = Generators.random_apollonian (Random.State.make [| 5 |]) 30 in
+  Alcotest.check graph_opt "planar budget" (Some g) (run ~k:5 g)
+
+let test_overbudget_rejected () =
+  (* K6 has degeneracy 5: k=4 must reject, k=5 must reconstruct. *)
+  let g = Generators.complete 6 in
+  Alcotest.check graph_opt "k=4 rejects K6" None (run ~k:4 g);
+  Alcotest.check graph_opt "k=5 accepts K6" (Some g) (run ~k:5 g)
+
+let test_edge_cases () =
+  Alcotest.check graph_opt "empty graph" (Some (Graph.empty 4)) (run ~k:2 (Graph.empty 4));
+  Alcotest.check graph_opt "single vertex" (Some (Graph.empty 1)) (run ~k:1 (Graph.empty 1));
+  Alcotest.check graph_opt "single edge" (Some (Graph.of_edges 2 [ (1, 2) ]))
+    (run ~k:1 (Graph.of_edges 2 [ (1, 2) ]))
+
+let test_k_larger_than_needed () =
+  (* Overshooting k must not hurt correctness, only message size. *)
+  let g = Generators.cycle 9 in
+  List.iter (fun k -> Alcotest.check graph_opt "cycle" (Some g) (run ~k g)) [ 2; 3; 4; 6 ]
+
+let test_table_decoder_agrees () =
+  let table = Refnet_algebra.Power_sum.Table.build ~n:14 ~k:2 in
+  let decoder = Core.Degeneracy_protocol.table_decoder table in
+  let g = Generators.random_maximal_outerplanar (Random.State.make [| 7 |]) 14 in
+  Alcotest.check graph_opt "table decoder" (Some g) (run ~decoder ~k:2 g);
+  Alcotest.check graph_opt "newton decoder" (Some g) (run ~k:2 g)
+
+let test_message_size_at_bound () =
+  let k = 3 in
+  let g = Generators.random_k_tree (Random.State.make [| 11 |]) 50 ~k in
+  let _, t = Core.Simulator.run (Core.Degeneracy_protocol.reconstruct ~k ()) g in
+  Alcotest.(check int) "exact layout width"
+    (Core.Degeneracy_protocol.message_bits ~k 50)
+    t.Core.Simulator.max_bits
+
+let test_compact_layout_same_output () =
+  let r = Random.State.make [| 17 |] in
+  List.iter
+    (fun (k, g) ->
+      let fixed = fst (Core.Simulator.run (Core.Degeneracy_protocol.reconstruct ~k ()) g) in
+      let compact =
+        fst
+          (Core.Simulator.run
+             (Core.Degeneracy_protocol.reconstruct ~layout:Core.Degeneracy_protocol.Compact ~k ())
+             g)
+      in
+      Alcotest.check graph_opt "layouts agree" fixed compact;
+      Alcotest.check graph_opt "and are exact" (Some g) compact)
+    [
+      (1, Generators.random_tree r 40);
+      (2, Generators.grid 5 5);
+      (3, Generators.random_apollonian r 30);
+    ]
+
+let test_compact_layout_saves_bits_on_stars () =
+  (* A star at k = 3: leaves have degree 1 and tiny power sums, which
+     the fixed layout pads to the k = 3 worst case. *)
+  let g = Generators.star 100 in
+  let size layout =
+    (snd (Core.Simulator.run (Core.Degeneracy_protocol.reconstruct ~layout ~k:3 ()) g))
+      .Core.Simulator.total_bits
+  in
+  Alcotest.(check bool) "compact strictly smaller" true
+    (size Core.Degeneracy_protocol.Compact < size Core.Degeneracy_protocol.Fixed)
+
+let test_invalid_k () =
+  Alcotest.check_raises "k=0" (Invalid_argument "Degeneracy_protocol.reconstruct: k must be positive")
+    (fun () -> ignore (Core.Degeneracy_protocol.reconstruct ~k:0 ()))
+
+let prop_k_degenerate_roundtrip =
+  QCheck2.Test.make ~name:"random k-degenerate graphs reconstruct exactly" ~count:80
+    QCheck2.Gen.(triple (int_range 1 40) (int_range 1 4) int)
+    (fun (n, k, seed) ->
+      let rng = Random.State.make [| seed; n; k |] in
+      let g = Generators.random_k_degenerate rng n ~k in
+      run ~k g = Some g)
+
+let prop_rejects_iff_degeneracy_exceeds_k =
+  QCheck2.Test.make ~name:"accepts iff degeneracy <= k" ~count:100
+    QCheck2.Gen.(triple (int_range 1 16) (int_range 1 3) int)
+    (fun (n, k, seed) ->
+      let rng = Random.State.make [| seed; n; k |] in
+      let g = Generators.gnp rng n 0.4 in
+      let result = run ~k g in
+      if Degeneracy.degeneracy g <= k then result = Some g else result = None)
+
+let prop_gnp_sparse_roundtrip =
+  QCheck2.Test.make ~name:"sparse G(n,p) reconstructs with its own degeneracy" ~count:50
+    QCheck2.Gen.(pair (int_range 2 30) int)
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; n |] in
+      let g = Generators.gnp rng n 0.15 in
+      let k = max 1 (Degeneracy.degeneracy g) in
+      run ~k g = Some g)
+
+let () =
+  Alcotest.run "degeneracy_protocol"
+    [
+      ( "reconstruction",
+        [
+          Alcotest.test_case "k=1 forests" `Quick test_k1_on_forests;
+          Alcotest.test_case "k=2 families" `Quick test_k2_families;
+          Alcotest.test_case "k=3 families" `Quick test_k3_families;
+          Alcotest.test_case "k=5 planar budget" `Quick test_k5_planar_budget;
+          Alcotest.test_case "over budget rejected" `Quick test_overbudget_rejected;
+          Alcotest.test_case "edge cases" `Quick test_edge_cases;
+          Alcotest.test_case "k larger than needed" `Quick test_k_larger_than_needed;
+          Alcotest.test_case "table decoder agrees" `Quick test_table_decoder_agrees;
+          Alcotest.test_case "message size at bound" `Quick test_message_size_at_bound;
+          Alcotest.test_case "compact layout agrees" `Quick test_compact_layout_same_output;
+          Alcotest.test_case "compact layout saves bits" `Quick test_compact_layout_saves_bits_on_stars;
+          Alcotest.test_case "invalid k" `Quick test_invalid_k;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_k_degenerate_roundtrip;
+            prop_rejects_iff_degeneracy_exceeds_k;
+            prop_gnp_sparse_roundtrip;
+          ] );
+    ]

@@ -1,0 +1,106 @@
+open Refnet_graph
+
+let run p g = fst (Core.Simulator.run p g)
+
+let test_degree_sequence () =
+  Alcotest.(check (list int)) "star" [ 6; 1; 1; 1; 1; 1; 1 ]
+    (run Core.Easy_protocols.degree_sequence (Generators.star 7));
+  Alcotest.(check (list int)) "empty" [] (run Core.Easy_protocols.degree_sequence (Graph.empty 0))
+
+let test_edge_count () =
+  Alcotest.(check int) "petersen" 15 (run Core.Easy_protocols.edge_count (Generators.petersen ()));
+  Alcotest.(check int) "edgeless" 0 (run Core.Easy_protocols.edge_count (Graph.empty 9))
+
+let test_has_edge () =
+  Alcotest.(check bool) "yes" true (run Core.Easy_protocols.has_edge (Generators.path 2));
+  Alcotest.(check bool) "no" false (run Core.Easy_protocols.has_edge (Graph.empty 5))
+
+let test_extremal_degrees () =
+  let g = Generators.wheel 7 in
+  Alcotest.(check int) "max (hub)" 6 (run Core.Easy_protocols.max_degree g);
+  Alcotest.(check int) "min (rim)" 3 (run Core.Easy_protocols.min_degree g)
+
+let test_regular () =
+  Alcotest.(check bool) "cycle" true (run Core.Easy_protocols.is_regular (Generators.cycle 8));
+  Alcotest.(check bool) "petersen" true (run Core.Easy_protocols.is_regular (Generators.petersen ()));
+  Alcotest.(check bool) "path" false (run Core.Easy_protocols.is_regular (Generators.path 4));
+  Alcotest.(check bool) "empty graph" true (run Core.Easy_protocols.is_regular (Graph.empty 0))
+
+let test_isolated_universal () =
+  Alcotest.(check bool) "isolated yes" true
+    (run Core.Easy_protocols.has_isolated_vertex (Graph.add_vertices (Generators.path 3) 1));
+  Alcotest.(check bool) "isolated no" false
+    (run Core.Easy_protocols.has_isolated_vertex (Generators.cycle 4));
+  Alcotest.(check bool) "universal yes" true
+    (run Core.Easy_protocols.has_universal_vertex (Generators.star 6));
+  Alcotest.(check bool) "universal no" false
+    (run Core.Easy_protocols.has_universal_vertex (Generators.cycle 5))
+
+let test_degrees_even () =
+  Alcotest.(check bool) "cycle even" true
+    (run Core.Easy_protocols.all_degrees_even (Generators.cycle 9));
+  Alcotest.(check bool) "path odd ends" false
+    (run Core.Easy_protocols.all_degrees_even (Generators.path 5))
+
+let test_fingerprint_accepts_real_graphs () =
+  List.iter
+    (fun g -> Alcotest.(check bool) "consistent" true (run Core.Easy_protocols.sum_of_ids_check g))
+    [ Generators.petersen (); Generators.grid 4 4; Graph.empty 3 ]
+
+let test_all_messages_frugal () =
+  let g = Generators.complete 64 in
+  (* Degree-only protocols: one id width; the fingerprint adds a 2-width
+     neighbour sum. *)
+  Alcotest.(check bool) "degree-sequence" true
+    ((snd (Core.Simulator.run Core.Easy_protocols.degree_sequence g)).Core.Simulator.max_bits
+    <= Core.Bounds.id_bits 64);
+  Alcotest.(check bool) "fingerprint" true
+    ((snd (Core.Simulator.run Core.Easy_protocols.sum_of_ids_check g)).Core.Simulator.max_bits
+    <= 3 * Core.Bounds.id_bits 64)
+
+let gen_graph =
+  QCheck2.Gen.(
+    bind (int_range 1 30) (fun n ->
+        map (fun seed -> Generators.gnp (Random.State.make [| seed; n |]) n 0.3) int))
+
+let prop_edge_count_exact =
+  QCheck2.Test.make ~name:"edge count = m" ~count:200 gen_graph (fun g ->
+      run Core.Easy_protocols.edge_count g = Graph.size g)
+
+let prop_degree_sequence_exact =
+  QCheck2.Test.make ~name:"degree sequence matches" ~count:200 gen_graph (fun g ->
+      run Core.Easy_protocols.degree_sequence g = Graph.degree_sequence g)
+
+let prop_extremes_exact =
+  QCheck2.Test.make ~name:"max/min degree match" ~count:200 gen_graph (fun g ->
+      run Core.Easy_protocols.max_degree g = Graph.max_degree g
+      && run Core.Easy_protocols.min_degree g = Graph.min_degree g)
+
+let prop_fingerprint_sound =
+  QCheck2.Test.make ~name:"handshake fingerprint holds on every graph" ~count:200 gen_graph
+    (fun g -> run Core.Easy_protocols.sum_of_ids_check g)
+
+let () =
+  Alcotest.run "easy_protocols"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "degree sequence" `Quick test_degree_sequence;
+          Alcotest.test_case "edge count" `Quick test_edge_count;
+          Alcotest.test_case "has edge" `Quick test_has_edge;
+          Alcotest.test_case "extremal degrees" `Quick test_extremal_degrees;
+          Alcotest.test_case "regularity" `Quick test_regular;
+          Alcotest.test_case "isolated / universal" `Quick test_isolated_universal;
+          Alcotest.test_case "degrees even" `Quick test_degrees_even;
+          Alcotest.test_case "fingerprint accepts" `Quick test_fingerprint_accepts_real_graphs;
+          Alcotest.test_case "frugality" `Quick test_all_messages_frugal;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_edge_count_exact;
+            prop_degree_sequence_exact;
+            prop_extremes_exact;
+            prop_fingerprint_sound;
+          ] );
+    ]

@@ -1,0 +1,87 @@
+open Refnet_graph
+
+let test_total_counts () =
+  (* 2^(n choose 2) labelled graphs. *)
+  Alcotest.(check int) "n=0" 1 (Enumerate.count 0 ~where:(fun _ -> true));
+  Alcotest.(check int) "n=1" 1 (Enumerate.count 1 ~where:(fun _ -> true));
+  Alcotest.(check int) "n=3" 8 (Enumerate.count 3 ~where:(fun _ -> true));
+  Alcotest.(check int) "n=4" 64 (Enumerate.count 4 ~where:(fun _ -> true))
+
+let test_connected_counts () =
+  (* OEIS A001187: 1, 1, 1, 4, 38, 728 connected labelled graphs. *)
+  Alcotest.(check int) "n=2" 1 (Enumerate.count 2 ~where:Connectivity.is_connected);
+  Alcotest.(check int) "n=3" 4 (Enumerate.count 3 ~where:Connectivity.is_connected);
+  Alcotest.(check int) "n=4" 38 (Enumerate.count 4 ~where:Connectivity.is_connected);
+  Alcotest.(check int) "n=5" 728 (Enumerate.count 5 ~where:Connectivity.is_connected)
+
+let test_tree_counts () =
+  (* Cayley: n^(n-2) labelled trees. *)
+  let is_tree g = Connectivity.is_connected g && Spanning.is_forest g in
+  Alcotest.(check int) "n=3" 3 (Enumerate.count 3 ~where:is_tree);
+  Alcotest.(check int) "n=4" 16 (Enumerate.count 4 ~where:is_tree);
+  Alcotest.(check int) "n=5" 125 (Enumerate.count 5 ~where:is_tree)
+
+let test_square_free_counts () =
+  (* OEIS A006786-style labelled C4-free counts; small values are easy to
+     confirm by hand: all 8 graphs on 3 vertices are C4-free; on 4
+     vertices only graphs containing one of the 3 labelled C4s (each C4
+     subgraph forces ...) — verified against an independent brute count
+     below. *)
+  Alcotest.(check int) "n=3" 8 (Enumerate.count_square_free 3);
+  let brute n =
+    Enumerate.count n ~where:(fun g -> not (Cycles.has_square g))
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check int) (Printf.sprintf "n=%d" n) (brute n) (Enumerate.count_square_free n))
+    [ 4; 5 ]
+
+let test_triangle_free_counts () =
+  (* OEIS A006785 (labelled triangle-free): 1, 2, 7, 41, 388, 5789... *)
+  Alcotest.(check int) "n=2" 2 (Enumerate.count_triangle_free 2);
+  Alcotest.(check int) "n=3" 7 (Enumerate.count_triangle_free 3);
+  Alcotest.(check int) "n=4" 41 (Enumerate.count_triangle_free 4);
+  Alcotest.(check int) "n=5" 388 (Enumerate.count_triangle_free 5)
+
+let test_bipartite_fixed_parts () =
+  (* 2^(half^2) bipartite graphs with fixed halves. *)
+  Alcotest.(check int) "half=1" 2 (Enumerate.count_bipartite_between ~half:1);
+  Alcotest.(check int) "half=2" 16 (Enumerate.count_bipartite_between ~half:2)
+
+let test_edge_slots () =
+  Alcotest.(check (list (pair int int))) "n=3" [ (1, 2); (1, 3); (2, 3) ]
+    (Enumerate.all_edge_slots 3);
+  Alcotest.(check int) "n=5 count" 10 (List.length (Enumerate.all_edge_slots 5))
+
+let test_guard () =
+  Alcotest.check_raises "too large" (Invalid_argument "Enumerate.iter: order too large to enumerate")
+    (fun () -> Enumerate.iter 11 (fun _ -> ()))
+
+let test_iter_distinct () =
+  (* Every enumerated graph is distinct. *)
+  let seen = Hashtbl.create 100 in
+  Enumerate.iter 4 (fun g ->
+      let key = Gio.to_graph6 g in
+      Alcotest.(check bool) "fresh" false (Hashtbl.mem seen key);
+      Hashtbl.replace seen key ());
+  Alcotest.(check int) "total" 64 (Hashtbl.length seen)
+
+let () =
+  Alcotest.run "enumerate"
+    [
+      ( "counts",
+        [
+          Alcotest.test_case "total" `Quick test_total_counts;
+          Alcotest.test_case "connected (A001187)" `Quick test_connected_counts;
+          Alcotest.test_case "trees (Cayley)" `Quick test_tree_counts;
+          Alcotest.test_case "square-free" `Quick test_square_free_counts;
+          Alcotest.test_case "triangle-free (A006785)" `Quick test_triangle_free_counts;
+          Alcotest.test_case "bipartite fixed parts" `Quick test_bipartite_fixed_parts;
+        ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "edge slots" `Quick test_edge_slots;
+          Alcotest.test_case "size guard" `Quick test_guard;
+          Alcotest.test_case "all graphs distinct" `Quick test_iter_distinct;
+        ] );
+    ]

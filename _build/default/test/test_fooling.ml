@@ -1,0 +1,122 @@
+open Refnet_graph
+
+let test_truncate_clips () =
+  let p = Core.Fooling.truncate ~budget:2 Core.Reduction.square_oracle in
+  let g = Generators.complete 16 in
+  let msgs = Core.Simulator.local_phase p g in
+  let limit = 2 * Core.Bounds.id_bits 16 in
+  Array.iter
+    (fun m -> Alcotest.(check bool) "clipped" true (Core.Message.bits m <= limit))
+    msgs
+
+let test_truncate_preserves_short_messages () =
+  (* Degree-sum style message already below the budget: untouched. *)
+  let p = Core.Fooling.truncate ~budget:8 Core.Forest_protocol.reconstruct in
+  let g = Generators.path 10 in
+  let original = Core.Simulator.local_phase Core.Forest_protocol.reconstruct g in
+  let clipped = Core.Simulator.local_phase p g in
+  Array.iteri
+    (fun i m -> Alcotest.(check bool) "unchanged" true (Core.Message.equal m original.(i)))
+    clipped
+
+let test_truncated_square_oracle_fooled () =
+  (* The full-information square oracle ships n bits; clipped to
+     1 * log n bits it must confuse two graphs that differ on squareness
+     already at n = 4 or 5. *)
+  let found = ref None in
+  (try
+     for n = 4 to 5 do
+       match
+         Core.Fooling.fooling_pair_for ~n ~budget:1 Core.Reduction.square_oracle
+           ~property:Cycles.has_square
+       with
+       | Some pair ->
+         found := Some (n, pair);
+         raise Exit
+       | None -> ()
+     done
+   with Exit -> ());
+  match !found with
+  | None -> Alcotest.fail "expected a fooling pair for the clipped oracle"
+  | Some (n, pair) ->
+    Alcotest.(check bool) "properties differ" true (pair.Core.Fooling.out1 <> pair.Core.Fooling.out2);
+    Alcotest.(check bool) "graphs differ" false (Graph.equal pair.Core.Fooling.g1 pair.Core.Fooling.g2);
+    (* And the clipped local functions really agree on the two graphs. *)
+    let clipped = Core.Fooling.truncate ~budget:1 Core.Reduction.square_oracle in
+    let v g = Core.Simulator.local_phase clipped g in
+    let m1 = v pair.Core.Fooling.g1 and m2 = v pair.Core.Fooling.g2 in
+    Array.iteri
+      (fun i m ->
+        Alcotest.(check bool) (Printf.sprintf "message %d/%d equal" (i + 1) n) true
+          (Core.Message.equal m m2.(i)))
+      m1
+
+let test_full_information_never_fooled () =
+  (* Unclipped, the incidence-vector messages separate all graphs. *)
+  for n = 2 to 5 do
+    Alcotest.(check bool)
+      (Printf.sprintf "n=%d" n)
+      true
+      (Core.Fooling.find_pair ~n ~property:Cycles.has_square
+         ~local:Core.Reduction.square_oracle.Core.Protocol.local (Enumerate.iter n)
+      = None)
+  done
+
+let test_degeneracy_protocol_certified_on_its_class () =
+  (* Over all graphs of degeneracy <= 2 on 5 vertices, the Algorithm 3
+     messages are collision-free with respect to graph identity (full
+     reconstruction implies this; the certificate checks it directly). *)
+  let enum f =
+    Enumerate.iter 5 (fun g -> if Degeneracy.degeneracy g <= 2 then f g)
+  in
+  let p = Core.Degeneracy_protocol.reconstruct ~k:2 () in
+  Alcotest.(check bool) "no collisions" true
+    (Core.Fooling.certify ~n:5 ~property:(fun g -> Graph.edges g)
+       ~local:p.Core.Protocol.local enum
+    = None)
+
+let test_vector_count_capacity () =
+  (* The clipped oracle's capacity collapses far below the 2^10 graphs
+     at n = 5. *)
+  let clipped = Core.Fooling.truncate ~budget:1 Core.Reduction.square_oracle in
+  let capacity =
+    Core.Fooling.vector_count ~n:5 ~local:clipped.Core.Protocol.local (Enumerate.iter 5)
+  in
+  let total = Enumerate.count 5 ~where:(fun _ -> true) in
+  Alcotest.(check bool) "capacity below family size" true (capacity < total);
+  (* The unclipped oracle distinguishes everything. *)
+  let full =
+    Core.Fooling.vector_count ~n:5 ~local:Core.Reduction.square_oracle.Core.Protocol.local
+      (Enumerate.iter 5)
+  in
+  Alcotest.(check int) "full capacity" total full
+
+let prop_truncation_monotone =
+  QCheck2.Test.make ~name:"smaller budgets never increase capacity" ~count:10
+    QCheck2.Gen.(int_range 0 100)
+    (fun _ ->
+      let cap b =
+        let p = Core.Fooling.truncate ~budget:b Core.Reduction.square_oracle in
+        Core.Fooling.vector_count ~n:4 ~local:p.Core.Protocol.local (Enumerate.iter 4)
+      in
+      let c1 = cap 1 and c2 = cap 2 and c3 = cap 3 in
+      c1 <= c2 && c2 <= c3)
+
+let () =
+  Alcotest.run "fooling"
+    [
+      ( "truncation",
+        [
+          Alcotest.test_case "clips" `Quick test_truncate_clips;
+          Alcotest.test_case "preserves short messages" `Quick test_truncate_preserves_short_messages;
+        ] );
+      ( "fooling pairs",
+        [
+          Alcotest.test_case "clipped square oracle fooled" `Quick test_truncated_square_oracle_fooled;
+          Alcotest.test_case "full information never fooled" `Quick test_full_information_never_fooled;
+          Alcotest.test_case "degeneracy protocol certified" `Quick
+            test_degeneracy_protocol_certified_on_its_class;
+          Alcotest.test_case "vector capacity" `Quick test_vector_count_capacity;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_truncation_monotone ]);
+    ]

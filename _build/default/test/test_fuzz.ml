@@ -1,0 +1,154 @@
+(* Adversarial-message robustness.
+
+   The model trusts nodes, but a production referee should not crash on
+   a corrupted uplink.  Every reconstruction protocol's global function
+   must, on arbitrary bit garbage, either return a well-typed answer or
+   the documented rejection — never escape with an exception. *)
+
+open Refnet_bits
+open Refnet_graph
+
+let flip_random_bit rng msg =
+  let len = Bitvec.length msg in
+  if len = 0 then msg
+  else begin
+    let copy = Bitvec.copy msg in
+    let i = Random.State.int rng len in
+    Bitvec.assign copy i (not (Bitvec.get copy i));
+    copy
+  end
+
+let truncate_message msg ~keep =
+  let len = min keep (Bitvec.length msg) in
+  let out = Bitvec.create len in
+  for i = 0 to len - 1 do
+    if Bitvec.get msg i then Bitvec.set out i
+  done;
+  out
+
+let random_message rng ~bits =
+  let v = Bitvec.create bits in
+  for i = 0 to bits - 1 do
+    if Random.State.bool rng then Bitvec.set v i
+  done;
+  v
+
+(* Run a reconstruction global function on tampered messages; the only
+   acceptable outcomes are a graph option (any value) — exceptions fail
+   the test. *)
+let assert_total name global ~n msgs =
+  match global ~n msgs with
+  | (_ : Graph.t option) -> ()
+  | exception e ->
+    Alcotest.failf "%s: global phase raised %s on tampered input" name (Printexc.to_string e)
+
+let tamper_suite name (protocol : Graph.t option Core.Protocol.t) make_graph =
+  let rng = Random.State.make [| 0xfa22; Hashtbl.hash name |] in
+  let trials = 60 in
+  for trial = 1 to trials do
+    let g = make_graph trial in
+    let n = Graph.order g in
+    let msgs = Core.Simulator.local_phase protocol g in
+    (* Bit flips. *)
+    let flipped = Array.map (flip_random_bit rng) msgs in
+    assert_total name protocol.Core.Protocol.global ~n flipped;
+    (* Truncations. *)
+    let truncated =
+      Array.map (fun m -> truncate_message m ~keep:(Random.State.int rng (Bitvec.length m + 1))) msgs
+    in
+    assert_total name protocol.Core.Protocol.global ~n truncated;
+    (* Pure noise of plausible size. *)
+    let noise = Array.map (fun m -> random_message rng ~bits:(Bitvec.length m)) msgs in
+    assert_total name protocol.Core.Protocol.global ~n noise;
+    (* Swapped messages (wrong sender ids embedded). *)
+    if n >= 2 then begin
+      let swapped = Array.copy msgs in
+      let a = Random.State.int rng n and b = Random.State.int rng n in
+      let t = swapped.(a) in
+      swapped.(a) <- swapped.(b);
+      swapped.(b) <- t;
+      assert_total name protocol.Core.Protocol.global ~n swapped
+    end
+  done
+
+let test_forest_robust () =
+  tamper_suite "forest" Core.Forest_protocol.reconstruct (fun trial ->
+      Generators.random_tree (Random.State.make [| trial |]) ((trial mod 20) + 2))
+
+let test_degeneracy_robust () =
+  tamper_suite "degeneracy-2"
+    (Core.Degeneracy_protocol.reconstruct ~k:2 ())
+    (fun trial ->
+      Generators.random_k_degenerate (Random.State.make [| trial |]) ((trial mod 15) + 2) ~k:2)
+
+let test_generalized_robust () =
+  tamper_suite "generalized-2"
+    (Core.Generalized_degeneracy.reconstruct ~k:2 ())
+    (fun trial -> Generators.gnp (Random.State.make [| trial |]) ((trial mod 10) + 2) 0.5)
+
+let test_bounded_degree_robust () =
+  tamper_suite "bounded-degree-3"
+    (Core.Bounded_degree.reconstruct ~max_degree:3)
+    (fun trial -> Generators.cycle ((trial mod 10) + 3))
+
+let test_swap_never_accepted_as_original () =
+  (* Swapping two distinct nodes' messages embeds wrong identifiers: the
+     ID-echo check must notice (or at minimum never silently return the
+     original graph as if nothing happened... it must return None since
+     ids are explicit in the payload). *)
+  let g = Generators.random_tree (Random.State.make [| 9 |]) 12 in
+  let msgs = Core.Simulator.local_phase Core.Forest_protocol.reconstruct g in
+  let swapped = Array.copy msgs in
+  swapped.(0) <- msgs.(5);
+  swapped.(5) <- msgs.(0);
+  Alcotest.(check bool) "swap detected" true
+    (Core.Forest_protocol.reconstruct.Core.Protocol.global ~n:12 swapped = None)
+
+let test_zero_length_messages () =
+  List.iter
+    (fun (name, (p : Graph.t option Core.Protocol.t)) ->
+      let empty = Array.make 6 Core.Message.empty in
+      match p.Core.Protocol.global ~n:6 empty with
+      | None -> ()
+      | Some _ -> Alcotest.failf "%s accepted empty messages" name
+      | exception e -> Alcotest.failf "%s raised %s" name (Printexc.to_string e))
+    [
+      ("forest", Core.Forest_protocol.reconstruct);
+      ("degeneracy", Core.Degeneracy_protocol.reconstruct ~k:2 ());
+      ("generalized", Core.Generalized_degeneracy.reconstruct ~k:2 ());
+      ("bounded-degree", Core.Bounded_degree.reconstruct ~max_degree:2);
+    ]
+
+let test_corrupted_never_returns_wrong_forest () =
+  (* Stronger than totality for the forest protocol: if the global phase
+     does return a graph on a tampered transcript, the graph must at
+     least be a forest consistent with the advertised degrees — decode
+     soundness, not just crash-freedom. *)
+  let rng = Random.State.make [| 0xdead |] in
+  for trial = 1 to 80 do
+    let g = Generators.random_tree (Random.State.make [| trial |]) 10 in
+    let msgs = Core.Simulator.local_phase Core.Forest_protocol.reconstruct g in
+    let tampered = Array.map (flip_random_bit rng) msgs in
+    match Core.Forest_protocol.reconstruct.Core.Protocol.global ~n:10 tampered with
+    | None -> ()
+    | Some h -> Alcotest.(check bool) "still a forest" true (Spanning.is_forest h)
+  done
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "totality under tampering",
+        [
+          Alcotest.test_case "forest" `Quick test_forest_robust;
+          Alcotest.test_case "degeneracy" `Quick test_degeneracy_robust;
+          Alcotest.test_case "generalized" `Quick test_generalized_robust;
+          Alcotest.test_case "bounded degree" `Quick test_bounded_degree_robust;
+        ] );
+      ( "semantic checks",
+        [
+          Alcotest.test_case "swapped ids detected" `Quick test_swap_never_accepted_as_original;
+          Alcotest.test_case "zero-length messages" `Quick test_zero_length_messages;
+          Alcotest.test_case "tampered forests stay forests" `Quick
+            test_corrupted_never_returns_wrong_forest;
+        ] );
+    ]

@@ -1,0 +1,97 @@
+open Refnet_graph
+
+let graph_opt =
+  Alcotest.option (Alcotest.testable (fun fmt g -> Graph.pp fmt g) Graph.equal)
+
+let run ~k g = fst (Core.Simulator.run (Core.Generalized_degeneracy.reconstruct ~k ()) g)
+
+let test_dense_complements () =
+  (* Complements of 1-degenerate graphs have generalized degeneracy 1 but
+     plain degeneracy about n - 2: the plain protocol is useless, the
+     generalized one reconstructs. *)
+  List.iter
+    (fun (name, g) ->
+      let c = Graph.complement g in
+      Alcotest.check graph_opt name (Some c) (run ~k:2 c))
+    [
+      ("complement of path", Generators.path 12);
+      ("complement of star", Generators.star 10);
+      ("complement of forest", Generators.random_forest (Random.State.make [| 8 |]) 12 ~trees:3);
+    ]
+
+let test_clique () =
+  let g = Generators.complete 9 in
+  Alcotest.check graph_opt "K9 at k=0" (Some g) (run ~k:0 g);
+  Alcotest.check graph_opt "edgeless at k=0" (Some (Graph.empty 9)) (run ~k:0 (Graph.empty 9))
+
+let test_sparse_still_works () =
+  (* Generalized k dominates plain k, so plain families still pass. *)
+  List.iter
+    (fun (name, g) -> Alcotest.check graph_opt name (Some g) (run ~k:2 g))
+    [ ("cycle", Generators.cycle 10); ("grid", Generators.grid 3 4) ]
+
+let test_mixed_graph () =
+  (* A clique joined to pendant leaves: plain degeneracy is high (clique),
+     generalized peels leaves from the sparse side and clique vertices
+     from the dense side only once the leaves are gone... the combined
+     structure still needs k >= the mixing width. *)
+  let clique = Generators.complete 8 in
+  let g = Graph.add_edges (Graph.add_vertices clique 3) [ (1, 9); (2, 10); (3, 11) ] in
+  let gd = Degeneracy.generalized_degeneracy g in
+  Alcotest.check graph_opt "reconstructs at its own gd" (Some g) (run ~k:gd g)
+
+let test_rejects_below () =
+  let g = Generators.petersen () in
+  (* gd(Petersen) = 3: plain degree 3 everywhere, complement 6-regular. *)
+  Alcotest.(check int) "petersen gd" 3 (Degeneracy.generalized_degeneracy g);
+  Alcotest.check graph_opt "k=2 rejects" None (run ~k:2 g);
+  Alcotest.check graph_opt "k=3 accepts" (Some g) (run ~k:3 g)
+
+let test_recognize () =
+  let accepts k g = fst (Core.Simulator.run (Core.Generalized_degeneracy.recognize k) g) in
+  Alcotest.(check bool) "dense yes" true (accepts 1 (Graph.complement (Generators.path 10)));
+  Alcotest.(check bool) "petersen no at 2" false (accepts 2 (Generators.petersen ()))
+
+let test_message_size () =
+  let k = 2 and n = 40 in
+  let g = Graph.complement (Generators.path n) in
+  let _, t = Core.Simulator.run (Core.Generalized_degeneracy.reconstruct ~k ()) g in
+  Alcotest.(check int) "exact layout"
+    (Core.Generalized_degeneracy.message_bits ~k n)
+    t.Core.Simulator.max_bits
+
+let prop_matches_generalized_degeneracy =
+  QCheck2.Test.make ~name:"accepts iff generalized degeneracy <= k" ~count:80
+    QCheck2.Gen.(triple (int_range 1 12) (int_range 0 3) int)
+    (fun (n, k, seed) ->
+      let rng = Random.State.make [| seed; n; k |] in
+      let g = Generators.gnp rng n 0.5 in
+      let result = run ~k g in
+      if Degeneracy.generalized_degeneracy g <= k then result = Some g else result = None)
+
+let prop_complement_symmetry =
+  QCheck2.Test.make ~name:"reconstructs g iff reconstructs complement" ~count:60
+    QCheck2.Gen.(pair (int_range 1 12) int)
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; n |] in
+      let g = Generators.gnp rng n 0.5 in
+      let k = Degeneracy.generalized_degeneracy g in
+      run ~k g = Some g && run ~k (Graph.complement g) = Some (Graph.complement g))
+
+let () =
+  Alcotest.run "generalized_degeneracy"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "dense complements" `Quick test_dense_complements;
+          Alcotest.test_case "clique at k=0" `Quick test_clique;
+          Alcotest.test_case "sparse still works" `Quick test_sparse_still_works;
+          Alcotest.test_case "mixed graph" `Quick test_mixed_graph;
+          Alcotest.test_case "rejects below threshold" `Quick test_rejects_below;
+          Alcotest.test_case "recognize" `Quick test_recognize;
+          Alcotest.test_case "message size" `Quick test_message_size;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_matches_generalized_degeneracy; prop_complement_symmetry ] );
+    ]

@@ -1,0 +1,204 @@
+open Refnet_graph
+
+let rng () = Random.State.make [| 42; 7 |]
+
+let test_path () =
+  let g = Generators.path 5 in
+  Alcotest.(check int) "size" 4 (Graph.size g);
+  Alcotest.(check int) "degeneracy" 1 (Degeneracy.degeneracy g);
+  Alcotest.(check bool) "connected" true (Connectivity.is_connected g);
+  Alcotest.(check int) "singleton path" 0 (Graph.size (Generators.path 1))
+
+let test_cycle () =
+  let g = Generators.cycle 6 in
+  Alcotest.(check int) "size" 6 (Graph.size g);
+  Alcotest.(check int) "max degree" 2 (Graph.max_degree g);
+  Alcotest.(check (option int)) "girth" (Some 6) (Cycles.girth g);
+  Alcotest.(check int) "degeneracy" 2 (Degeneracy.degeneracy g)
+
+let test_complete () =
+  let g = Generators.complete 6 in
+  Alcotest.(check int) "size" 15 (Graph.size g);
+  Alcotest.(check int) "degeneracy" 5 (Degeneracy.degeneracy g);
+  Alcotest.(check (option int)) "diameter" (Some 1) (Distance.diameter g)
+
+let test_complete_bipartite () =
+  let g = Generators.complete_bipartite 3 4 in
+  Alcotest.(check int) "size" 12 (Graph.size g);
+  Alcotest.(check bool) "bipartite" true (Bipartite.is_bipartite g);
+  Alcotest.(check bool) "has square" true (Cycles.has_square g);
+  Alcotest.(check bool) "no triangle" false (Cycles.has_triangle g)
+
+let test_star () =
+  let g = Generators.star 7 in
+  Alcotest.(check int) "center degree" 6 (Graph.degree g 1);
+  Alcotest.(check int) "degeneracy" 1 (Degeneracy.degeneracy g)
+
+let test_wheel () =
+  let g = Generators.wheel 6 in
+  Alcotest.(check int) "size" 10 (Graph.size g);
+  Alcotest.(check bool) "triangle" true (Cycles.has_triangle g);
+  Alcotest.(check int) "degeneracy" 3 (Degeneracy.degeneracy g)
+
+let test_grid () =
+  let g = Generators.grid 4 3 in
+  Alcotest.(check int) "order" 12 (Graph.order g);
+  Alcotest.(check int) "size" 17 (Graph.size g);
+  Alcotest.(check int) "degeneracy" 2 (Degeneracy.degeneracy g);
+  Alcotest.(check bool) "bipartite" true (Bipartite.is_bipartite g);
+  Alcotest.(check bool) "square" true (Cycles.has_square g)
+
+let test_torus () =
+  let g = Generators.torus 4 4 in
+  Alcotest.(check int) "4-regular" 4 (Graph.min_degree g);
+  Alcotest.(check int) "size" 32 (Graph.size g);
+  Alcotest.(check bool) "connected" true (Connectivity.is_connected g)
+
+let test_hypercube () =
+  let g = Generators.hypercube 4 in
+  Alcotest.(check int) "order" 16 (Graph.order g);
+  Alcotest.(check int) "size" 32 (Graph.size g);
+  Alcotest.(check bool) "bipartite" true (Bipartite.is_bipartite g);
+  Alcotest.(check (option int)) "diameter = dimension" (Some 4) (Distance.diameter g);
+  Alcotest.(check int) "degeneracy" 4 (Degeneracy.degeneracy g)
+
+let test_petersen () =
+  let g = Generators.petersen () in
+  Alcotest.(check int) "order" 10 (Graph.order g);
+  Alcotest.(check int) "size" 15 (Graph.size g);
+  Alcotest.(check int) "3-regular" 3 (Graph.max_degree g);
+  Alcotest.(check (option int)) "girth 5" (Some 5) (Cycles.girth g);
+  Alcotest.(check (option int)) "diameter 2" (Some 2) (Distance.diameter g)
+
+let test_binary_tree () =
+  let g = Generators.complete_binary_tree 15 in
+  Alcotest.(check bool) "is forest" true (Spanning.is_forest g);
+  Alcotest.(check bool) "connected" true (Connectivity.is_connected g)
+
+let test_caterpillar () =
+  let g = Generators.caterpillar ~spine:4 ~legs:2 in
+  Alcotest.(check int) "order" 12 (Graph.order g);
+  Alcotest.(check bool) "forest" true (Spanning.is_forest g);
+  Alcotest.(check bool) "connected" true (Connectivity.is_connected g)
+
+let test_gnp_extremes () =
+  let g0 = Generators.gnp (rng ()) 20 0.0 in
+  Alcotest.(check int) "p=0 empty" 0 (Graph.size g0);
+  let g1 = Generators.gnp (rng ()) 20 1.0 in
+  Alcotest.(check int) "p=1 complete" 190 (Graph.size g1)
+
+let test_random_tree () =
+  let r = rng () in
+  for n = 1 to 30 do
+    let g = Generators.random_tree r n in
+    Alcotest.(check int) (Printf.sprintf "n=%d edges" n) (n - 1) (Graph.size g);
+    Alcotest.(check bool) (Printf.sprintf "n=%d connected" n) true (Connectivity.is_connected g);
+    Alcotest.(check bool) (Printf.sprintf "n=%d acyclic" n) true (Cycles.is_acyclic g)
+  done
+
+let test_random_forest () =
+  let r = rng () in
+  for trees = 1 to 6 do
+    let g = Generators.random_forest r 24 ~trees in
+    Alcotest.(check bool) "forest" true (Spanning.is_forest g);
+    Alcotest.(check int)
+      (Printf.sprintf "%d components" trees)
+      trees
+      (Connectivity.component_count g)
+  done
+
+let test_random_k_degenerate () =
+  let r = rng () in
+  List.iter
+    (fun k ->
+      let g = Generators.random_k_degenerate r 40 ~k in
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d bound" k)
+        true
+        (Degeneracy.degeneracy g <= k);
+      (* Construction wires each vertex past k+1 to exactly k earlier
+         ones, so the bound is tight. *)
+      Alcotest.(check int) (Printf.sprintf "k=%d tight" k) k (Degeneracy.degeneracy g))
+    [ 1; 2; 3; 5 ]
+
+let test_random_k_tree () =
+  let r = rng () in
+  List.iter
+    (fun k ->
+      let g = Generators.random_k_tree r 30 ~k in
+      Alcotest.(check int) (Printf.sprintf "k=%d degeneracy" k) k (Degeneracy.degeneracy g);
+      Alcotest.(check int)
+        (Printf.sprintf "k=%d edges" k)
+        ((k * (k + 1) / 2) + ((30 - k - 1) * k))
+        (Graph.size g);
+      Alcotest.(check bool) "connected" true (Connectivity.is_connected g))
+    [ 1; 2; 3; 4 ]
+
+let test_random_apollonian () =
+  let r = rng () in
+  let g = Generators.random_apollonian r 40 in
+  Alcotest.(check int) "degeneracy 3" 3 (Degeneracy.degeneracy g);
+  (* Planar triangulations have exactly 3n - 6 edges. *)
+  Alcotest.(check int) "3n-6 edges" ((3 * 40) - 6) (Graph.size g);
+  Alcotest.(check bool) "connected" true (Connectivity.is_connected g)
+
+let test_random_maximal_outerplanar () =
+  let r = rng () in
+  let g = Generators.random_maximal_outerplanar r 25 in
+  (* Maximal outerplanar graphs have exactly 2n - 3 edges, degeneracy 2. *)
+  Alcotest.(check int) "2n-3 edges" ((2 * 25) - 3) (Graph.size g);
+  Alcotest.(check int) "degeneracy 2" 2 (Degeneracy.degeneracy g);
+  Alcotest.(check bool) "has triangle" true (Cycles.has_triangle g)
+
+let test_random_bipartite () =
+  let r = rng () in
+  let g = Generators.random_bipartite r ~left:6 ~right:7 0.5 in
+  Alcotest.(check int) "order" 13 (Graph.order g);
+  Alcotest.(check bool) "parts respected" true
+    (Bipartite.respects_parts g ~left:[ 1; 2; 3; 4; 5; 6 ] ~right:[ 7; 8; 9; 10; 11; 12; 13 ])
+
+let test_random_connected () =
+  let r = rng () in
+  for _ = 1 to 10 do
+    let g = Generators.random_connected r 30 0.02 in
+    Alcotest.(check bool) "connected" true (Connectivity.is_connected g)
+  done
+
+let test_random_square_free () =
+  let r = rng () in
+  let g = Generators.random_square_free r 20 ~attempts:400 in
+  Alcotest.(check bool) "no square" false (Cycles.has_square g);
+  Alcotest.(check bool) "non-trivial" true (Graph.size g > 10)
+
+let () =
+  Alcotest.run "generators"
+    [
+      ( "deterministic families",
+        [
+          Alcotest.test_case "path" `Quick test_path;
+          Alcotest.test_case "cycle" `Quick test_cycle;
+          Alcotest.test_case "complete" `Quick test_complete;
+          Alcotest.test_case "complete bipartite" `Quick test_complete_bipartite;
+          Alcotest.test_case "star" `Quick test_star;
+          Alcotest.test_case "wheel" `Quick test_wheel;
+          Alcotest.test_case "grid" `Quick test_grid;
+          Alcotest.test_case "torus" `Quick test_torus;
+          Alcotest.test_case "hypercube" `Quick test_hypercube;
+          Alcotest.test_case "petersen" `Quick test_petersen;
+          Alcotest.test_case "binary tree" `Quick test_binary_tree;
+          Alcotest.test_case "caterpillar" `Quick test_caterpillar;
+        ] );
+      ( "random families",
+        [
+          Alcotest.test_case "gnp extremes" `Quick test_gnp_extremes;
+          Alcotest.test_case "random tree" `Quick test_random_tree;
+          Alcotest.test_case "random forest" `Quick test_random_forest;
+          Alcotest.test_case "random k-degenerate" `Quick test_random_k_degenerate;
+          Alcotest.test_case "random k-tree" `Quick test_random_k_tree;
+          Alcotest.test_case "random apollonian" `Quick test_random_apollonian;
+          Alcotest.test_case "random maximal outerplanar" `Quick test_random_maximal_outerplanar;
+          Alcotest.test_case "random bipartite" `Quick test_random_bipartite;
+          Alcotest.test_case "random connected" `Quick test_random_connected;
+          Alcotest.test_case "random square-free" `Quick test_random_square_free;
+        ] );
+    ]

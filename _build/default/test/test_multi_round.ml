@@ -1,0 +1,115 @@
+open Refnet_graph
+
+let graph_opt =
+  Alcotest.option (Alcotest.testable (fun fmt g -> Graph.pp fmt g) Graph.equal)
+
+let test_degree_bound_values () =
+  (* Star K_{1,5}: degrees 5,1,1,1,1,1 -> only 2 vertices of degree >= 1,
+     so bound = 1 (matches degeneracy). *)
+  Alcotest.(check int) "star" 1 (Core.Multi_round.Adaptive_degeneracy.degree_bound [| 5; 1; 1; 1; 1; 1 |]);
+  (* K4: degrees all 3 -> 4 vertices of degree >= 3 -> bound 3. *)
+  Alcotest.(check int) "K4" 3 (Core.Multi_round.Adaptive_degeneracy.degree_bound [| 3; 3; 3; 3 |]);
+  Alcotest.(check int) "edgeless" 0 (Core.Multi_round.Adaptive_degeneracy.degree_bound [| 0; 0 |]);
+  Alcotest.(check int) "empty" 0 (Core.Multi_round.Adaptive_degeneracy.degree_bound [||])
+
+let test_degree_bound_dominates_degeneracy () =
+  List.iter
+    (fun g ->
+      let degrees = Array.of_list (List.map (Graph.degree g) (Graph.vertices g)) in
+      Alcotest.(check bool) "bound >= degeneracy" true
+        (Core.Multi_round.Adaptive_degeneracy.degree_bound degrees >= Degeneracy.degeneracy g))
+    [
+      Generators.petersen ();
+      Generators.grid 4 4;
+      Generators.complete 6;
+      Generators.random_apollonian (Random.State.make [| 5 |]) 20;
+    ]
+
+let run_adaptive g =
+  Core.Multi_round.run (Core.Multi_round.Adaptive_degeneracy.protocol ()) g
+
+let test_adaptive_reconstructs_without_k () =
+  (* The paper's protocol needs k known a priori; two rounds discover it. *)
+  List.iter
+    (fun (name, g) ->
+      let out, _ = run_adaptive g in
+      Alcotest.check graph_opt name (Some g) out)
+    [
+      ("tree", Generators.random_tree (Random.State.make [| 1 |]) 25);
+      ("grid", Generators.grid 4 4);
+      ("K6 (dense!)", Generators.complete 6);
+      ("petersen", Generators.petersen ());
+      ("empty", Graph.empty 5);
+    ]
+
+let test_adaptive_transcript_shape () =
+  let g = Generators.grid 4 4 in
+  let _, t = run_adaptive g in
+  Alcotest.(check int) "two rounds" 2 t.Core.Multi_round.rounds;
+  (match t.Core.Multi_round.per_round_max_bits with
+  | [ r1; r2 ] ->
+    (* Round 1 is one degree (log n bits); round 2 is the Algorithm 3
+       message at the inferred k-hat. *)
+    Alcotest.(check int) "round 1 is a degree" (Core.Bounds.id_bits 16) r1;
+    Alcotest.(check bool) "round 2 carries power sums" true (r2 > r1)
+  | _ -> Alcotest.fail "expected two rounds");
+  Alcotest.(check int) "one broadcast" 1 (List.length t.Core.Multi_round.broadcast_bits)
+
+let test_adaptive_bits_track_sparseness () =
+  (* A path and a clique of the same order: the adaptive protocol spends
+     far fewer round-2 bits on the path. *)
+  let _, tp = run_adaptive (Generators.path 12) in
+  let _, tc = run_adaptive (Generators.complete 12) in
+  Alcotest.(check bool) "path cheaper than clique" true
+    (tp.Core.Multi_round.max_bits < tc.Core.Multi_round.max_bits)
+
+let test_of_one_round_embedding () =
+  let lifted = Core.Multi_round.of_one_round Core.Forest_protocol.reconstruct in
+  let g = Generators.random_tree (Random.State.make [| 2 |]) 15 in
+  let out, t = Core.Multi_round.run lifted g in
+  Alcotest.check graph_opt "same output" (Some g) out;
+  Alcotest.(check int) "single round" 1 t.Core.Multi_round.rounds;
+  Alcotest.(check int) "no broadcast" 0 (List.length t.Core.Multi_round.broadcast_bits);
+  Alcotest.(check int) "same message size" (Core.Forest_protocol.message_bits 15)
+    t.Core.Multi_round.max_bits
+
+let prop_adaptive_on_gnp =
+  QCheck2.Test.make ~name:"adaptive 2-round reconstructs arbitrary G(n,p)" ~count:60
+    QCheck2.Gen.(triple (int_range 1 20) (int_range 1 9) int)
+    (fun (n, p10, seed) ->
+      let rng = Random.State.make [| seed; n; p10 |] in
+      let g = Generators.gnp rng n (float_of_int p10 /. 10.0) in
+      fst (run_adaptive g) = Some g)
+
+let prop_khat_scales_budget =
+  QCheck2.Test.make ~name:"round-2 bits follow the k-hat budget formula" ~count:40
+    QCheck2.Gen.(pair (int_range 2 20) int)
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; n |] in
+      let g = Generators.gnp rng n 0.3 in
+      let degrees = Array.of_list (List.map (Graph.degree g) (Graph.vertices g)) in
+      let k = max 1 (Core.Multi_round.Adaptive_degeneracy.degree_bound degrees) in
+      let _, t = run_adaptive g in
+      match t.Core.Multi_round.per_round_max_bits with
+      | [ _; r2 ] -> r2 = Core.Degeneracy_protocol.message_bits ~k n
+      | _ -> false)
+
+let () =
+  Alcotest.run "multi_round"
+    [
+      ( "degree bound",
+        [
+          Alcotest.test_case "values" `Quick test_degree_bound_values;
+          Alcotest.test_case "dominates degeneracy" `Quick test_degree_bound_dominates_degeneracy;
+        ] );
+      ( "adaptive protocol",
+        [
+          Alcotest.test_case "reconstructs without knowing k" `Quick
+            test_adaptive_reconstructs_without_k;
+          Alcotest.test_case "transcript shape" `Quick test_adaptive_transcript_shape;
+          Alcotest.test_case "bits track sparseness" `Quick test_adaptive_bits_track_sparseness;
+          Alcotest.test_case "one-round embedding" `Quick test_of_one_round_embedding;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_adaptive_on_gnp; prop_khat_scales_budget ] );
+    ]

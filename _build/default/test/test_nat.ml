@@ -1,0 +1,200 @@
+open Refnet_bigint
+
+let nat = Alcotest.testable (fun fmt n -> Nat.pp fmt n) Nat.equal
+
+let of_i = Nat.of_int
+
+let test_of_to_int () =
+  List.iter
+    (fun v -> Alcotest.(check int) (string_of_int v) v (Nat.to_int (of_i v)))
+    [ 0; 1; 2; 1073741823; 1073741824; max_int ]
+
+let test_of_int_negative () =
+  Alcotest.check_raises "negative" (Invalid_argument "Nat.of_int: negative") (fun () ->
+      ignore (of_i (-3)))
+
+let test_to_int_overflow () =
+  let huge = Nat.pow (of_i 2) 80 in
+  Alcotest.(check (option int)) "overflow" None (Nat.to_int_opt huge)
+
+let test_add_carries () =
+  (* Force carries across digit boundaries: (2^30 - 1) + 1 = 2^30. *)
+  let a = of_i ((1 lsl 30) - 1) in
+  Alcotest.check nat "carry" (of_i (1 lsl 30)) (Nat.add a Nat.one)
+
+let test_sub () =
+  Alcotest.check nat "simple" (of_i 7) (Nat.sub (of_i 10) (of_i 3));
+  Alcotest.check nat "borrow" (of_i ((1 lsl 30) - 1)) (Nat.sub (of_i (1 lsl 30)) Nat.one);
+  Alcotest.check nat "to zero" Nat.zero (Nat.sub (of_i 5) (of_i 5));
+  Alcotest.check_raises "negative result" (Invalid_argument "Nat.sub: result would be negative")
+    (fun () -> ignore (Nat.sub (of_i 3) (of_i 4)))
+
+let test_mul_small () =
+  Alcotest.check nat "6*7" (of_i 42) (Nat.mul (of_i 6) (of_i 7));
+  Alcotest.check nat "zero" Nat.zero (Nat.mul Nat.zero (of_i 7))
+
+let test_mul_large () =
+  (* (2^31 + 3)^2 = 2^62 + 6*2^31 + 9, beyond native precision when
+     combined further; check against string arithmetic. *)
+  let a = Nat.add (Nat.pow (of_i 2) 31) (of_i 3) in
+  let sq = Nat.mul a a in
+  Alcotest.(check string) "square" "4611686031312289801" (Nat.to_string sq)
+
+let test_pow () =
+  Alcotest.check nat "2^10" (of_i 1024) (Nat.pow (of_i 2) 10);
+  Alcotest.check nat "x^0" Nat.one (Nat.pow (of_i 99) 0);
+  Alcotest.check nat "0^0" Nat.one (Nat.pow Nat.zero 0);
+  Alcotest.check nat "0^5" Nat.zero (Nat.pow Nat.zero 5);
+  Alcotest.(check string) "10^30" ("1" ^ String.make 30 '0') (Nat.to_string (Nat.pow (of_i 10) 30))
+
+let test_divmod_small () =
+  let q, r = Nat.divmod (of_i 47) (of_i 5) in
+  Alcotest.check nat "q" (of_i 9) q;
+  Alcotest.check nat "r" (of_i 2) r
+
+let test_divmod_multi_digit () =
+  (* Exercise Knuth algorithm D with multi-digit divisors. *)
+  let a = Nat.of_string "123456789012345678901234567890" in
+  let b = Nat.of_string "987654321987654321" in
+  let q, r = Nat.divmod a b in
+  Alcotest.check nat "reconstruct" a (Nat.add (Nat.mul q b) r);
+  Alcotest.(check bool) "r < b" true (Nat.compare r b < 0);
+  Alcotest.(check string) "q" "124999998748" (Nat.to_string q)
+
+let test_divmod_addback_case () =
+  (* Divisor with a huge top digit triggers the rare add-back branch for
+     some dividends; sweep a band of dividends to hit it. *)
+  let b = Nat.sub (Nat.pow (of_i 2) 60) Nat.one in
+  for i = 0 to 50 do
+    let a = Nat.add (Nat.mul (Nat.pow (of_i 2) 90) (of_i (i + 1))) (of_i i) in
+    let q, r = Nat.divmod a b in
+    Alcotest.check nat "a = qb + r" a (Nat.add (Nat.mul q b) r);
+    Alcotest.(check bool) "r < b" true (Nat.compare r b < 0)
+  done
+
+let test_div_by_zero () =
+  Alcotest.check_raises "zero" Division_by_zero (fun () -> ignore (Nat.divmod (of_i 3) Nat.zero))
+
+let test_shifts () =
+  Alcotest.check nat "left" (of_i 40) (Nat.shift_left (of_i 5) 3);
+  Alcotest.check nat "right" (of_i 5) (Nat.shift_right (of_i 40) 3);
+  Alcotest.check nat "right to zero" Nat.zero (Nat.shift_right (of_i 40) 10);
+  Alcotest.check nat "cross-digit" (Nat.pow (of_i 2) 45) (Nat.shift_left Nat.one 45);
+  Alcotest.check nat "cross-digit back" Nat.one (Nat.shift_right (Nat.pow (of_i 2) 45) 45)
+
+let test_num_bits () =
+  Alcotest.(check int) "0" 0 (Nat.num_bits Nat.zero);
+  Alcotest.(check int) "1" 1 (Nat.num_bits Nat.one);
+  Alcotest.(check int) "2^45" 46 (Nat.num_bits (Nat.pow (of_i 2) 45))
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Nat.to_string (Nat.of_string s)))
+    [ "0"; "1"; "999999999"; "1000000000"; "123456789012345678901234567890" ]
+
+let test_of_string_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Nat.of_string: empty") (fun () ->
+      ignore (Nat.of_string ""));
+  Alcotest.check_raises "letters" (Invalid_argument "Nat.of_string: not a digit") (fun () ->
+      ignore (Nat.of_string "12a"))
+
+let test_compare_order () =
+  Alcotest.(check bool) "lt" true (Nat.compare (of_i 3) (of_i 5) < 0);
+  Alcotest.(check bool) "gt" true (Nat.compare (Nat.pow (of_i 2) 64) (of_i 5) > 0);
+  Alcotest.(check bool) "eq" true (Nat.compare (of_i 7) (of_i 7) = 0)
+
+let test_digits_roundtrip () =
+  let v = Nat.of_string "340282366920938463463374607431768211456" in
+  Alcotest.check nat "roundtrip" v (Nat.of_digits (Nat.to_digits v));
+  Alcotest.check_raises "bad digit" (Invalid_argument "Nat.of_digits: digit out of range")
+    (fun () -> ignore (Nat.of_digits [| 1 lsl 30 |]))
+
+let test_karatsuba_agrees () =
+  (* Numbers big enough to take the Karatsuba path (>= 32 digits each);
+     verified against a decimal identity: (10^k - 1)^2 = 10^2k - 2*10^k + 1. *)
+  let k = 320 in
+  let ten_k = Nat.pow (of_i 10) k in
+  let a = Nat.sub ten_k Nat.one in
+  let expected = Nat.add (Nat.sub (Nat.pow (of_i 10) (2 * k)) (Nat.shift_left ten_k 1)) Nat.one in
+  Alcotest.check nat "karatsuba identity" expected (Nat.mul a a)
+
+let gen_nat =
+  QCheck2.Gen.(
+    map
+      (fun (a, b, c) ->
+        Nat.add
+          (Nat.mul (of_i (abs a)) (Nat.pow (of_i 2) 45))
+          (Nat.add (Nat.mul (of_i (abs b)) (of_i 1_000_003)) (of_i (abs c))))
+      (triple (int_bound 1_000_000) (int_bound 1_000_000) (int_bound 1_000_000)))
+
+let prop_add_commutes =
+  QCheck2.Test.make ~name:"add commutes" ~count:300 (QCheck2.Gen.pair gen_nat gen_nat)
+    (fun (a, b) -> Nat.equal (Nat.add a b) (Nat.add b a))
+
+let prop_add_associates =
+  QCheck2.Test.make ~name:"add associates" ~count:300
+    (QCheck2.Gen.triple gen_nat gen_nat gen_nat) (fun (a, b, c) ->
+      Nat.equal (Nat.add a (Nat.add b c)) (Nat.add (Nat.add a b) c))
+
+let prop_mul_distributes =
+  QCheck2.Test.make ~name:"mul distributes over add" ~count:200
+    (QCheck2.Gen.triple gen_nat gen_nat gen_nat) (fun (a, b, c) ->
+      Nat.equal (Nat.mul a (Nat.add b c)) (Nat.add (Nat.mul a b) (Nat.mul a c)))
+
+let prop_sub_add_inverse =
+  QCheck2.Test.make ~name:"(a+b)-b = a" ~count:300 (QCheck2.Gen.pair gen_nat gen_nat)
+    (fun (a, b) -> Nat.equal a (Nat.sub (Nat.add a b) b))
+
+let prop_divmod_invariant =
+  QCheck2.Test.make ~name:"a = (a/b)*b + a mod b, a mod b < b" ~count:300
+    (QCheck2.Gen.pair gen_nat gen_nat) (fun (a, b) ->
+      let b = Nat.add b Nat.one in
+      let q, r = Nat.divmod a b in
+      Nat.equal a (Nat.add (Nat.mul q b) r) && Nat.compare r b < 0)
+
+let prop_string_roundtrip =
+  QCheck2.Test.make ~name:"decimal roundtrip" ~count:200 gen_nat (fun a ->
+      Nat.equal a (Nat.of_string (Nat.to_string a)))
+
+let prop_shift_is_pow2 =
+  QCheck2.Test.make ~name:"shift_left k = mul 2^k" ~count:200
+    QCheck2.Gen.(pair gen_nat (int_range 0 100))
+    (fun (a, k) -> Nat.equal (Nat.shift_left a k) (Nat.mul a (Nat.pow (of_i 2) k)))
+
+let () =
+  Alcotest.run "nat"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "of/to int" `Quick test_of_to_int;
+          Alcotest.test_case "of_int negative" `Quick test_of_int_negative;
+          Alcotest.test_case "to_int overflow" `Quick test_to_int_overflow;
+          Alcotest.test_case "add carries" `Quick test_add_carries;
+          Alcotest.test_case "sub" `Quick test_sub;
+          Alcotest.test_case "mul small" `Quick test_mul_small;
+          Alcotest.test_case "mul large" `Quick test_mul_large;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "divmod small" `Quick test_divmod_small;
+          Alcotest.test_case "divmod multi-digit" `Quick test_divmod_multi_digit;
+          Alcotest.test_case "divmod add-back band" `Quick test_divmod_addback_case;
+          Alcotest.test_case "division by zero" `Quick test_div_by_zero;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "num_bits" `Quick test_num_bits;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "of_string invalid" `Quick test_of_string_invalid;
+          Alcotest.test_case "compare" `Quick test_compare_order;
+          Alcotest.test_case "digits roundtrip" `Quick test_digits_roundtrip;
+          Alcotest.test_case "karatsuba agrees" `Quick test_karatsuba_agrees;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_add_commutes;
+            prop_add_associates;
+            prop_mul_distributes;
+            prop_sub_add_inverse;
+            prop_divmod_invariant;
+            prop_string_roundtrip;
+            prop_shift_is_pow2;
+          ] );
+    ]

@@ -1,0 +1,62 @@
+open Refnet_graph
+
+let test_average_degree () =
+  Alcotest.(check (float 0.0001)) "cycle" 2.0 (Parameters.average_degree (Generators.cycle 7));
+  Alcotest.(check (float 0.0001)) "K5" 4.0 (Parameters.average_degree (Generators.complete 5));
+  Alcotest.(check (float 0.0001)) "empty" 0.0 (Parameters.average_degree (Graph.empty 0))
+
+let test_density () =
+  Alcotest.(check (float 0.0001)) "complete" 1.0 (Parameters.density (Generators.complete 6));
+  Alcotest.(check (float 0.0001)) "edgeless" 0.0 (Parameters.density (Graph.empty 6));
+  Alcotest.(check (float 0.0001)) "two thirds" (2.0 /. 3.0)
+    (Parameters.density (Graph.of_edges 3 [ (1, 2); (2, 3) ]));
+  Alcotest.(check (float 0.0001)) "singleton" 0.0 (Parameters.density (Graph.empty 1))
+
+let test_h_index () =
+  (* Star: one vertex of degree n-1, rest degree 1 -> h = 1. *)
+  Alcotest.(check int) "star" 1 (Parameters.h_index (Generators.star 8));
+  Alcotest.(check int) "cycle" 2 (Parameters.h_index (Generators.cycle 5));
+  Alcotest.(check int) "K5" 4 (Parameters.h_index (Generators.complete 5));
+  Alcotest.(check int) "edgeless" 0 (Parameters.h_index (Graph.empty 4))
+
+let test_max_core_is_degeneracy () =
+  List.iter
+    (fun g ->
+      Alcotest.(check int) "equal" (Degeneracy.degeneracy g) (Parameters.max_core g))
+    [ Generators.petersen (); Generators.grid 4 4; Generators.complete 6 ]
+
+let test_arboricity_bounds () =
+  (* Trees: degeneracy 1 -> arboricity exactly 1. *)
+  let lo, hi = Parameters.arboricity_bounds (Generators.complete_binary_tree 15) in
+  Alcotest.(check int) "tree lo" 1 lo;
+  Alcotest.(check int) "tree hi" 1 hi;
+  (* K7: arboricity = ceil(m / (n - 1)) = ceil(21 / 6) = 4. *)
+  let lo, hi = Parameters.arboricity_bounds (Generators.complete 7) in
+  Alcotest.(check bool) "K7 sandwich contains 4" true (lo <= 4 && 4 <= hi);
+  Alcotest.(check (pair int int)) "edgeless" (0, 0) (Parameters.arboricity_bounds (Graph.empty 5))
+
+let test_summary_mentions_fields () =
+  let s = Parameters.summary (Generators.grid 3 3) in
+  List.iter
+    (fun needle ->
+      let contains =
+        let nl = String.length needle and hl = String.length s in
+        let rec go i = i + nl <= hl && (String.sub s i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) needle true contains)
+    [ "n=9"; "m=12"; "degeneracy=2" ]
+
+let () =
+  Alcotest.run "parameters"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "average degree" `Quick test_average_degree;
+          Alcotest.test_case "density" `Quick test_density;
+          Alcotest.test_case "h-index" `Quick test_h_index;
+          Alcotest.test_case "max core = degeneracy" `Quick test_max_core_is_degeneracy;
+          Alcotest.test_case "arboricity sandwich" `Quick test_arboricity_bounds;
+          Alcotest.test_case "summary" `Quick test_summary_mentions_fields;
+        ] );
+    ]

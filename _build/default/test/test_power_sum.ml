@@ -1,0 +1,152 @@
+open Refnet_bigint
+open Refnet_algebra
+
+let nat = Alcotest.testable (fun fmt v -> Nat.pp fmt v) Nat.equal
+
+let test_encode_values () =
+  let enc = Power_sum.encode ~k:3 [ 2; 5 ] in
+  Alcotest.check nat "p1" (Nat.of_int 7) enc.(0);
+  Alcotest.check nat "p2" (Nat.of_int 29) enc.(1);
+  Alcotest.check nat "p3" (Nat.of_int 133) enc.(2)
+
+let test_encode_empty () =
+  let enc = Power_sum.encode ~k:2 [] in
+  Alcotest.check nat "p1" Nat.zero enc.(0);
+  Alcotest.check nat "p2" Nat.zero enc.(1)
+
+let test_encode_guards () =
+  Alcotest.check_raises "repeat" (Invalid_argument "Power_sum.encode: repeated id") (fun () ->
+      ignore (Power_sum.encode ~k:3 [ 1; 1 ]));
+  Alcotest.check_raises "non-positive" (Invalid_argument "Power_sum.encode: non-positive id")
+    (fun () -> ignore (Power_sum.encode ~k:3 [ 0 ]));
+  Alcotest.check_raises "too many" (Invalid_argument "Power_sum.encode: more ids than k")
+    (fun () -> ignore (Power_sum.encode ~k:1 [ 1; 2 ]))
+
+let test_encode_matches_vandermonde () =
+  let a = Vandermonde.make ~k:4 ~n:20 in
+  let ids = [ 3; 7; 20 ] in
+  let via_matrix = Vandermonde.apply a ids in
+  let direct = Power_sum.encode ~k:4 ids in
+  Array.iteri
+    (fun p v -> Alcotest.check nat (Printf.sprintf "coordinate %d" (p + 1)) v direct.(p))
+    via_matrix
+
+let test_subtract_is_removal () =
+  let enc = Power_sum.encode ~k:3 [ 2; 5; 9 ] in
+  let enc' = Power_sum.subtract enc ~id:5 ~upto:3 in
+  let expected = Power_sum.encode ~k:3 [ 2; 9 ] in
+  Array.iteri (fun p v -> Alcotest.check nat (Printf.sprintf "p%d" (p + 1)) v enc'.(p)) expected
+
+let test_subtract_non_member () =
+  (* Removing a non-member can underflow a coordinate — flagged. *)
+  let enc = Power_sum.encode ~k:2 [ 1 ] in
+  Alcotest.check_raises "underflow" (Invalid_argument "Power_sum.subtract: id not a member")
+    (fun () -> ignore (Power_sum.subtract enc ~id:9 ~upto:2))
+
+let test_decode_exact () =
+  let enc = Power_sum.encode ~k:4 [ 4; 17; 23; 42 ] in
+  Alcotest.(check (option (list int))) "decoded" (Some [ 4; 17; 23; 42 ])
+    (Power_sum.decode ~n:64 ~deg:4 enc)
+
+let test_decode_prefix () =
+  (* A degree-2 vertex decodes from the first two coordinates even when
+     the message carries more. *)
+  let enc = Power_sum.encode ~k:5 [ 6; 13 ] in
+  Alcotest.(check (option (list int))) "decoded" (Some [ 6; 13 ])
+    (Power_sum.decode ~n:20 ~deg:2 enc)
+
+let test_decode_empty () =
+  Alcotest.(check (option (list int))) "empty" (Some [])
+    (Power_sum.decode ~n:10 ~deg:0 (Power_sum.encode ~k:2 []))
+
+let test_decode_malformed () =
+  (* p1 = 5, p2 = 7 cannot be the power sums of two distinct positive
+     integers (5 = a+b, 7 = a^2+b^2 has no integer solution). *)
+  let enc = [| Nat.of_int 5; Nat.of_int 7 |] in
+  Alcotest.(check (option (list int))) "rejected" None (Power_sum.decode ~n:10 ~deg:2 enc)
+
+let test_decode_bad_degree () =
+  Alcotest.check_raises "deg > k" (Invalid_argument "Power_sum.decode: bad degree") (fun () ->
+      ignore (Power_sum.decode ~n:10 ~deg:3 (Power_sum.encode ~k:2 [])))
+
+let test_table_matches_newton () =
+  let n = 12 and k = 3 in
+  let table = Power_sum.Table.build ~n ~k in
+  (* Every subset of size <= k decodes identically via both decoders. *)
+  let rec subsets first remaining acc f =
+    if remaining = 0 then f (List.rev acc)
+    else
+      for i = first to n - remaining + 1 do
+        subsets (i + 1) (remaining - 1) (i :: acc) f
+      done
+  in
+  for d = 0 to k do
+    subsets 1 d [] (fun ids ->
+        let enc = Power_sum.encode ~k ids in
+        Alcotest.(check (option (list int)))
+          (Printf.sprintf "table [%s]" (String.concat ";" (List.map string_of_int ids)))
+          (Some ids)
+          (Power_sum.Table.lookup table enc ~deg:d);
+        Alcotest.(check (option (list int)))
+          (Printf.sprintf "newton [%s]" (String.concat ";" (List.map string_of_int ids)))
+          (Some ids)
+          (Power_sum.decode ~n ~deg:d enc))
+  done
+
+let test_table_entries () =
+  (* n=5, k=2: C(5,0) + C(5,1) + C(5,2) = 1 + 5 + 10. *)
+  let table = Power_sum.Table.build ~n:5 ~k:2 in
+  Alcotest.(check int) "entries" 16 (Power_sum.Table.entries table)
+
+let gen_subset =
+  QCheck2.Gen.(
+    bind (int_range 1 128) (fun n ->
+        bind (int_range 0 6) (fun d ->
+            map
+              (fun l ->
+                let ids =
+                  List.sort_uniq compare (List.map (fun v -> 1 + (abs v mod n)) l)
+                in
+                (n, ids))
+              (list_size (return (min d n)) int))))
+
+let prop_decode_inverts_encode =
+  QCheck2.Test.make ~name:"decode . encode = id" ~count:300 gen_subset (fun (n, ids) ->
+      let k = max 1 (List.length ids) in
+      let enc = Power_sum.encode ~k ids in
+      Power_sum.decode ~n ~deg:(List.length ids) enc = Some ids)
+
+let prop_subtract_then_decode =
+  QCheck2.Test.make ~name:"subtract member then decode" ~count:300 gen_subset
+    (fun (n, ids) ->
+      QCheck2.assume (ids <> []);
+      let k = List.length ids in
+      let enc = Power_sum.encode ~k ids in
+      let victim = List.nth ids (List.length ids / 2) in
+      let enc' = Power_sum.subtract enc ~id:victim ~upto:k in
+      let rest = List.filter (fun i -> i <> victim) ids in
+      Power_sum.decode ~n ~deg:(List.length rest) enc' = Some rest)
+
+let () =
+  Alcotest.run "power_sum"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "encode values" `Quick test_encode_values;
+          Alcotest.test_case "encode empty" `Quick test_encode_empty;
+          Alcotest.test_case "encode guards" `Quick test_encode_guards;
+          Alcotest.test_case "encode = Vandermonde apply" `Quick test_encode_matches_vandermonde;
+          Alcotest.test_case "subtract removes member" `Quick test_subtract_is_removal;
+          Alcotest.test_case "subtract non-member" `Quick test_subtract_non_member;
+          Alcotest.test_case "decode exact" `Quick test_decode_exact;
+          Alcotest.test_case "decode prefix" `Quick test_decode_prefix;
+          Alcotest.test_case "decode empty" `Quick test_decode_empty;
+          Alcotest.test_case "decode malformed" `Quick test_decode_malformed;
+          Alcotest.test_case "decode bad degree" `Quick test_decode_bad_degree;
+          Alcotest.test_case "table = newton (exhaustive small)" `Quick test_table_matches_newton;
+          Alcotest.test_case "table entry count" `Quick test_table_entries;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_decode_inverts_encode; prop_subtract_then_decode ] );
+    ]

@@ -1,0 +1,125 @@
+open Refnet_graph
+
+let graph = Alcotest.testable (fun fmt g -> Graph.pp fmt g) Graph.equal
+
+let test_labels_roundtrip () =
+  for n1 = 1 to 5 do
+    for a = 1 to n1 do
+      for b = 1 to 4 do
+        let v = Product.pair_label ~n1 a b in
+        Alcotest.(check (pair int int)) "inverse" (a, b) (Product.unpair_label ~n1 v)
+      done
+    done
+  done
+
+let test_grid_is_path_product () =
+  (* grid w h labels (x, y) as y*w + x + 1 = pair_label over path w. *)
+  Alcotest.check graph "4x3"
+    (Generators.grid 4 3)
+    (Product.cartesian (Generators.path 4) (Generators.path 3))
+
+let test_torus_is_cycle_product () =
+  Alcotest.check graph "C4 x C3 sizes"
+    (Generators.torus 4 3)
+    (Product.cartesian (Generators.cycle 4) (Generators.cycle 3))
+
+let test_hypercube_is_k2_power () =
+  let k2 = Generators.complete 2 in
+  let cube = Product.power ~op:Product.cartesian k2 4 in
+  (* Same degree sequence, order, size and bipartite structure: the label
+     conventions differ, so compare invariants. *)
+  let h = Generators.hypercube 4 in
+  Alcotest.(check int) "order" (Graph.order h) (Graph.order cube);
+  Alcotest.(check int) "size" (Graph.size h) (Graph.size cube);
+  Alcotest.(check (list int)) "degrees" (Graph.degree_sequence h) (Graph.degree_sequence cube);
+  Alcotest.(check (option int)) "diameter" (Distance.diameter h) (Distance.diameter cube);
+  Alcotest.(check bool) "bipartite" true (Bipartite.is_bipartite cube)
+
+let test_cartesian_properties () =
+  let g = Generators.cycle 5 and h = Generators.path 3 in
+  let p = Product.cartesian g h in
+  Alcotest.(check int) "order multiplies" 15 (Graph.order p);
+  (* |E(G□H)| = |E(G)| |V(H)| + |V(G)| |E(H)| *)
+  Alcotest.(check int) "edge formula" ((5 * 3) + (5 * 2)) (Graph.size p);
+  Alcotest.(check bool) "connected" true (Connectivity.is_connected p)
+
+let test_tensor_properties () =
+  let g = Generators.cycle 5 and h = Generators.path 3 in
+  let p = Product.tensor g h in
+  (* |E(G x H)| = 2 |E(G)| |E(H)| *)
+  Alcotest.(check int) "edge formula" (2 * 5 * 2) (Graph.size p);
+  (* Tensor with bipartite factor is bipartite. *)
+  Alcotest.(check bool) "bipartite factor" true (Bipartite.is_bipartite (Product.tensor g (Generators.path 2)))
+
+let test_strong_is_union () =
+  let g = Generators.path 3 and h = Generators.path 2 in
+  let c = Product.cartesian g h and t = Product.tensor g h and s = Product.strong g h in
+  Alcotest.(check int) "sizes add (disjoint edge sets)" (Graph.size c + Graph.size t)
+    (Graph.size s);
+  Alcotest.(check bool) "cartesian subgraph" true (Graph.is_subgraph c s);
+  Alcotest.(check bool) "tensor subgraph" true (Graph.is_subgraph t s)
+
+let test_power_guard () =
+  Alcotest.check_raises "d=0" (Invalid_argument "Product.power: need d >= 1") (fun () ->
+      ignore (Product.power ~op:Product.cartesian (Generators.path 2) 0))
+
+let test_random_regular () =
+  let r = Random.State.make [| 8 |] in
+  List.iter
+    (fun (n, d) ->
+      let g = Generators.random_regular r n ~d in
+      Alcotest.(check int) (Printf.sprintf "(%d,%d) min" n d) d (Graph.min_degree g);
+      Alcotest.(check int) (Printf.sprintf "(%d,%d) max" n d) d (Graph.max_degree g))
+    [ (8, 3); (10, 4); (12, 2); (7, 0); (6, 5) ];
+  Alcotest.check_raises "odd nd" (Invalid_argument "Generators.random_regular: n * d must be even")
+    (fun () -> ignore (Generators.random_regular r 5 ~d:3));
+  Alcotest.check_raises "d too big" (Invalid_argument "Generators.random_regular: need 0 <= d < n")
+    (fun () -> ignore (Generators.random_regular r 4 ~d:4))
+
+let prop_cartesian_degree_sum =
+  QCheck2.Test.make ~name:"deg_{G□H}(a,b) = deg_G(a) + deg_H(b)" ~count:60
+    QCheck2.Gen.(pair int int)
+    (fun (s1, s2) ->
+      let g = Generators.gnp (Random.State.make [| s1 |]) 5 0.5 in
+      let h = Generators.gnp (Random.State.make [| s2 |]) 4 0.5 in
+      let p = Product.cartesian g h in
+      let ok = ref true in
+      for a = 1 to 5 do
+        for b = 1 to 4 do
+          if Graph.degree p (Product.pair_label ~n1:5 a b) <> Graph.degree g a + Graph.degree h b
+          then ok := false
+        done
+      done;
+      !ok)
+
+let prop_product_protocol_roundtrip =
+  (* Products of sparse graphs stay sparse-ish: the degeneracy protocol
+     reconstructs them at their own degeneracy — an integration check
+     between the product substrate and the core protocol. *)
+  QCheck2.Test.make ~name:"cartesian products reconstruct at their degeneracy" ~count:20
+    QCheck2.Gen.int (fun seed ->
+      let g = Generators.random_tree (Random.State.make [| seed |]) 4 in
+      let h = Generators.random_tree (Random.State.make [| seed + 1 |]) 4 in
+      let p = Product.cartesian g h in
+      let k = max 1 (Degeneracy.degeneracy p) in
+      fst (Core.Simulator.run (Core.Degeneracy_protocol.reconstruct ~k ()) p) = Some p)
+
+let () =
+  Alcotest.run "product"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "label roundtrip" `Quick test_labels_roundtrip;
+          Alcotest.test_case "grid = path product" `Quick test_grid_is_path_product;
+          Alcotest.test_case "torus = cycle product" `Quick test_torus_is_cycle_product;
+          Alcotest.test_case "hypercube = K2 power" `Quick test_hypercube_is_k2_power;
+          Alcotest.test_case "cartesian formulas" `Quick test_cartesian_properties;
+          Alcotest.test_case "tensor formulas" `Quick test_tensor_properties;
+          Alcotest.test_case "strong = union" `Quick test_strong_is_union;
+          Alcotest.test_case "power guard" `Quick test_power_guard;
+          Alcotest.test_case "random regular" `Quick test_random_regular;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_cartesian_degree_sum; prop_product_protocol_roundtrip ] );
+    ]

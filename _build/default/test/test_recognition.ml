@@ -1,0 +1,68 @@
+open Refnet_graph
+
+let accepts ?decoder k g = fst (Core.Simulator.run (Core.Recognition.degeneracy_at_most ?decoder k) g)
+
+let test_accepts_within_budget () =
+  Alcotest.(check bool) "forest at 1" true (accepts 1 (Generators.complete_binary_tree 15));
+  Alcotest.(check bool) "grid at 2" true (accepts 2 (Generators.grid 4 4));
+  Alcotest.(check bool) "apollonian at 3" true
+    (accepts 3 (Generators.random_apollonian (Random.State.make [| 1 |]) 20))
+
+let test_rejects_above_budget () =
+  Alcotest.(check bool) "cycle at 1" false (accepts 1 (Generators.cycle 6));
+  Alcotest.(check bool) "K5 at 3" false (accepts 3 (Generators.complete 5));
+  Alcotest.(check bool) "petersen at 2" false (accepts 2 (Generators.petersen ()))
+
+let test_threshold_is_sharp () =
+  (* For each family, acceptance flips exactly at the true degeneracy. *)
+  List.iter
+    (fun g ->
+      let d = max 1 (Degeneracy.degeneracy g) in
+      Alcotest.(check bool) "at degeneracy" true (accepts d g);
+      if d > 1 then Alcotest.(check bool) "below degeneracy" false (accepts (d - 1) g))
+    [
+      Generators.cycle 7;
+      Generators.complete 6;
+      Generators.grid 3 5;
+      Generators.petersen ();
+      Generators.wheel 8;
+    ]
+
+let test_is_forest_alias () =
+  Alcotest.(check bool) "tree" true
+    (fst (Core.Simulator.run Core.Recognition.is_forest (Generators.path 5)));
+  Alcotest.(check bool) "cycle" false
+    (fst (Core.Simulator.run Core.Recognition.is_forest (Generators.cycle 5)))
+
+let test_reconstruct_and_check () =
+  (* Once the referee has the graph it can decide anything: e.g. "is the
+     input connected?" over degeneracy-2 inputs. *)
+  let p = Core.Recognition.reconstruct_and_check ~k:2 ~check:Connectivity.is_connected () in
+  Alcotest.(check (option bool)) "connected grid" (Some true)
+    (fst (Core.Simulator.run p (Generators.grid 3 3)));
+  Alcotest.(check (option bool)) "two cycles" (Some false)
+    (fst (Core.Simulator.run p (Graph.disjoint_union (Generators.cycle 4) (Generators.cycle 3))));
+  Alcotest.(check (option bool)) "over budget" None
+    (fst (Core.Simulator.run p (Generators.complete 5)))
+
+let prop_recognizer_matches_degeneracy =
+  QCheck2.Test.make ~name:"recognizer decides degeneracy <= k exactly" ~count:120
+    QCheck2.Gen.(triple (int_range 1 15) (int_range 1 4) int)
+    (fun (n, k, seed) ->
+      let rng = Random.State.make [| seed; n; k |] in
+      let g = Generators.gnp rng n 0.45 in
+      accepts k g = (Degeneracy.degeneracy g <= k))
+
+let () =
+  Alcotest.run "recognition"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "accepts within budget" `Quick test_accepts_within_budget;
+          Alcotest.test_case "rejects above budget" `Quick test_rejects_above_budget;
+          Alcotest.test_case "threshold sharp" `Quick test_threshold_is_sharp;
+          Alcotest.test_case "is_forest alias" `Quick test_is_forest_alias;
+          Alcotest.test_case "reconstruct and check" `Quick test_reconstruct_and_check;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_recognizer_matches_degeneracy ]);
+    ]

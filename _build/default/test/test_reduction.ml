@@ -1,0 +1,143 @@
+open Refnet_graph
+
+let graph = Alcotest.testable (fun fmt g -> Graph.pp fmt g) Graph.equal
+
+let test_oracles_correct () =
+  let sq g = fst (Core.Simulator.run Core.Reduction.square_oracle g) in
+  let di g = fst (Core.Simulator.run Core.Reduction.diameter3_oracle g) in
+  let tr g = fst (Core.Simulator.run Core.Reduction.triangle_oracle g) in
+  Alcotest.(check bool) "C4 square" true (sq (Generators.cycle 4));
+  Alcotest.(check bool) "C5 no square" false (sq (Generators.cycle 5));
+  Alcotest.(check bool) "K4 triangle" true (tr (Generators.complete 4));
+  Alcotest.(check bool) "grid no triangle" false (tr (Generators.grid 3 3));
+  Alcotest.(check bool) "star diam 2" true (di (Generators.star 8));
+  Alcotest.(check bool) "P6 diam 5" false (di (Generators.path 6))
+
+let test_delta_square_reconstructs () =
+  let delta = Core.Reduction.square ~oracle:Core.Reduction.square_oracle in
+  List.iter
+    (fun (name, g) -> Alcotest.check graph name g (fst (Core.Simulator.run delta g)))
+    [
+      ("tree", Generators.random_tree (Random.State.make [| 1 |]) 9);
+      ("square-free", Generators.random_square_free (Random.State.make [| 2 |]) 8 ~attempts:100);
+      ("C5", Generators.cycle 5);
+      ("edgeless", Graph.empty 5);
+    ]
+
+let test_delta_diameter_reconstructs () =
+  let delta = Core.Reduction.diameter ~oracle:Core.Reduction.diameter3_oracle in
+  List.iter
+    (fun (name, g) -> Alcotest.check graph name g (fst (Core.Simulator.run delta g)))
+    [
+      ("arbitrary gnp", Generators.gnp (Random.State.make [| 3 |]) 9 0.4);
+      ("with a triangle", Generators.complete 5);
+      ("disconnected", Graph.disjoint_union (Generators.path 3) (Generators.cycle 4));
+      ("petersen", Generators.petersen ());
+    ]
+
+let test_delta_triangle_reconstructs () =
+  let delta = Core.Reduction.triangle ~oracle:Core.Reduction.triangle_oracle in
+  List.iter
+    (fun (name, g) -> Alcotest.check graph name g (fst (Core.Simulator.run delta g)))
+    [
+      ("bipartite", Generators.random_bipartite (Random.State.make [| 4 |]) ~left:4 ~right:5 0.5);
+      ("even cycle", Generators.cycle 8);
+      ("tree", Generators.random_tree (Random.State.make [| 5 |]) 10);
+    ]
+
+let test_blowup_accounting () =
+  (* Theorem 1: |Δ message| = oracle size at 2n; Theorems 2/3: three/two
+     oracle messages plus framing. *)
+  let n = 12 in
+  let g = Generators.random_tree (Random.State.make [| 6 |]) n in
+  let oracle_bits m = m in
+  let _, t_sq =
+    Core.Simulator.run (Core.Reduction.square ~oracle:Core.Reduction.square_oracle) g
+  in
+  Alcotest.(check int) "square: exactly the 2n oracle message"
+    (Core.Bounds.reduction_blowup_square ~bits:oracle_bits n)
+    t_sq.Core.Simulator.max_bits;
+  let _, t_di =
+    Core.Simulator.run (Core.Reduction.diameter ~oracle:Core.Reduction.diameter3_oracle) g
+  in
+  Alcotest.(check bool) "diameter: >= 3 oracle messages" true
+    (t_di.Core.Simulator.max_bits >= Core.Bounds.reduction_blowup_diameter ~bits:oracle_bits n);
+  Alcotest.(check bool) "diameter: framing stays logarithmic" true
+    (t_di.Core.Simulator.max_bits
+    <= Core.Bounds.reduction_blowup_diameter ~bits:oracle_bits n
+       + (3 * ((2 * Core.Bounds.id_bits (n + 3)) + 1)));
+  let _, t_tr =
+    Core.Simulator.run (Core.Reduction.triangle ~oracle:Core.Reduction.triangle_oracle) g
+  in
+  Alcotest.(check bool) "triangle: >= 2 oracle messages" true
+    (t_tr.Core.Simulator.max_bits >= Core.Bounds.reduction_blowup_triangle ~bits:oracle_bits n)
+
+let test_delta_square_with_frugal_oracle_on_restricted_family () =
+  (* A frugal oracle that is only correct on gadgets of bounded-degree
+     square-free graphs: degree-bounded adjacency shipping at size 2n.
+     Demonstrates the reduction machinery is oracle-agnostic. *)
+  let frugal_oracle : bool Core.Protocol.t =
+    {
+      name = "bounded-degree-square-decider";
+      local =
+        (fun ~n ~id ~neighbors ->
+          (Core.Bounded_degree.reconstruct ~max_degree:4).Core.Protocol.local ~n ~id ~neighbors);
+      global =
+        (fun ~n msgs ->
+          match (Core.Bounded_degree.reconstruct ~max_degree:4).Core.Protocol.global ~n msgs with
+          | Some g -> Cycles.has_square g
+          | None -> false);
+    }
+  in
+  let delta = Core.Reduction.square ~oracle:frugal_oracle in
+  let g = Generators.path 8 in
+  Alcotest.check graph "path via frugal oracle" g (fst (Core.Simulator.run delta g))
+
+let prop_delta_square_on_trees =
+  QCheck2.Test.make ~name:"Δ-square reconstructs every random tree" ~count:25
+    QCheck2.Gen.(pair (int_range 2 10) int)
+    (fun (n, seed) ->
+      let g = Generators.random_tree (Random.State.make [| seed; n |]) n in
+      let delta = Core.Reduction.square ~oracle:Core.Reduction.square_oracle in
+      Graph.equal g (fst (Core.Simulator.run delta g)))
+
+let prop_delta_diameter_on_gnp =
+  QCheck2.Test.make ~name:"Δ-diameter reconstructs arbitrary G(n,p)" ~count:20
+    QCheck2.Gen.(pair (int_range 2 8) int)
+    (fun (n, seed) ->
+      let g = Generators.gnp (Random.State.make [| seed; n |]) n 0.5 in
+      let delta = Core.Reduction.diameter ~oracle:Core.Reduction.diameter3_oracle in
+      Graph.equal g (fst (Core.Simulator.run delta g)))
+
+let prop_delta_triangle_on_bipartite =
+  QCheck2.Test.make ~name:"Δ-triangle reconstructs random bipartite" ~count:20
+    QCheck2.Gen.(pair (int_range 1 5) int)
+    (fun (half, seed) ->
+      let g =
+        Generators.random_bipartite (Random.State.make [| seed; half |]) ~left:half ~right:half 0.6
+      in
+      let delta = Core.Reduction.triangle ~oracle:Core.Reduction.triangle_oracle in
+      Graph.equal g (fst (Core.Simulator.run delta g)))
+
+let () =
+  Alcotest.run "reduction"
+    [
+      ( "oracles",
+        [ Alcotest.test_case "reference oracles correct" `Quick test_oracles_correct ] );
+      ( "delta protocols",
+        [
+          Alcotest.test_case "Δ-square (Algorithm 1)" `Quick test_delta_square_reconstructs;
+          Alcotest.test_case "Δ-diameter (Algorithm 2)" `Quick test_delta_diameter_reconstructs;
+          Alcotest.test_case "Δ-triangle (Theorem 3)" `Quick test_delta_triangle_reconstructs;
+          Alcotest.test_case "message blow-up accounting" `Quick test_blowup_accounting;
+          Alcotest.test_case "frugal oracle variant" `Quick
+            test_delta_square_with_frugal_oracle_on_restricted_family;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_delta_square_on_trees;
+            prop_delta_diameter_on_gnp;
+            prop_delta_triangle_on_bipartite;
+          ] );
+    ]

@@ -1,0 +1,134 @@
+open Refnet_graph
+
+let decide ?(seed = 4242) g =
+  fst (Core.Simulator.run (Core.Sketch_connectivity.protocol ~seed ()) g)
+
+let test_edge_index_roundtrip () =
+  let idx = ref (-1) in
+  for v = 2 to 40 do
+    for u = 1 to v - 1 do
+      let i = Core.Sketch_connectivity.edge_index ~u ~v in
+      Alcotest.(check int) "dense and increasing" (!idx + 1) i;
+      idx := i;
+      Alcotest.(check (pair int int)) "inverse" (u, v) (Core.Sketch_connectivity.edge_of_index i)
+    done
+  done
+
+let test_edge_index_symmetric () =
+  Alcotest.(check int) "orientation-free"
+    (Core.Sketch_connectivity.edge_index ~u:3 ~v:11)
+    (Core.Sketch_connectivity.edge_index ~u:11 ~v:3)
+
+let test_connected_families () =
+  List.iter
+    (fun (name, g) -> Alcotest.(check bool) name true (decide g))
+    [
+      ("path", Generators.path 20);
+      ("cycle", Generators.cycle 17);
+      ("grid", Generators.grid 5 5);
+      ("star", Generators.star 30);
+      ("tree", Generators.random_tree (Random.State.make [| 3 |]) 40);
+      ("complete", Generators.complete 12);
+      ("singleton", Graph.empty 1);
+      ("empty", Graph.empty 0);
+    ]
+
+let test_disconnected_families_never_pass () =
+  (* One-sided error: disconnection is detected with certainty up to
+     fingerprint collisions; check across many seeds. *)
+  let graphs =
+    [
+      ("two cliques", Graph.disjoint_union (Generators.complete 6) (Generators.complete 5));
+      ("isolated vertex", Graph.add_vertices (Generators.cycle 9) 1);
+      ("edgeless", Graph.empty 7);
+      ("three parts", Graph.disjoint_union (Generators.path 4) (Graph.disjoint_union (Generators.cycle 3) (Generators.path 2)));
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      for seed = 1 to 25 do
+        Alcotest.(check bool) (Printf.sprintf "%s seed %d" name seed) false (decide ~seed g)
+      done)
+    graphs
+
+let test_connected_high_success_rate () =
+  let rng = Random.State.make [| 77 |] in
+  let successes = ref 0 in
+  let trials = 50 in
+  for seed = 1 to trials do
+    let g = Generators.random_connected rng 30 0.1 in
+    if decide ~seed g then incr successes
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/%d connected verdicts" !successes trials)
+    true
+    (!successes >= trials - 2)
+
+let test_message_size_polylog () =
+  (* O(log^3 n) bits: at n = 256 the sketch messages must beat the n-bit
+     incidence vector baseline... they do not yet at this constant-heavy
+     size, but they must grow by at most ~(log n)^3 between doublings. *)
+  let b256 = Core.Sketch_connectivity.message_bits ~n:256 () in
+  let b512 = Core.Sketch_connectivity.message_bits ~n:512 () in
+  Alcotest.(check bool) "subquadratic growth between doublings" true
+    (float_of_int b512 /. float_of_int b256 < 1.5);
+  (* The crossover against the n-bit full-information message. *)
+  Alcotest.(check bool) "polylog beats n for large n" true
+    (Core.Sketch_connectivity.message_bits ~n:65536 () < 65536)
+
+let test_exact_transcript_size () =
+  let n = 20 in
+  let g = Generators.cycle n in
+  let _, t = Core.Simulator.run (Core.Sketch_connectivity.protocol ~seed:1 ()) g in
+  Alcotest.(check int) "every node at the formula size"
+    (Core.Sketch_connectivity.message_bits ~n ())
+    t.Core.Simulator.max_bits
+
+let test_seed_is_shared_randomness () =
+  (* Different seeds may flip failure cases but must agree on the truth
+     of easy instances; and identical seeds are deterministic. *)
+  let g = Generators.grid 4 4 in
+  Alcotest.(check bool) "deterministic" (decide ~seed:5 g) (decide ~seed:5 g)
+
+let prop_matches_truth_mostly =
+  QCheck2.Test.make ~name:"sketch verdict: sound on disconnected, complete w.h.p." ~count:100
+    QCheck2.Gen.(triple (int_range 2 25) (int_range 0 10) int)
+    (fun (n, p10, seed) ->
+      let rng = Random.State.make [| seed; n; p10 |] in
+      let g = Generators.gnp rng n (float_of_int p10 /. 10.0) in
+      let verdict = decide ~seed:(abs seed + 1) g in
+      if Connectivity.is_connected g then true (* completeness tested statistically above *)
+      else verdict = false)
+
+let prop_rounds_monotone =
+  QCheck2.Test.make ~name:"more Borůvka rounds never hurt" ~count:30
+    QCheck2.Gen.(pair (int_range 2 20) int)
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; n |] in
+      let g = Generators.random_connected rng n 0.15 in
+      let run rounds =
+        fst (Core.Simulator.run (Core.Sketch_connectivity.protocol ~seed:9 ~rounds ()) g)
+      in
+      (not (run 3)) || run 8)
+
+let () =
+  Alcotest.run "sketch_connectivity"
+    [
+      ( "edge indexing",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_edge_index_roundtrip;
+          Alcotest.test_case "symmetric" `Quick test_edge_index_symmetric;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "connected families" `Quick test_connected_families;
+          Alcotest.test_case "disconnected never pass" `Quick test_disconnected_families_never_pass;
+          Alcotest.test_case "high success rate" `Quick test_connected_high_success_rate;
+          Alcotest.test_case "polylog message size" `Quick test_message_size_polylog;
+          Alcotest.test_case "exact transcript size" `Quick test_exact_transcript_size;
+          Alcotest.test_case "shared-seed determinism" `Quick test_seed_is_shared_randomness;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_matches_truth_mostly; prop_rounds_monotone ]
+      );
+    ]

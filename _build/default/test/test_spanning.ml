@@ -1,0 +1,91 @@
+open Refnet_graph
+
+let test_spanning_forest_tree_count () =
+  let g = Generators.cycle 6 in
+  Alcotest.(check int) "n-1 edges" 5 (List.length (Spanning.spanning_forest g));
+  let f = Graph.of_edges 7 [ (1, 2); (3, 4); (4, 5) ] in
+  Alcotest.(check int) "n - components" 3 (List.length (Spanning.spanning_forest f))
+
+let test_spanning_forest_edges_real () =
+  let g = Generators.grid 3 3 in
+  List.iter
+    (fun (u, v) -> Alcotest.(check bool) "edge exists" true (Graph.has_edge g u v))
+    (Spanning.spanning_forest g)
+
+let test_forest_of_edges_duplicates () =
+  let forest = Spanning.forest_of_edges ~n:3 [ (1, 2); (2, 1); (2, 3); (3, 2); (1, 3) ] in
+  Alcotest.(check int) "two edges" 2 (List.length forest)
+
+let test_forest_of_edges_guards () =
+  Alcotest.check_raises "loop" (Invalid_argument "Spanning.forest_of_edges: self-loop")
+    (fun () -> ignore (Spanning.forest_of_edges ~n:3 [ (2, 2) ]));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Spanning.forest_of_edges: endpoint out of range") (fun () ->
+      ignore (Spanning.forest_of_edges ~n:3 [ (1, 4) ]))
+
+let test_is_forest () =
+  Alcotest.(check bool) "tree" true (Spanning.is_forest (Generators.random_tree (Random.State.make [| 1 |]) 12));
+  Alcotest.(check bool) "cycle" false (Spanning.is_forest (Generators.cycle 5));
+  Alcotest.(check bool) "empty" true (Spanning.is_forest (Graph.empty 4))
+
+let test_union_find () =
+  let uf = Union_find.create 5 in
+  Alcotest.(check int) "initial sets" 5 (Union_find.count uf);
+  Alcotest.(check bool) "fresh union" true (Union_find.union uf 0 1);
+  Alcotest.(check bool) "repeat union" false (Union_find.union uf 1 0);
+  ignore (Union_find.union uf 2 3);
+  Alcotest.(check int) "after merges" 3 (Union_find.count uf);
+  Alcotest.(check bool) "same" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "not same" false (Union_find.same uf 0 2)
+
+let gen_graph =
+  QCheck2.Gen.(
+    bind (int_range 1 24) (fun n ->
+        map
+          (fun seed -> Refnet_graph.Generators.gnp (Random.State.make [| seed; n * 7 |]) n 0.2)
+          int))
+
+let prop_forest_preserves_connectivity =
+  QCheck2.Test.make ~name:"spanning forest has the same components" ~count:200 gen_graph
+    (fun g ->
+      let f = Graph.of_edges (Graph.order g) (Spanning.spanning_forest g) in
+      Connectivity.components g = Connectivity.components f)
+
+let prop_forest_is_acyclic =
+  QCheck2.Test.make ~name:"spanning forest is a forest" ~count:200 gen_graph (fun g ->
+      Spanning.is_forest (Graph.of_edges (Graph.order g) (Spanning.spanning_forest g)))
+
+(* The forest-union lemma backing the coalition connectivity protocol:
+   partition the edges arbitrarily, take per-class spanning forests, the
+   union preserves the component structure. *)
+let prop_forest_union_lemma =
+  QCheck2.Test.make ~name:"union of per-class spanning forests preserves components"
+    ~count:200
+    QCheck2.Gen.(pair gen_graph (int_range 1 5))
+    (fun (g, classes) ->
+      let n = Graph.order g in
+      let buckets = Array.make classes [] in
+      List.iteri (fun i e -> buckets.(i mod classes) <- e :: buckets.(i mod classes)) (Graph.edges g);
+      let union_edges =
+        Array.to_list buckets |> List.concat_map (fun es -> Spanning.forest_of_edges ~n es)
+      in
+      let h = Graph.of_edges n union_edges in
+      Connectivity.components g = Connectivity.components h)
+
+let () =
+  Alcotest.run "spanning"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "forest edge counts" `Quick test_spanning_forest_tree_count;
+          Alcotest.test_case "forest edges exist" `Quick test_spanning_forest_edges_real;
+          Alcotest.test_case "duplicate edges" `Quick test_forest_of_edges_duplicates;
+          Alcotest.test_case "guards" `Quick test_forest_of_edges_guards;
+          Alcotest.test_case "is_forest" `Quick test_is_forest;
+          Alcotest.test_case "union-find" `Quick test_union_find;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_forest_preserves_connectivity; prop_forest_is_acyclic; prop_forest_union_lemma ]
+      );
+    ]

@@ -1,0 +1,116 @@
+open Refnet_graph
+
+let test_contains_basic () =
+  let g = Generators.petersen () in
+  Alcotest.(check bool) "C5 in petersen" true (Subgraph.contains ~pattern:(Subgraph.cycle_pattern 5) g);
+  Alcotest.(check bool) "no C4 (girth 5)" false (Subgraph.contains ~pattern:(Subgraph.cycle_pattern 4) g);
+  Alcotest.(check bool) "no K3" false (Subgraph.contains ~pattern:(Subgraph.clique_pattern 3) g);
+  Alcotest.(check bool) "P4" true (Subgraph.contains ~pattern:(Subgraph.path_pattern 4) g);
+  Alcotest.(check bool) "claw" true (Subgraph.contains ~pattern:(Subgraph.star_pattern 4) g)
+
+let test_contains_edge_cases () =
+  let g = Generators.path 3 in
+  Alcotest.(check bool) "empty pattern" true (Subgraph.contains ~pattern:(Graph.empty 0) g);
+  Alcotest.(check bool) "single vertex" true (Subgraph.contains ~pattern:(Graph.empty 1) g);
+  Alcotest.(check bool) "pattern too big" false
+    (Subgraph.contains ~pattern:(Subgraph.path_pattern 4) g);
+  (* Edgeless pattern on <= n vertices always embeds. *)
+  Alcotest.(check bool) "3 isolated" true (Subgraph.contains ~pattern:(Graph.empty 3) g)
+
+let test_find_witness_valid () =
+  let g = Generators.grid 3 3 in
+  let pattern = Subgraph.cycle_pattern 4 in
+  match Subgraph.find ~pattern g with
+  | None -> Alcotest.fail "grid contains C4"
+  | Some a ->
+    Graph.iter_edges pattern (fun u v ->
+        Alcotest.(check bool)
+          (Printf.sprintf "edge %d-%d mapped" u v)
+          true
+          (Graph.has_edge g a.(u - 1) a.(v - 1)));
+    let images = Array.to_list a in
+    Alcotest.(check int) "injective" 4 (List.length (List.sort_uniq compare images))
+
+let test_count_known () =
+  (* Labelled copies: K3 in K3 = 3! = 6 embeddings; C4 in C4 = 8
+     (4 rotations x 2 reflections). *)
+  Alcotest.(check int) "K3 in K3" 6
+    (Subgraph.count ~pattern:(Subgraph.clique_pattern 3) (Generators.complete 3));
+  Alcotest.(check int) "C4 in C4" 8
+    (Subgraph.count ~pattern:(Subgraph.cycle_pattern 4) (Generators.cycle 4));
+  (* Edges (P2) in K4: 2 * C(4,2) = 12 ordered pairs. *)
+  Alcotest.(check int) "P2 in K4" 12
+    (Subgraph.count ~pattern:(Subgraph.path_pattern 2) (Generators.complete 4));
+  (* Triangles in K4: 4 triangles x 6 labelled embeddings. *)
+  Alcotest.(check int) "K3 in K4" 24
+    (Subgraph.count ~pattern:(Subgraph.clique_pattern 3) (Generators.complete 4))
+
+let test_induced () =
+  (* C4 is a subgraph of K4 but not an induced one. *)
+  let k4 = Generators.complete 4 in
+  Alcotest.(check bool) "C4 subgraph of K4" true
+    (Subgraph.contains ~pattern:(Subgraph.cycle_pattern 4) k4);
+  Alcotest.(check bool) "C4 not induced in K4" false
+    (Subgraph.induced_contains ~pattern:(Subgraph.cycle_pattern 4) k4);
+  Alcotest.(check bool) "C4 induced in grid" true
+    (Subgraph.induced_contains ~pattern:(Subgraph.cycle_pattern 4) (Generators.grid 2 2));
+  (* P3 induced in a path but not in a triangle. *)
+  Alcotest.(check bool) "P3 induced in P3" true
+    (Subgraph.induced_contains ~pattern:(Subgraph.path_pattern 3) (Generators.path 3));
+  Alcotest.(check bool) "P3 not induced in K3" false
+    (Subgraph.induced_contains ~pattern:(Subgraph.path_pattern 3) (Generators.complete 3))
+
+let gen_small =
+  QCheck2.Gen.(
+    bind (int_range 1 9) (fun n ->
+        map (fun seed -> Generators.gnp (Random.State.make [| seed; n |]) n 0.4) int))
+
+let prop_matches_cycles_triangle =
+  QCheck2.Test.make ~name:"K3 pattern agrees with Cycles.has_triangle" ~count:150 gen_small
+    (fun g -> Subgraph.contains ~pattern:(Subgraph.clique_pattern 3) g = Cycles.has_triangle g)
+
+let prop_matches_cycles_square =
+  QCheck2.Test.make ~name:"C4 pattern agrees with Cycles.has_square" ~count:150 gen_small
+    (fun g -> Subgraph.contains ~pattern:(Subgraph.cycle_pattern 4) g = Cycles.has_square g)
+
+let prop_monotone_in_edges =
+  QCheck2.Test.make ~name:"adding edges never destroys containment" ~count:100 gen_small
+    (fun g ->
+      let pattern = Subgraph.path_pattern 3 in
+      let denser = Graph.add_edges g (if Graph.order g >= 2 then [ (1, Graph.order g) ] else []) in
+      QCheck2.assume (Graph.order g >= 2 && not (Graph.has_edge g 1 (Graph.order g)));
+      (not (Subgraph.contains ~pattern g)) || Subgraph.contains ~pattern denser)
+
+let prop_count_matches_triangle_count =
+  (* Each unordered triangle has 3! labelled embeddings. *)
+  QCheck2.Test.make ~name:"K3 embedding count = 6 * triangle count" ~count:100 gen_small
+    (fun g ->
+      Subgraph.count ~pattern:(Subgraph.clique_pattern 3) g = 6 * Cycles.triangle_count g)
+
+let prop_induced_implies_subgraph =
+  QCheck2.Test.make ~name:"induced containment implies containment" ~count:100 gen_small
+    (fun g ->
+      let pattern = Subgraph.path_pattern 3 in
+      (not (Subgraph.induced_contains ~pattern g)) || Subgraph.contains ~pattern g)
+
+let () =
+  Alcotest.run "subgraph"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basics" `Quick test_contains_basic;
+          Alcotest.test_case "edge cases" `Quick test_contains_edge_cases;
+          Alcotest.test_case "witness valid" `Quick test_find_witness_valid;
+          Alcotest.test_case "known counts" `Quick test_count_known;
+          Alcotest.test_case "induced" `Quick test_induced;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_matches_cycles_triangle;
+            prop_matches_cycles_square;
+            prop_monotone_in_edges;
+            prop_count_matches_triangle_count;
+            prop_induced_implies_subgraph;
+          ] );
+    ]

@@ -1,0 +1,144 @@
+open Refnet_graph
+
+let test_bfs_distances_path () =
+  let g = Generators.path 5 in
+  Alcotest.(check (array int)) "from 1" [| 0; 1; 2; 3; 4 |] (Traversal.bfs_distances g 1);
+  Alcotest.(check (array int)) "from 3" [| 2; 1; 0; 1; 2 |] (Traversal.bfs_distances g 3)
+
+let test_bfs_unreachable () =
+  let g = Graph.of_edges 4 [ (1, 2) ] in
+  Alcotest.(check (array int)) "isolated at -1" [| 0; 1; -1; -1 |] (Traversal.bfs_distances g 1)
+
+let test_bfs_order () =
+  let g = Generators.star 5 in
+  Alcotest.(check (list int)) "center first, leaves in id order" [ 1; 2; 3; 4; 5 ]
+    (Traversal.bfs_order g 1)
+
+let test_bfs_tree () =
+  let g = Generators.cycle 4 in
+  let t = Traversal.bfs_tree g 1 in
+  Alcotest.(check int) "3 tree edges" 3 (List.length t);
+  List.iter (fun (u, v) -> Alcotest.(check bool) "tree edge real" true (Graph.has_edge g u v)) t
+
+let test_dfs_order () =
+  let g = Generators.path 4 in
+  Alcotest.(check (list int)) "left to right" [ 1; 2; 3; 4 ] (Traversal.dfs_order g 1);
+  Alcotest.(check (list int)) "from the middle" [ 2; 1; 3; 4 ] (Traversal.dfs_order g 2)
+
+let test_source_guard () =
+  Alcotest.check_raises "out of range" (Invalid_argument "Traversal: source out of range")
+    (fun () -> ignore (Traversal.bfs_distances (Graph.empty 3) 4))
+
+let test_components () =
+  let g = Graph.of_edges 6 [ (1, 2); (2, 3); (5, 6) ] in
+  Alcotest.(check int) "count" 3 (Connectivity.component_count g);
+  Alcotest.(check bool) "not connected" false (Connectivity.is_connected g);
+  Alcotest.(check (list (list int))) "members" [ [ 1; 2; 3 ]; [ 4 ]; [ 5; 6 ] ]
+    (Connectivity.component_members g);
+  Alcotest.(check bool) "same" true (Connectivity.same_component g 1 3);
+  Alcotest.(check bool) "different" false (Connectivity.same_component g 1 5)
+
+let test_empty_graph_connectivity () =
+  Alcotest.(check bool) "empty connected" true (Connectivity.is_connected (Graph.empty 0));
+  Alcotest.(check bool) "singleton connected" true (Connectivity.is_connected (Graph.empty 1))
+
+let test_distance_matrix () =
+  let g = Generators.cycle 5 in
+  let d = Distance.pairwise g in
+  Alcotest.(check int) "d(1,3)" 2 d.(0).(2);
+  Alcotest.(check int) "d(1,4)" 2 d.(0).(3);
+  Alcotest.(check int) "symmetric" d.(2).(0) d.(0).(2)
+
+let test_diameter_radius () =
+  let g = Generators.path 7 in
+  Alcotest.(check (option int)) "diameter" (Some 6) (Distance.diameter g);
+  Alcotest.(check (option int)) "radius" (Some 3) (Distance.radius g);
+  Alcotest.(check (option int)) "disconnected" None (Distance.diameter (Graph.empty 3));
+  Alcotest.(check (option int)) "single vertex" (Some 0) (Distance.diameter (Graph.empty 1))
+
+let test_diameter_at_most () =
+  let g = Generators.cycle 8 in
+  Alcotest.(check bool) "diam 4 <= 4" true (Distance.diameter_at_most g 4);
+  Alcotest.(check bool) "diam 4 <= 3" false (Distance.diameter_at_most g 3);
+  Alcotest.(check bool) "disconnected never" false (Distance.diameter_at_most (Graph.empty 2) 5)
+
+let test_eccentricity () =
+  let g = Generators.star 6 in
+  Alcotest.(check int) "center" 1 (Distance.eccentricity g 1);
+  Alcotest.(check int) "leaf" 2 (Distance.eccentricity g 4)
+
+let test_distance_pair () =
+  let g = Generators.grid 3 3 in
+  Alcotest.(check (option int)) "corner to corner" (Some 4) (Distance.distance g 1 9);
+  Alcotest.(check (option int)) "disconnected" None (Distance.distance (Graph.empty 2) 1 2)
+
+let gen_connected =
+  QCheck2.Gen.(
+    bind (int_range 2 24) (fun n ->
+        map
+          (fun seed ->
+            let rng = Random.State.make [| seed; n |] in
+            Refnet_graph.Generators.random_connected rng n 0.15)
+          int))
+
+let prop_bfs_matches_pairwise =
+  QCheck2.Test.make ~name:"bfs distances agree with the full matrix" ~count:100 gen_connected
+    (fun g ->
+      let d = Distance.pairwise g in
+      let ok = ref true in
+      List.iter
+        (fun v ->
+          let row = Traversal.bfs_distances g v in
+          if row <> d.(v - 1) then ok := false)
+        (Graph.vertices g);
+      !ok)
+
+let prop_triangle_inequality =
+  QCheck2.Test.make ~name:"hop metric triangle inequality" ~count:80 gen_connected (fun g ->
+      let d = Distance.pairwise g in
+      let n = Graph.order g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          for w = 0 to n - 1 do
+            if d.(u).(v) > d.(u).(w) + d.(w).(v) then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let prop_diameter_is_max =
+  QCheck2.Test.make ~name:"diameter = max pairwise distance" ~count:80 gen_connected (fun g ->
+      let d = Distance.pairwise g in
+      let m = Array.fold_left (fun acc row -> Array.fold_left max acc row) 0 d in
+      Distance.diameter g = Some m)
+
+let () =
+  Alcotest.run "traversal"
+    [
+      ( "bfs/dfs",
+        [
+          Alcotest.test_case "bfs distances on a path" `Quick test_bfs_distances_path;
+          Alcotest.test_case "bfs unreachable" `Quick test_bfs_unreachable;
+          Alcotest.test_case "bfs order" `Quick test_bfs_order;
+          Alcotest.test_case "bfs tree" `Quick test_bfs_tree;
+          Alcotest.test_case "dfs order" `Quick test_dfs_order;
+          Alcotest.test_case "source guard" `Quick test_source_guard;
+        ] );
+      ( "connectivity",
+        [
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "empty graphs" `Quick test_empty_graph_connectivity;
+        ] );
+      ( "distance",
+        [
+          Alcotest.test_case "pairwise matrix" `Quick test_distance_matrix;
+          Alcotest.test_case "diameter/radius" `Quick test_diameter_radius;
+          Alcotest.test_case "diameter_at_most" `Quick test_diameter_at_most;
+          Alcotest.test_case "eccentricity" `Quick test_eccentricity;
+          Alcotest.test_case "distance pair" `Quick test_distance_pair;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_bfs_matches_pairwise; prop_triangle_inequality; prop_diameter_is_max ] );
+    ]

@@ -1,0 +1,111 @@
+open Refnet_graph
+
+let test_known_values () =
+  Alcotest.(check int) "empty" 0 (Treewidth.treewidth (Graph.empty 0));
+  Alcotest.(check int) "edgeless" 0 (Treewidth.treewidth (Graph.empty 5));
+  Alcotest.(check int) "single edge" 1 (Treewidth.treewidth (Graph.of_edges 2 [ (1, 2) ]));
+  Alcotest.(check int) "path" 1 (Treewidth.treewidth (Generators.path 8));
+  Alcotest.(check int) "tree" 1 (Treewidth.treewidth (Generators.complete_binary_tree 15));
+  Alcotest.(check int) "cycle" 2 (Treewidth.treewidth (Generators.cycle 9));
+  Alcotest.(check int) "K5" 4 (Treewidth.treewidth (Generators.complete 5));
+  Alcotest.(check int) "K33" 3 (Treewidth.treewidth (Generators.complete_bipartite 3 3))
+
+let test_grid_treewidth () =
+  (* tw(grid w x h) = min(w, h) for grids with both sides >= 2. *)
+  Alcotest.(check int) "2x5" 2 (Treewidth.treewidth (Generators.grid 2 5));
+  Alcotest.(check int) "3x4" 3 (Treewidth.treewidth (Generators.grid 3 4));
+  Alcotest.(check int) "4x4" 4 (Treewidth.treewidth (Generators.grid 4 4))
+
+let test_k_tree_treewidth () =
+  (* k-trees have treewidth exactly k. *)
+  let r = Random.State.make [| 3 |] in
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (Printf.sprintf "%d-tree" k)
+        k
+        (Treewidth.treewidth (Generators.random_k_tree r 12 ~k)))
+    [ 1; 2; 3; 4 ]
+
+let test_petersen () =
+  Alcotest.(check int) "petersen" 4 (Treewidth.treewidth (Generators.petersen ()))
+
+let test_guard () =
+  Alcotest.check_raises "too large" (Invalid_argument "Treewidth.treewidth: order above the 2^n DP guard")
+    (fun () -> ignore (Treewidth.treewidth (Graph.empty 23)))
+
+let test_elimination_cost () =
+  (* Path 1-2-3: eliminating 2 first connects 1 and 3 (cost counts both),
+     then eliminating the ends costs 1 each through fill. *)
+  let g = Generators.path 3 in
+  Alcotest.(check int) "middle first" 2 (Treewidth.elimination_cost g ~eliminated:[] 2);
+  Alcotest.(check int) "end first" 1 (Treewidth.elimination_cost g ~eliminated:[] 1);
+  Alcotest.(check int) "end after middle" 1 (Treewidth.elimination_cost g ~eliminated:[ 2 ] 1);
+  Alcotest.check_raises "already eliminated"
+    (Invalid_argument "Treewidth.elimination_cost: vertex already eliminated") (fun () ->
+      ignore (Treewidth.elimination_cost g ~eliminated:[ 2 ] 2))
+
+let test_width_of_order () =
+  let g = Generators.cycle 5 in
+  (* Any order of a cycle has width exactly 2. *)
+  Alcotest.(check int) "natural order" 2 (Treewidth.width_of_order g [ 1; 2; 3; 4; 5 ]);
+  Alcotest.(check int) "another order" 2 (Treewidth.width_of_order g [ 3; 1; 5; 2; 4 ]);
+  (* A path eliminated from the middle is worse than end-first. *)
+  let p = Generators.path 5 in
+  Alcotest.(check int) "ends first width 1" 1 (Treewidth.width_of_order p [ 1; 2; 3; 4; 5 ]);
+  Alcotest.(check bool) "middle first costs 2" true
+    (Treewidth.width_of_order p [ 3; 2; 4; 1; 5 ] >= 2)
+
+let gen_small =
+  QCheck2.Gen.(
+    bind (int_range 1 10) (fun n ->
+        map (fun seed -> Generators.gnp (Random.State.make [| seed; n * 3 |]) n 0.35) int))
+
+let prop_degeneracy_below_treewidth =
+  (* The paper's inequality: degeneracy <= treewidth. *)
+  QCheck2.Test.make ~name:"degeneracy <= treewidth" ~count:120 gen_small (fun g ->
+      Degeneracy.degeneracy g <= Treewidth.treewidth g)
+
+let prop_any_order_upper_bounds =
+  QCheck2.Test.make ~name:"every elimination order upper-bounds treewidth" ~count:120 gen_small
+    (fun g ->
+      let order = Graph.vertices g in
+      Treewidth.width_of_order g order >= Treewidth.treewidth g)
+
+let prop_treewidth_bounds =
+  QCheck2.Test.make ~name:"treewidth between clique-ish lower and n-1" ~count:120 gen_small
+    (fun g ->
+      let tw = Treewidth.treewidth g in
+      let n = Graph.order g in
+      tw <= n - 1
+      && (not (Cycles.has_triangle g)) || tw >= (if Cycles.has_triangle g then 2 else 0))
+
+let prop_subgraph_monotone =
+  QCheck2.Test.make ~name:"treewidth monotone under vertex removal" ~count:80 gen_small
+    (fun g ->
+      QCheck2.assume (Graph.order g >= 2);
+      let h, _ = Graph.remove_vertex g 1 in
+      Treewidth.treewidth h <= Treewidth.treewidth g)
+
+let () =
+  Alcotest.run "treewidth"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "known values" `Quick test_known_values;
+          Alcotest.test_case "grids" `Quick test_grid_treewidth;
+          Alcotest.test_case "k-trees" `Quick test_k_tree_treewidth;
+          Alcotest.test_case "petersen" `Quick test_petersen;
+          Alcotest.test_case "size guard" `Quick test_guard;
+          Alcotest.test_case "elimination cost" `Quick test_elimination_cost;
+          Alcotest.test_case "width of order" `Quick test_width_of_order;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_degeneracy_below_treewidth;
+            prop_any_order_upper_bounds;
+            prop_treewidth_bounds;
+            prop_subgraph_monotone;
+          ] );
+    ]
