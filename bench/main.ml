@@ -5,7 +5,9 @@
    Usage:
      main.exe            run every experiment table + timing benches
      main.exe tables     only the experiment tables (fast)
-     main.exe timings    only the Bechamel timing benches *)
+     main.exe timings    only the Bechamel timing benches
+     main.exe scaling    multicore scaling: sequential vs 2/4/8 domains,
+                         results appended to BENCH_refnet.json *)
 
 open Refnet_graph
 
@@ -668,6 +670,134 @@ let timing_benches () =
         results)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* S1/S2: multicore scaling of the simulation engine                    *)
+(* ------------------------------------------------------------------ *)
+
+let widths = [ 1; 2; 4; 8 ]
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Best of [reps] timed runs (first call outside the timer warms the
+   pool and the code paths). *)
+let time_best ~reps f =
+  ignore (f ());
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let _, dt = wall f in
+    if dt < !best then best := dt
+  done;
+  !best
+
+type scaling_row = { workload : string; params : (string * string) list; times : (int * float) list; identical : bool }
+
+let scaling_degeneracy () =
+  let n = 1024 and k = 5 in
+  Printf.printf "\nS1: degeneracy reconstruction (T1/T2-style), n=%d, k=%d\n" n k;
+  let g = Generators.random_k_degenerate (rng ()) n ~k in
+  let p = Core.Degeneracy_protocol.reconstruct ~k () in
+  let reference = Core.Simulator.local_phase ~domains:1 p g in
+  let identical = ref true in
+  let times =
+    List.map
+      (fun d ->
+        let msgs = Core.Simulator.local_phase ~domains:d p g in
+        if not (Array.for_all2 Core.Message.equal reference msgs) then identical := false;
+        let out, t = Core.Simulator.run ~domains:d p g in
+        if out <> Some g || t.Core.Simulator.message_bits <> (Core.Simulator.transcript_of_messages reference).Core.Simulator.message_bits
+        then identical := false;
+        let dt = time_best ~reps:3 (fun () -> Core.Simulator.run ~domains:d p g) in
+        Printf.printf "  domains=%d  %8.1f ms\n%!" d (1000.0 *. dt);
+        (d, dt))
+      widths
+  in
+  let t1 = List.assoc 1 times in
+  List.iter (fun (d, dt) -> if d > 1 then Printf.printf "  (x%d vs sequential: %.2fx)\n" d (t1 /. dt)) times;
+  Printf.printf "  transcripts byte-identical across widths: %b\n" !identical;
+  { workload = "degeneracy-reconstruction"; params = [ ("n", string_of_int n); ("k", string_of_int k) ]; times; identical = !identical }
+
+let scaling_gadget_sweep () =
+  let n = 64 in
+  Printf.printf "\nS2: diameter-gadget O(n^2) sweep (Theorem 2), n=%d\n" n;
+  let g = Generators.gnp (rng ()) n 0.3 in
+  let pairs = ref [] in
+  for s = n downto 1 do
+    for t = n downto s + 1 do
+      pairs := (s, t) :: !pairs
+    done
+  done;
+  let pairs = Array.of_list !pairs in
+  let sweep d =
+    (* One pre-sized incremental builder per domain; verdicts land by
+       pair index, so the vector is width-independent. *)
+    Core.Parallel.map_array_ctx ~domains:d
+      (fun () -> Core.Gadgets.Batch.diameter g)
+      (fun batch (s, t) ->
+        Distance.diameter_at_most (Core.Gadgets.Batch.instantiate batch ~s ~t) 3)
+      pairs
+  in
+  let reference = sweep 1 in
+  let identical = ref true in
+  let times =
+    List.map
+      (fun d ->
+        if sweep d <> reference then identical := false;
+        let dt = time_best ~reps:3 (fun () -> sweep d) in
+        Printf.printf "  domains=%d  %8.1f ms\n%!" d (1000.0 *. dt);
+        (d, dt))
+      widths
+  in
+  let t1 = List.assoc 1 times in
+  List.iter (fun (d, dt) -> if d > 1 then Printf.printf "  (x%d vs sequential: %.2fx)\n" d (t1 /. dt)) times;
+  (* Cross-check the incremental builder against the from-scratch gadget
+     on a sample of pairs. *)
+  let batch = Core.Gadgets.Batch.diameter g in
+  Array.iteri
+    (fun i (s, t) ->
+      if i mod 97 = 0 && not (Graph.equal (Core.Gadgets.Batch.instantiate batch ~s ~t) (Core.Gadgets.diameter g s t))
+      then identical := false)
+    pairs;
+  Printf.printf "  verdict vectors identical across widths: %b\n" !identical;
+  { workload = "diameter-gadget-sweep"; params = [ ("n", string_of_int n); ("pairs", string_of_int (Array.length pairs)) ]; times; identical = !identical }
+
+let write_scaling_json rows =
+  let oc = open_out "BENCH_refnet.json" in
+  let t1 row = List.assoc 1 row.times in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"refnet-scaling\",\n";
+  Printf.fprintf oc "  \"unix_time\": %.0f,\n" (Unix.time ());
+  Printf.fprintf oc "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"default_pool_width\": %d,\n" (Core.Parallel.domain_count ());
+  Printf.fprintf oc "  \"workloads\": [\n";
+  List.iteri
+    (fun i row ->
+      Printf.fprintf oc "    {\n      \"name\": \"%s\",\n" row.workload;
+      List.iter (fun (key, v) -> Printf.fprintf oc "      \"%s\": %s,\n" key v) row.params;
+      Printf.fprintf oc "      \"identical_outputs\": %b,\n" row.identical;
+      Printf.fprintf oc "      \"runs\": [\n";
+      List.iteri
+        (fun j (d, dt) ->
+          Printf.fprintf oc "        {\"domains\": %d, \"seconds\": %.6f, \"speedup\": %.3f}%s\n" d dt
+            (t1 row /. dt)
+            (if j = List.length row.times - 1 then "" else ","))
+        row.times;
+      Printf.fprintf oc "      ]\n    }%s\n" (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote BENCH_refnet.json\n"
+
+let scaling () =
+  section "S1-S2" "Multicore scaling: domain pool vs sequential";
+  Printf.printf "(host reports %d recommended domain(s); speedups track physical cores)\n"
+    (Domain.recommended_domain_count ());
+  let s1 = scaling_degeneracy () in
+  let s2 = scaling_gadget_sweep () in
+  write_scaling_json [ s1; s2 ]
+
 let tables () =
   experiment_f1 ();
   experiment_f2 ();
@@ -693,7 +823,9 @@ let () =
   (match mode with
   | "tables" -> tables ()
   | "timings" -> timing_benches ()
+  | "scaling" -> scaling ()
   | _ ->
     tables ();
-    timing_benches ());
+    timing_benches ();
+    scaling ());
   Printf.printf "\n%s\nAll experiments completed.\n" line

@@ -2,17 +2,74 @@ open Refnet_bigint
 
 type encoding = Nat.t array
 
-let check_ids ids k =
-  let sorted = List.sort_uniq Stdlib.compare ids in
-  if List.length sorted <> List.length ids then invalid_arg "Power_sum.encode: repeated id";
-  List.iter (fun i -> if i <= 0 then invalid_arg "Power_sum.encode: non-positive id") ids;
-  if List.length ids > k then invalid_arg "Power_sum.encode: more ids than k"
+(* Memoized power table: [row p] caches [i^(p+1)] for [i = 1..len].  In a
+   simulation every node encodes the same small exponents over ids from
+   the same [{1..n}], so each power is computed once per process instead
+   of once per node.  Rows are immutable once published through the
+   [Atomic.t] (publication creates the happens-before edge that makes the
+   cached [Nat.t]s safe to read from any domain); growth is serialized by
+   [memo_mu] and doubles, so rebuilds are logarithmic. *)
+let max_memo_pow = 16
 
-let encode ~k ids =
+let pow_memo : Nat.t array Atomic.t array =
+  Array.init max_memo_pow (fun _ -> Atomic.make [||])
+
+let memo_mu = Mutex.create ()
+
+let pow_id i p =
+  if i <= 0 then invalid_arg "Power_sum: non-positive id";
+  if p > max_memo_pow then Nat.pow (Nat.of_int i) p
+  else begin
+    let row = Atomic.get pow_memo.(p - 1) in
+    if i <= Array.length row then Array.unsafe_get row (i - 1)
+    else begin
+      Mutex.lock memo_mu;
+      let row = Atomic.get pow_memo.(p - 1) in
+      let result =
+        if i <= Array.length row then row.(i - 1)
+        else begin
+          let len = max i (2 * Array.length row) in
+          let grown =
+            Array.init len (fun j ->
+                if j < Array.length row then row.(j) else Nat.pow (Nat.of_int (j + 1)) p)
+          in
+          Atomic.set pow_memo.(p - 1) grown;
+          grown.(i - 1)
+        end
+      in
+      Mutex.unlock memo_mu;
+      result
+    end
+  end
+
+let check_ids ids k =
+  (* Single sorted scan: adjacent equality catches repeats, the same walk
+     validates positivity and counts the length. *)
+  let sorted = List.sort Stdlib.compare ids in
+  let rec scan count = function
+    | [] -> count
+    | [ i ] ->
+      if i <= 0 then invalid_arg "Power_sum.encode: non-positive id";
+      count + 1
+    | i :: (j :: _ as rest) ->
+      if i = j then invalid_arg "Power_sum.encode: repeated id";
+      if i <= 0 then invalid_arg "Power_sum.encode: non-positive id";
+      scan (count + 1) rest
+  in
+  if scan 0 sorted > k then invalid_arg "Power_sum.encode: more ids than k"
+
+let encode ?coords ~k ids =
   if k < 0 then invalid_arg "Power_sum.encode: negative k";
+  let coords =
+    match coords with
+    | None -> k
+    | Some c ->
+      if c < 0 || c > k then invalid_arg "Power_sum.encode: bad coords";
+      c
+  in
   check_ids ids k;
-  Array.init k (fun p ->
-      List.fold_left (fun acc i -> Nat.add acc (Nat.pow (Nat.of_int i) (p + 1))) Nat.zero ids)
+  Array.init coords (fun p ->
+      List.fold_left (fun acc i -> Nat.add acc (pow_id i (p + 1))) Nat.zero ids)
 
 let subtract enc ~id ~upto =
   if id <= 0 then invalid_arg "Power_sum.subtract: non-positive id";
@@ -20,7 +77,7 @@ let subtract enc ~id ~upto =
   Array.mapi
     (fun p b ->
       if p < upto then begin
-        let ip = Nat.pow (Nat.of_int id) (p + 1) in
+        let ip = pow_id id (p + 1) in
         if Nat.compare b ip < 0 then invalid_arg "Power_sum.subtract: id not a member";
         Nat.sub b ip
       end

@@ -20,11 +20,17 @@ open Refnet_bigint
 type encoding = Nat.t array
 (** [encoding.(p - 1)] holds [b_p]; length is the protocol parameter [k]. *)
 
-(** [encode ~k ids] encodes the set [ids] (distinct positives, in any
-    order) into power sums [b_1..b_k].
+(** [encode ?coords ~k ids] encodes the set [ids] (distinct positives, in
+    any order) into power sums [b_1..b_coords], validating [|ids| <= k].
+    [coords] defaults to [k]; passing [coords < k] computes only a prefix
+    of the encoding — Algorithm 3 transmits [k] coordinates even from
+    nodes whose degree (and hence validation bound) is larger.  Powers
+    [i^p] are memoized process-wide, so across a simulation each power is
+    computed once per graph rather than once per node; the memo is safe
+    to share between domains.
     @raise Invalid_argument if [ids] has repeats, non-positive entries, or
-    more than [k] elements. *)
-val encode : k:int -> int list -> encoding
+    more than [k] elements, or if [coords] is negative or exceeds [k]. *)
+val encode : ?coords:int -> k:int -> int list -> encoding
 
 (** [subtract enc ~id ~upto] removes a member [id] from an encoding in
     place of re-encoding: subtracts [id^p] from [b_p] for [p = 1..upto].

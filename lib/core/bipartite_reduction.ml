@@ -33,7 +33,7 @@ let connectivity ~(oracle : bool Protocol.t) ~left ~right : bool Protocol.t =
       in
       (deg, parts)
     in
-    let parsed = Array.init n (fun i -> parse (i + 1)) in
+    let parsed = Parallel.init n (fun i -> parse (i + 1)) in
     let deg i = fst parsed.(i - 1) in
     let part i j = List.nth (snd parsed.(i - 1)) j in
     (* Same-component query through the bipartiteness oracle. *)
@@ -55,7 +55,11 @@ let connectivity ~(oracle : bool Protocol.t) ~left ~right : bool Protocol.t =
       else begin
         let class_connected = function
           | [] | [ _ ] -> true
-          | anchor :: rest -> List.for_all (fun v -> connected anchor v) rest
+          | anchor :: rest ->
+            (* Each membership query is an independent gadget simulation;
+               fan them out like the other reduction sweeps. *)
+            Array.for_all Fun.id
+              (Parallel.map_array (fun v -> connected anchor v) (Array.of_list rest))
         in
         (* No isolated vertices, so if both classes are internally single
            components, any edge (there is one: degrees are positive)

@@ -24,7 +24,9 @@ let local ~layout ~k ~n ~id ~neighbors =
   let w = Bounds.id_bits n in
   let wr = Bit_writer.create () in
   Codes.write_fixed wr ~width:w id;
-  let enc = Power_sum.encode ~k:(max k (List.length neighbors)) neighbors in
+  (* Validation allows any degree, but only the k transmitted coordinates
+     are computed — a hub of degree d no longer pays for d power sums. *)
+  let enc = Power_sum.encode ~coords:k ~k:(max k (List.length neighbors)) neighbors in
   (match layout with
   | Fixed ->
     Codes.write_fixed wr ~width:w (List.length neighbors);

@@ -17,7 +17,9 @@ let local ~k ~n ~id ~neighbors =
     List.filter (fun u -> u <> id && not is_nbr.(u)) (List.init n (fun i -> i + 1))
   in
   let encode ids =
-    Power_sum.encode ~k:(max k (List.length ids)) ids
+    (* Only the k transmitted coordinates are computed; validation still
+       admits sets larger than k. *)
+    Power_sum.encode ~coords:k ~k:(max k (List.length ids)) ids
   in
   let write enc =
     for p = 0 to k - 1 do

@@ -1,0 +1,48 @@
+(** A reusable domain pool for the embarrassingly parallel phases of the
+    model: every node's local function is independent of every other's,
+    and the reduction drivers probe O(n²) vertex pairs independently.
+
+    Worker domains (OCaml 5 [Domain]s) are spawned lazily on first use,
+    parked between batches, and joined at process exit.  Work is
+    distributed by chunked work stealing over an atomic cursor; the
+    calling domain participates, so a pool of width [w] uses [w - 1]
+    spawned domains.
+
+    {b Determinism.} Each result is written into its slot by index, so
+    for pure task functions the output array is bit-identical whatever
+    the width or scheduling.  The simulator relies on this to keep
+    parallel transcripts byte-equal to sequential ones.
+
+    {b Width selection.} Every entry point takes [?domains]; when
+    omitted, the width is [REFNET_DOMAINS] if that environment variable
+    is a positive integer (so [REFNET_DOMAINS=1] opts out of parallelism
+    entirely), else [Domain.recommended_domain_count ()].
+
+    {b Exceptions.} If a task raises, the batch is cancelled (chunks not
+    yet started are skipped), and the first exception observed is
+    re-raised in the caller after all in-flight chunks retire.
+
+    {b Nesting.} A parallel call made while another batch is running —
+    including from inside a task — degrades to inline sequential
+    execution instead of deadlocking. *)
+
+(** [domain_count ()] is the default pool width. *)
+val domain_count : unit -> int
+
+(** [init ?domains n f] is [Array.init n f] with [f] applied across the
+    pool.  [f] must be pure (safe to run on any domain, any order). *)
+val init : ?domains:int -> int -> (int -> 'a) -> 'a array
+
+(** [map_array ?domains f a] maps [f] over [a] across the pool. *)
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map_array_ctx ?domains mk f a] is [map_array] for tasks needing
+    mutable per-domain scratch (e.g. a pre-sized graph builder): each
+    participating domain lazily creates one context with [mk ()] and
+    reuses it for all its chunks.  [f] may mutate its context freely but
+    must stay pure with respect to everything else. *)
+val map_array_ctx : ?domains:int -> (unit -> 'c) -> ('c -> 'a -> 'b) -> 'a array -> 'b array
+
+(** [iter_range ?domains n f] runs [f i] for [i = 0 .. n - 1] across the
+    pool. *)
+val iter_range : ?domains:int -> int -> (int -> unit) -> unit

@@ -13,14 +13,29 @@ let triangle_oracle : bool Protocol.t =
   Protocol.rename "triangle-oracle"
     (Protocol.map_output Cycles.has_triangle Bounded_degree.full_information)
 
-(* Rebuild a graph from one oracle run per vertex pair. *)
-let graph_of_probe ~n probe =
-  let b = Graph.Builder.create n in
+(* Every vertex pair of [1..n], (s, t) with s < t, in lexicographic
+   order — the iteration space of the referee's O(n^2) probe sweep. *)
+let all_pairs n =
+  let pairs = Array.make (n * (n - 1) / 2) (0, 0) in
+  let idx = ref 0 in
   for s = 1 to n do
     for t = s + 1 to n do
-      if probe s t then Graph.Builder.add_edge b s t
+      pairs.(!idx) <- (s, t);
+      incr idx
     done
   done;
+  pairs
+
+(* Rebuild a graph from one oracle run per vertex pair.  The probes are
+   independent referee-side simulations of G'_{s,t}, so they fan out
+   across the domain pool; verdicts land in a fixed slot per pair, and
+   the builder replays them in lexicographic order, keeping the result
+   identical to the sequential sweep. *)
+let graph_of_probe ~n probe =
+  let pairs = all_pairs n in
+  let verdicts = Parallel.map_array (fun (s, t) -> probe s t) pairs in
+  let b = Graph.Builder.create n in
+  Array.iteri (fun i yes -> if yes then let s, t = pairs.(i) in Graph.Builder.add_edge b s t) verdicts;
   Graph.Builder.build b
 
 let square ~(oracle : bool Protocol.t) : Graph.t Protocol.t =
@@ -72,7 +87,7 @@ let diameter ~(oracle : bool Protocol.t) : Graph.t Protocol.t =
   in
   let global ~n msgs =
     let size = n + 3 in
-    let parts = Array.map (unbundle ~count:3) msgs in
+    let parts = Parallel.map_array (unbundle ~count:3) msgs in
     let part i j = List.nth parts.(i - 1) j in
     graph_of_probe ~n (fun s t ->
         let full = Array.make size Message.empty in
@@ -96,7 +111,7 @@ let triangle ~(oracle : bool Protocol.t) : Graph.t Protocol.t =
   in
   let global ~n msgs =
     let size = n + 1 in
-    let parts = Array.map (unbundle ~count:2) msgs in
+    let parts = Parallel.map_array (unbundle ~count:2) msgs in
     let part i j = List.nth parts.(i - 1) j in
     graph_of_probe ~n (fun s t ->
         let full = Array.make size Message.empty in

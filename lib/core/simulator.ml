@@ -16,16 +16,20 @@ let transcript_of_messages msgs =
     total_bits = Array.fold_left ( + ) 0 message_bits;
   }
 
-let local_phase (p : 'a Protocol.t) g =
+let local_phase ?domains (p : 'a Protocol.t) g =
+  (* The model makes this phase embarrassingly parallel: each node's
+     message depends only on (n, id, N(id)).  Messages land in their slot
+     by identifier, so the vector — and hence the transcript — is
+     bit-identical to a sequential run at any domain count. *)
   let n = Graph.order g in
-  Array.init n (fun i -> p.local ~n ~id:(i + 1) ~neighbors:(Graph.neighbors g (i + 1)))
+  Parallel.init ?domains n (fun i -> p.local ~n ~id:(i + 1) ~neighbors:(Graph.neighbors g (i + 1)))
 
-let run (p : 'a Protocol.t) g =
-  let msgs = local_phase p g in
+let run ?domains (p : 'a Protocol.t) g =
+  let msgs = local_phase ?domains p g in
   let out = p.global ~n:(Graph.order g) msgs in
   (out, transcript_of_messages msgs)
 
-let run_async ?rng (p : 'a Protocol.t) g =
+let run_async ?rng ?domains (p : 'a Protocol.t) g =
   let rng = match rng with Some r -> r | None -> Random.State.make [| 0x5eed |] in
   let n = Graph.order g in
   let order = Array.init n (fun i -> i + 1) in
@@ -35,13 +39,13 @@ let run_async ?rng (p : 'a Protocol.t) g =
     order.(i) <- order.(j);
     order.(j) <- t
   done;
-  (* Compute in scheduling order, deliver in another order, reassemble by
-     identifier: the referee waits for one message per node. *)
+  (* Compute in scheduling order (now also interleaved across domains),
+     deliver in another order, reassemble by identifier: the referee
+     waits for one message per node. *)
   let inbox = Array.make n None in
-  Array.iter
-    (fun id ->
-      inbox.(id - 1) <- Some (p.local ~n ~id ~neighbors:(Graph.neighbors g id)))
-    order;
+  Parallel.iter_range ?domains n (fun i ->
+      let id = order.(i) in
+      inbox.(id - 1) <- Some (p.local ~n ~id ~neighbors:(Graph.neighbors g id)));
   let msgs =
     Array.map (function Some m -> m | None -> assert false) inbox
   in

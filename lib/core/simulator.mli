@@ -12,19 +12,27 @@ type transcript = {
   total_bits : int;
 }
 
-(** [local_phase p g] runs every node's local function. *)
-val local_phase : 'a Protocol.t -> Refnet_graph.Graph.t -> Message.t array
+(** [local_phase ?domains p g] runs every node's local function, fanned
+    out across the {!Parallel} domain pool ([?domains] selects the pool
+    width; the default honours [REFNET_DOMAINS]).  Local functions are
+    pure by the model's information boundary, and each message is written
+    into its slot by identifier, so the resulting vector is bit-identical
+    to a sequential run at any width. *)
+val local_phase : ?domains:int -> 'a Protocol.t -> Refnet_graph.Graph.t -> Message.t array
 
-(** [run p g] executes both phases; returns the referee's output and the
-    transcript. *)
-val run : 'a Protocol.t -> Refnet_graph.Graph.t -> 'a * transcript
+(** [run ?domains p g] executes both phases; returns the referee's output
+    and the transcript.  The transcript is byte-identical whatever
+    [domains] is — parallelism is an execution detail, never observable
+    in the model. *)
+val run : ?domains:int -> 'a Protocol.t -> Refnet_graph.Graph.t -> 'a * transcript
 
-(** [run_async ?rng p g] is [run] but evaluates local functions in a
-    random order and delivers messages in another random order before
-    reassembling them by identifier — a check that nothing in a protocol
-    depends on scheduling (the paper notes one-round protocols tolerate
-    asynchrony). *)
-val run_async : ?rng:Random.State.t -> 'a Protocol.t -> Refnet_graph.Graph.t -> 'a * transcript
+(** [run_async ?rng ?domains p g] is [run] but evaluates local functions
+    in a random order and delivers messages in another random order
+    before reassembling them by identifier — a check that nothing in a
+    protocol depends on scheduling (the paper notes one-round protocols
+    tolerate asynchrony). *)
+val run_async :
+  ?rng:Random.State.t -> ?domains:int -> 'a Protocol.t -> Refnet_graph.Graph.t -> 'a * transcript
 
 (** [transcript_of_messages msgs] summarizes an externally-built message
     vector. *)

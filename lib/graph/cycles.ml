@@ -5,8 +5,7 @@ let find_triangle g =
   let found = ref None in
   (try
      for u = 1 to n do
-       List.iter
-         (fun v ->
+       Graph.iter_neighbors g u (fun v ->
            if v > u then begin
              let common = Bitvec.inter (Graph.neighborhood g u) (Graph.neighborhood g v) in
              Bitvec.iter_set common (fun w0 ->
@@ -16,7 +15,6 @@ let find_triangle g =
                    raise Exit
                  end)
            end)
-         (Graph.neighbors g u)
      done
    with Exit -> ());
   !found
@@ -27,13 +25,11 @@ let triangle_count g =
   let n = Graph.order g in
   let count = ref 0 in
   for u = 1 to n do
-    List.iter
-      (fun v ->
+    Graph.iter_neighbors g u (fun v ->
         if v > u then begin
           let common = Bitvec.inter (Graph.neighborhood g u) (Graph.neighborhood g v) in
           Bitvec.iter_set common (fun w0 -> if w0 + 1 > v then incr count)
         end)
-      (Graph.neighbors g u)
   done;
   !count
 
@@ -72,8 +68,7 @@ let girth g =
     Queue.add src queue;
     while not (Queue.is_empty queue) do
       let u = Queue.pop queue in
-      List.iter
-        (fun v ->
+      Graph.iter_neighbors g u (fun v ->
           if dist.(v - 1) < 0 then begin
             dist.(v - 1) <- dist.(u - 1) + 1;
             parent.(v - 1) <- u;
@@ -81,7 +76,6 @@ let girth g =
           end
           else if parent.(u - 1) <> v && u < v then
             best := min !best (dist.(u - 1) + dist.(v - 1) + 1))
-        (Graph.neighbors g u)
     done
   done;
   if !best = max_int then None else Some !best

@@ -37,14 +37,12 @@ let peel g =
     removed.(v - 1) <- true;
     degeneracy := max !degeneracy deg.(v - 1);
     order := v :: !order;
-    List.iter
-      (fun u ->
+    Graph.iter_neighbors g v (fun u ->
         if not removed.(u - 1) then begin
           deg.(u - 1) <- deg.(u - 1) - 1;
           bucket.(deg.(u - 1)) <- u :: bucket.(deg.(u - 1));
           if deg.(u - 1) < !cur then cur := deg.(u - 1)
-        end)
-      (Graph.neighbors g v);
+        end);
     (* After lazy skips [cur] may point past a refilled bucket. *)
     cur := max 0 (min !cur maxd)
   done;
@@ -69,9 +67,7 @@ let is_elimination_order g ~k order =
   List.iter
     (fun v ->
       let live_deg =
-        List.fold_left
-          (fun acc u -> if removed.(u - 1) then acc else acc + 1)
-          0 (Graph.neighbors g v)
+        Graph.fold_neighbors g v 0 (fun acc u -> if removed.(u - 1) then acc else acc + 1)
       in
       if live_deg > k then ok := false;
       removed.(v - 1) <- true)
@@ -97,9 +93,8 @@ let core_numbers g =
     current := max !current deg.(v - 1);
     core.(v - 1) <- !current;
     removed.(v - 1) <- true;
-    List.iter
-      (fun u -> if not removed.(u - 1) then deg.(u - 1) <- deg.(u - 1) - 1)
-      (Graph.neighbors g v)
+    Graph.iter_neighbors g v (fun u ->
+        if not removed.(u - 1) then deg.(u - 1) <- deg.(u - 1) - 1)
   done;
   core
 
@@ -131,9 +126,8 @@ let generalized_peel g =
     order := (v, side) :: !order;
     removed.(v - 1) <- true;
     decr remaining;
-    List.iter
-      (fun u -> if not removed.(u - 1) then deg.(u - 1) <- deg.(u - 1) - 1)
-      (Graph.neighbors g v)
+    Graph.iter_neighbors g v (fun u ->
+        if not removed.(u - 1) then deg.(u - 1) <- deg.(u - 1) - 1)
   done;
   (!worst, List.rev !order)
 
@@ -155,9 +149,8 @@ let generalized_elimination_order g ~k =
           let side = if d <= k then `Graph else `Complement in
           removed.(v - 1) <- true;
           decr remaining;
-          List.iter
-            (fun u -> if not removed.(u - 1) then deg.(u - 1) <- deg.(u - 1) - 1)
-            (Graph.neighbors g v);
+          Graph.iter_neighbors g v (fun u ->
+              if not removed.(u - 1) then deg.(u - 1) <- deg.(u - 1) - 1);
           (v, side))
         order
     in

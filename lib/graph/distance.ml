@@ -1,44 +1,65 @@
 let pairwise g =
   Array.init (Graph.order g) (fun i -> Traversal.bfs_distances g (i + 1))
 
-let eccentricity g v =
-  let dist = Traversal.bfs_distances g v in
-  Array.fold_left
-    (fun acc d -> if d < 0 then max_int else max acc d)
-    0 dist
+(* Eccentricity BFS over caller-provided scratch: diameter-style sweeps
+   run n BFSes per graph (and the gadget experiments run n^2 graphs), so
+   the distance array and queue are reused rather than reallocated.
+   Returns [max_int] when the graph is disconnected from [src]. *)
+let bfs_ecc g ~dist ~queue src =
+  let n = Graph.order g in
+  if src < 1 || src > n then invalid_arg "Distance: vertex out of range";
+  Array.fill dist 0 n (-1);
+  dist.(src - 1) <- 0;
+  queue.(0) <- src;
+  let head = ref 0 and tail = ref 1 in
+  let ecc = ref 0 in
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    let du = dist.(u - 1) in
+    Graph.iter_neighbors g u (fun v ->
+        if dist.(v - 1) < 0 then begin
+          dist.(v - 1) <- du + 1;
+          if du + 1 > !ecc then ecc := du + 1;
+          queue.(!tail) <- v;
+          incr tail
+        end)
+  done;
+  if !tail < n then max_int else !ecc
 
-let diameter g =
+let eccentricity g v =
+  let n = Graph.order g in
+  bfs_ecc g ~dist:(Array.make (max n 1) (-1)) ~queue:(Array.make (max n 1) 0) v
+
+let sweep g ~combine ~init ~stop =
   let n = Graph.order g in
   if n = 0 then None
   else begin
+    let dist = Array.make n (-1) and queue = Array.make n 0 in
     let rec go v acc =
       if v > n then Some acc
       else begin
-        let e = eccentricity g v in
-        if e = max_int then None else go (v + 1) (max acc e)
+        let e = bfs_ecc g ~dist ~queue v in
+        if stop e then None else go (v + 1) (combine acc e)
       end
     in
-    go 1 0
+    go 1 init
   end
 
+let diameter g = sweep g ~combine:max ~init:0 ~stop:(fun e -> e = max_int)
+
 let radius g =
-  let n = Graph.order g in
-  if n = 0 then None
-  else begin
-    let rec go v acc =
-      if v > n then if acc = max_int then None else Some acc
-      else begin
-        let e = eccentricity g v in
-        if e = max_int then None else go (v + 1) (min acc e)
-      end
-    in
-    go 1 max_int
-  end
+  match sweep g ~combine:min ~init:max_int ~stop:(fun e -> e = max_int) with
+  | Some acc when acc = max_int -> None (* unreachable: n >= 1 gives finite ecc or stop *)
+  | r -> r
 
 let diameter_at_most g d =
   let n = Graph.order g in
-  let rec go v = v > n || (eccentricity g v <= d && go (v + 1)) in
-  n = 0 || go 1
+  n = 0
+  ||
+  let dist = Array.make n (-1) and queue = Array.make n 0 in
+  let rec go v = v > n || (bfs_ecc g ~dist ~queue v <= d && go (v + 1)) in
+  go 1
 
 let distance g u v =
   let dist = Traversal.bfs_distances g u in

@@ -32,10 +32,30 @@ module Builder = struct
       b.m <- b.m + 1
     end
 
+  let remove_edge b u v =
+    check b u;
+    check b v;
+    if u <> v && Bitvec.get b.adj.(u - 1) (v - 1) then begin
+      Bitvec.clear b.adj.(u - 1) (v - 1);
+      Bitvec.clear b.adj.(v - 1) (u - 1);
+      b.m <- b.m - 1
+    end
+
   let build b =
     let adj = Array.map Bitvec.copy b.adj in
+    (* Fill each neighbour array directly from its incidence row: size it
+       by popcount, then write vertices in place during one indexed scan
+       of the set bits — no intermediate lists. *)
     let nbrs =
-      Array.map (fun row -> Array.of_list (List.map (fun i -> i + 1) (Bitvec.to_list row))) adj
+      Array.map
+        (fun row ->
+          let out = Array.make (Bitvec.popcount row) 0 in
+          let idx = ref 0 in
+          Bitvec.iter_set row (fun i ->
+              out.(!idx) <- i + 1;
+              incr idx);
+          out)
+        adj
     in
     { n = b.n; adj; nbrs; m = b.m }
 end
@@ -62,6 +82,22 @@ let degree g v =
 let neighbors g v =
   check g v "neighbors";
   Array.to_list g.nbrs.(v - 1)
+
+let iter_neighbors g v f =
+  check g v "iter_neighbors";
+  let row = g.nbrs.(v - 1) in
+  for i = 0 to Array.length row - 1 do
+    f (Array.unsafe_get row i)
+  done
+
+let fold_neighbors g v init f =
+  check g v "fold_neighbors";
+  let row = g.nbrs.(v - 1) in
+  let acc = ref init in
+  for i = 0 to Array.length row - 1 do
+    acc := f !acc (Array.unsafe_get row i)
+  done;
+  !acc
 
 let neighborhood g v =
   check g v "neighborhood";

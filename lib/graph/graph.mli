@@ -27,6 +27,13 @@ module Builder : sig
   (** [has_edge b u v] tests membership during construction. *)
   val has_edge : t -> int -> int -> bool
 
+  (** [remove_edge b u v] deletes the edge [{u, v}]; deleting an absent
+      edge is a no-op.  Together with {!add_edge} this lets gadget sweeps
+      reuse one pre-sized builder across many [G'_{s,t}] instantiations
+      instead of rebuilding the base graph per vertex pair.
+      @raise Invalid_argument if a vertex is out of range. *)
+  val remove_edge : t -> int -> int -> unit
+
   (** [build b] freezes the buffer.  The builder may keep being used;
       later edges do not affect already-built graphs. *)
   val build : t -> graph
@@ -56,6 +63,15 @@ val degree : t -> int -> int
 (** [neighbors g v] is the increasing list of neighbours of [v] — exactly
     the local knowledge [{ID(y) | y in N(v)}] a node holds in the model. *)
 val neighbors : t -> int -> int list
+
+(** [iter_neighbors g v f] applies [f] to each neighbour of [v] in
+    increasing order, iterating the precomputed adjacency array directly —
+    no list is allocated.  Preferred over {!neighbors} on hot paths. *)
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+
+(** [fold_neighbors g v init f] folds [f] over the neighbours of [v] in
+    increasing order, without allocating. *)
+val fold_neighbors : t -> int -> 'a -> ('a -> int -> 'a) -> 'a
 
 (** [neighborhood g v] is the incidence vector of [N(v)]: bit [i - 1] set
     iff [i] is a neighbour.  The returned vector is shared; callers must

@@ -8,15 +8,13 @@ let bfs_visit g src ~on_edge =
   let order = ref [ src ] in
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
-    List.iter
-      (fun v ->
+    Graph.iter_neighbors g u (fun v ->
         if dist.(v - 1) < 0 then begin
           dist.(v - 1) <- dist.(u - 1) + 1;
           on_edge u v;
           order := v :: !order;
           Queue.add v queue
         end)
-      (Graph.neighbors g u)
   done;
   (dist, List.rev !order)
 
@@ -38,7 +36,7 @@ let dfs_order g src =
     if not seen.(v - 1) then begin
       seen.(v - 1) <- true;
       order := v :: !order;
-      List.iter go (Graph.neighbors g v)
+      Graph.iter_neighbors g v go
     end
   in
   go src;
