@@ -434,15 +434,16 @@ let experiment_t15 () =
     {
       name = "has-edge (1 bit)";
       local =
-        (fun ~n:_ ~id:_ ~neighbors ->
+        (fun v ->
           let w = Refnet_bits.Bit_writer.create () in
-          Refnet_bits.Bit_writer.add_bit w (neighbors <> []);
+          Refnet_bits.Bit_writer.add_bit w (Core.View.deg v > 0);
           Core.Message.of_writer w);
-      global =
-        (fun ~n:_ msgs ->
-          Array.exists
-            (fun m -> Refnet_bits.Bit_reader.read_bit (Core.Message.reader m))
-            msgs);
+      referee =
+        Core.Protocol.streaming
+          ~init:(fun ~n:_ -> false)
+          ~absorb:(fun ~n:_ acc ~id:_ m ->
+            acc || Refnet_bits.Bit_reader.read_bit (Core.Message.reader m))
+          ~finish:(fun ~n:_ acc -> acc);
     }
   in
   let collision =
@@ -613,7 +614,7 @@ let timing_benches () =
     let msgs = Core.Simulator.local_phase p g in
     Test.make
       ~name:(Printf.sprintf "global/n=%d/k=%d" n k)
-      (Staged.stage (fun () -> ignore (p.Core.Protocol.global ~n msgs)))
+      (Staged.stage (fun () -> ignore (Core.Protocol.apply p ~n msgs)))
   in
   let mk_forest n =
     let g = Generators.random_tree r n in
@@ -763,7 +764,70 @@ let scaling_gadget_sweep () =
   Printf.printf "  verdict vectors identical across widths: %b\n" !identical;
   { workload = "diameter-gadget-sweep"; params = [ ("n", string_of_int n); ("pairs", string_of_int (Array.length pairs)) ]; times; identical = !identical }
 
-let write_scaling_json rows =
+(* ------------------------------------------------------------------ *)
+(* S3: streaming referees keep O(1) allocation per absorbed message     *)
+(* ------------------------------------------------------------------ *)
+
+type alloc_row = { referee_name : string; small_n : int; big_n : int; small_bytes : float; big_bytes : float }
+
+(* Bytes allocated per [Protocol.feed] across a full n-message stream,
+   measured with [Gc.allocated_bytes] deltas.  The state itself is
+   allocated once at [Protocol.start]; what must not grow with [n] is
+   the per-absorb cost. *)
+let bytes_per_absorb referee ~n msgs ~check =
+  let feed = ref (Core.Protocol.start referee ~n) in
+  let before = Gc.allocated_bytes () in
+  Array.iteri (fun i m -> feed := Core.Protocol.feed !feed ~id:(i + 1) m) msgs;
+  let after = Gc.allocated_bytes () in
+  check (Core.Protocol.finish !feed);
+  (after -. before) /. float_of_int n
+
+let forest_absorb_bytes n =
+  let g = Generators.random_tree (rng ()) n in
+  let msgs = Core.Simulator.local_phase Core.Forest_protocol.reconstruct g in
+  bytes_per_absorb Core.Forest_protocol.reconstruct.Core.Protocol.referee ~n msgs
+    ~check:(fun out ->
+      match out with
+      | Some h when Graph.equal g h -> ()
+      | _ -> failwith "S3: forest referee failed to reconstruct after the timed feed")
+
+let coalition_absorb_bytes n =
+  let g = Generators.random_tree (rng ()) n in
+  let parts = Core.Coalition.partition_by_ranges ~n ~parts:4 in
+  let inbox = Array.make n Core.Message.empty in
+  List.iter
+    (fun members ->
+      let view =
+        { Core.Coalition.members; neighborhoods = List.map (fun v -> (v, Graph.neighbors g v)) members }
+      in
+      List.iter
+        (fun (id, m) -> inbox.(id - 1) <- m)
+        (Core.Connectivity_parts.decide.Core.Coalition.local ~n view))
+    parts;
+  bytes_per_absorb Core.Connectivity_parts.decide.Core.Coalition.referee ~n inbox
+    ~check:(fun ok -> if not ok then failwith "S3: coalition referee rejected a connected tree")
+
+let scaling_allocation () =
+  Printf.printf "\nS3: streaming-referee allocation per absorb (Gc.allocated_bytes deltas)\n";
+  let small_n = 512 and big_n = 4096 in
+  let measure name per =
+    ignore (per small_n);
+    (* warm-up: one full stream outside the comparison *)
+    let small_bytes = per small_n and big_bytes = per big_n in
+    let ratio = big_bytes /. small_bytes in
+    let ok = ratio < 2.0 && big_bytes < 2048.0 in
+    Printf.printf "  %-24s n=%d: %7.1f B/absorb   n=%d: %7.1f B/absorb   ratio %.2f  %s\n"
+      name small_n small_bytes big_n big_bytes ratio
+      (if ok then "O(1) ok" else "NOT O(1)");
+    if not ok then
+      failwith (name ^ ": streaming referee allocates super-constant bytes per absorb");
+    { referee_name = name; small_n; big_n; small_bytes; big_bytes }
+  in
+  let forest = measure "forest-reconstruct" forest_absorb_bytes in
+  let coalition = measure "coalition-connectivity" coalition_absorb_bytes in
+  [ forest; coalition ]
+
+let write_scaling_json rows alloc_rows =
   let oc = open_out "BENCH_refnet.json" in
   let t1 row = List.assoc 1 row.times in
   Printf.fprintf oc "{\n";
@@ -786,17 +850,28 @@ let write_scaling_json rows =
         row.times;
       Printf.fprintf oc "      ]\n    }%s\n" (if i = List.length rows - 1 then "" else ","))
     rows;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"streaming_alloc_bytes_per_absorb\": [\n";
+  List.iteri
+    (fun i a ->
+      Printf.fprintf oc
+        "    {\"referee\": \"%s\", \"n_small\": %d, \"bytes_small\": %.1f, \"n_big\": %d, \"bytes_big\": %.1f, \"ratio\": %.3f}%s\n"
+        a.referee_name a.small_n a.small_bytes a.big_n a.big_bytes
+        (a.big_bytes /. a.small_bytes)
+        (if i = List.length alloc_rows - 1 then "" else ","))
+    alloc_rows;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
   Printf.printf "\nwrote BENCH_refnet.json\n"
 
 let scaling () =
-  section "S1-S2" "Multicore scaling: domain pool vs sequential";
+  section "S1-S3" "Multicore scaling and streaming-referee allocation";
   Printf.printf "(host reports %d recommended domain(s); speedups track physical cores)\n"
     (Domain.recommended_domain_count ());
   let s1 = scaling_degeneracy () in
   let s2 = scaling_gadget_sweep () in
-  write_scaling_json [ s1; s2 ]
+  let s3 = scaling_allocation () in
+  write_scaling_json [ s1; s2 ] s3
 
 let tables () =
   experiment_f1 ();

@@ -18,13 +18,35 @@ open Refnet_graph
 
 let read_graph path =
   let ic = open_in path in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  let s = String.trim s in
-  if String.length s > 0 && (s.[0] = '~' || not (String.contains s '\n')) && not (String.contains s ' ')
-  then Gio.of_graph6 s
-  else Gio.of_edge_list s
+  (* Close the channel even when reading or parsing raises. *)
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      let s = String.trim s in
+      if
+        String.length s > 0
+        && (s.[0] = '~' || not (String.contains s '\n'))
+        && not (String.contains s ' ')
+      then Gio.of_graph6 s
+      else Gio.of_edge_list s)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc:"Write a JSONL execution trace to $(docv).")
+
+(* Runs [f] with a JSONL sink on the given file, or the null sink.  The
+   channel is closed on normal return; commands that [exit] inside [f]
+   still get their buffers flushed by [Stdlib.exit]. *)
+let with_trace path f =
+  match path with
+  | None -> f Core.Trace.null
+  | Some file ->
+    let oc = open_out file in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f (Core.Trace.jsonl oc))
 
 let write_graph fmt g =
   match fmt with
@@ -100,11 +122,12 @@ let generate_cmd =
 
 (* ---------- reconstruct ---------- *)
 
-let reconstruct path k forest fmt =
+let reconstruct path k forest trace fmt =
   let g = read_graph path in
   let n = Graph.order g in
+  let run p = with_trace trace (fun sink -> Core.Simulator.run ~trace:sink p g) in
   if forest then begin
-    match Core.Simulator.run Core.Forest_protocol.reconstruct g with
+    match run Core.Forest_protocol.reconstruct with
     | Some h, t ->
       Printf.eprintf "forest protocol: %d bits/node, exact=%b\n%!" t.Core.Simulator.max_bits
         (Graph.equal g h);
@@ -114,7 +137,7 @@ let reconstruct path k forest fmt =
       exit 1
   end
   else begin
-    match Core.Simulator.run (Core.Degeneracy_protocol.reconstruct ~k ()) g with
+    match run (Core.Degeneracy_protocol.reconstruct ~k ()) with
     | Some h, t ->
       Printf.eprintf "degeneracy-%d protocol: %d bits/node (bound %d), exact=%b\n%!" k
         t.Core.Simulator.max_bits
@@ -133,17 +156,17 @@ let reconstruct_cmd =
   in
   Cmd.v
     (Cmd.info "reconstruct" ~doc:"Reconstruct a graph at the referee in one frugal round")
-    Term.(const reconstruct $ graph_file_arg $ k_arg $ forest $ fmt_arg)
+    Term.(const reconstruct $ graph_file_arg $ k_arg $ forest $ trace_arg $ fmt_arg)
 
 (* ---------- recognize ---------- *)
 
-let recognize path k generalized =
+let recognize path k generalized trace =
   let g = read_graph path in
   let protocol =
     if generalized then Core.Generalized_degeneracy.recognize k
     else Core.Recognition.degeneracy_at_most k
   in
-  let verdict, t = Core.Simulator.run protocol g in
+  let verdict, t = with_trace trace (fun sink -> Core.Simulator.run ~trace:sink protocol g) in
   Printf.printf "%s degeneracy <= %d : %b   (%d bits/node; true %s = %d)\n"
     (if generalized then "generalized" else "plain")
     k verdict t.Core.Simulator.max_bits
@@ -157,7 +180,7 @@ let recognize_cmd =
   in
   Cmd.v
     (Cmd.info "recognize" ~doc:"Decide degeneracy <= k in one round")
-    Term.(const recognize $ graph_file_arg $ k_arg $ generalized)
+    Term.(const recognize $ graph_file_arg $ k_arg $ generalized $ trace_arg)
 
 (* ---------- gadget ---------- *)
 
@@ -219,7 +242,9 @@ let count_cmd =
 
 (* ---------- sizes ---------- *)
 
-let sizes n =
+let sizes n graph trace =
+  let g = Option.map read_graph graph in
+  let n = match g with Some g -> Graph.order g | None -> n in
   Printf.printf "message sizes at n = %d (id width %d bits):\n" n (Core.Bounds.id_bits n);
   Printf.printf "  forest protocol          : %4d bits\n" (Core.Bounds.forest_message_bits n);
   List.iter
@@ -232,19 +257,51 @@ let sizes n =
     (fun d ->
       Printf.printf "  bounded-degree (d=%-2d)    : %4d bits\n" d
         (Core.Bounded_degree.message_bits ~max_degree:d n))
-    [ 2; 4; 8 ]
+    [ 2; 4; 8 ];
+  (* With a concrete graph, confront the closed forms with measured
+     transcripts (and exercise the trace sink on real runs). *)
+  match g with
+  | None -> ()
+  | Some g ->
+    with_trace trace (fun sink ->
+        let is_forest, tf = Core.Simulator.run ~trace:sink Core.Forest_protocol.recognize g in
+        Printf.printf "measured on %s (n = %d, m = %d):\n"
+          (Option.value ~default:"graph" graph)
+          n (Graph.size g);
+        Printf.printf "  forest protocol          : %4d bits/node (is forest: %b)\n"
+          tf.Core.Simulator.max_bits is_forest;
+        let k = max 1 (Degeneracy.degeneracy g) in
+        let ok, td =
+          Core.Simulator.run ~trace:sink
+            (Core.Recognition.degeneracy_at_most k)
+            g
+        in
+        Printf.printf "  degeneracy protocol k=%-2d : %4d bits/node (accepted: %b)\n" k
+          td.Core.Simulator.max_bits ok)
 
 let sizes_cmd =
   let n = Arg.(value & opt int 1024 & info [ "n" ] ~docv:"N" ~doc:"Network size.") in
-  Cmd.v (Cmd.info "sizes" ~doc:"Closed-form message-size tables") Term.(const sizes $ n)
+  let graph =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"GRAPH"
+          ~doc:"Optional graph file: also run the protocols and report measured sizes.")
+  in
+  Cmd.v
+    (Cmd.info "sizes" ~doc:"Closed-form message-size tables")
+    Term.(const sizes $ n $ graph $ trace_arg)
 
 (* ---------- connectivity ---------- *)
 
-let connectivity path parts =
+let connectivity path parts trace =
   let g = read_graph path in
   let n = Graph.order g in
   let partition = Core.Coalition.partition_by_ranges ~n ~parts in
-  let verdict, t = Core.Coalition.run Core.Connectivity_parts.decide g ~parts:partition in
+  let verdict, t =
+    with_trace trace (fun sink ->
+        Core.Coalition.run ~trace:sink Core.Connectivity_parts.decide g ~parts:partition)
+  in
   Printf.printf "connected: %b   (coalitions: %d, max %d bits/node, bound %d)\n" verdict parts
     t.Core.Simulator.max_bits
     (Core.Connectivity_parts.per_node_bound ~n ~parts);
@@ -333,7 +390,7 @@ let connectivity_cmd =
   let parts = Arg.(value & opt int 4 & info [ "parts" ] ~docv:"K" ~doc:"Coalition count.") in
   Cmd.v
     (Cmd.info "connectivity" ~doc:"Coalition connectivity audit (conclusion protocol)")
-    Term.(const connectivity $ graph_file_arg $ parts)
+    Term.(const connectivity $ graph_file_arg $ parts $ trace_arg)
 
 let () =
   let info =

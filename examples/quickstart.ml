@@ -34,6 +34,26 @@ let () =
       (Bipartite.is_bipartite h)
   | None -> ());
 
+  (* Every run is observable: plug a trace sink into the simulator to see
+     each node's message length and view queries, and every referee
+     absorb event.  Here the forest protocol rejects the grid (it has
+     cycles) — watch it happen. *)
+  print_endline "Trace of the forest protocol on the same grid:";
+  let sink, events = Core.Trace.memory () in
+  let verdict, _ = Core.Simulator.run ~trace:sink Core.Forest_protocol.recognize g in
+  let absorbs =
+    List.length
+      (List.filter (function Core.Trace.Referee_absorb _ -> true | _ -> false) (events ()))
+  in
+  Printf.printf "  referee absorbed %d messages, verdict: forest=%b\n" absorbs verdict;
+  List.iter
+    (fun ev ->
+      match ev with
+      | Core.Trace.Node_local { id; _ } when id <= 3 ->
+        Printf.printf "  %s\n" (Core.Trace.json_of_event ev)
+      | _ -> ())
+    (events ());
+
   (* Compare with what one round CANNOT do on arbitrary graphs: the same
      grid hidden inside a diameter gadget flips its answer with a single
      edge, which is the engine of the impossibility proof (Theorem 2). *)

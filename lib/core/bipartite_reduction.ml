@@ -11,41 +11,51 @@ let odd_cycle_gadget g s t =
   Graph.add_edges (Graph.add_vertices g 2) [ (s, n + 1); (n + 1, n + 2); (n + 2, t) ]
 
 let connectivity ~(oracle : bool Protocol.t) ~left ~right : bool Protocol.t =
-  let local ~n ~id ~neighbors =
+  let local v =
+    let n = View.n v in
+    let id = View.id v in
+    let neighbors = View.neighbors v in
     let size = n + 2 in
+    let gview nbrs = View.make ~n:size ~id ~neighbors:nbrs in
     (* Three shapes, as in Algorithm 2: unchanged, playing s (sees n+1),
        playing t (sees n+2). *)
-    let m0 = oracle.local ~n:size ~id ~neighbors in
-    let ms = oracle.local ~n:size ~id ~neighbors:(neighbors @ [ n + 1 ]) in
-    let mt = oracle.local ~n:size ~id ~neighbors:(neighbors @ [ n + 2 ]) in
+    let m0 = oracle.local (gview neighbors) in
+    let ms = oracle.local (gview (neighbors @ [ n + 1 ])) in
+    let mt = oracle.local (gview (neighbors @ [ n + 2 ])) in
     (* Degree travels along for the isolated-vertex corner case. *)
     let w = Refnet_bits.Bit_writer.create () in
     Refnet_bits.Codes.write_nonneg w (List.length neighbors);
-    Message.concat [ Message.of_writer w; Reduction.bundle [ m0; ms; mt ] ]
+    Message.concat [ Message.of_writer w; Message.bundle [ m0; ms; mt ] ]
   in
   let global ~n msgs =
     let size = n + 2 in
     let parse i =
       let r = Message.reader msgs.(i - 1) in
       let deg = Refnet_bits.Codes.read_nonneg r in
-      let parts =
-        List.init 3 (fun _ -> Reduction.read_part r)
-      in
+      let parts = List.init 3 (fun _ -> Message.read_framed r) in
       (deg, parts)
     in
     let parsed = Parallel.init n (fun i -> parse (i + 1)) in
     let deg i = fst parsed.(i - 1) in
     let part i j = List.nth (snd parsed.(i - 1)) j in
-    (* Same-component query through the bipartiteness oracle. *)
+    (* Same-component query through the bipartiteness oracle: feed its
+       streaming referee directly, fabricating the two gadget vertices'
+       messages on the fly. *)
     let connected s t =
-      let full = Array.make size Message.empty in
+      let feed = ref (Protocol.start oracle.referee ~n:size) in
       for i = 1 to n do
-        full.(i - 1) <- (if i = s then part i 1 else if i = t then part i 2 else part i 0)
+        feed :=
+          Protocol.feed !feed ~id:i
+            (if i = s then part i 1 else if i = t then part i 2 else part i 0)
       done;
-      full.(n) <- oracle.local ~n:size ~id:(n + 1) ~neighbors:[ s; n + 2 ];
-      full.(n + 1) <- oracle.local ~n:size ~id:(n + 2) ~neighbors:[ t; n + 1 ];
+      feed :=
+        Protocol.feed !feed ~id:(n + 1)
+          (oracle.local (View.make ~n:size ~id:(n + 1) ~neighbors:[ s; n + 2 ]));
+      feed :=
+        Protocol.feed !feed ~id:(n + 2)
+          (oracle.local (View.make ~n:size ~id:(n + 2) ~neighbors:[ t; n + 1 ]));
       (* Bipartite gadget <=> s,t disconnected. *)
-      not (oracle.global ~n:size full)
+      not (Protocol.finish !feed)
     in
     match (left, right) with
     | [], [] -> true
@@ -68,4 +78,4 @@ let connectivity ~(oracle : bool Protocol.t) ~left ~right : bool Protocol.t =
         class_connected left && class_connected right
       end
   in
-  { name = "delta-connectivity[" ^ oracle.name ^ "]"; local; global }
+  { name = "delta-connectivity[" ^ oracle.name ^ "]"; local; referee = Protocol.batch global }

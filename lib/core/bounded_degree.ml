@@ -7,10 +7,11 @@ let message_bits ~max_degree n =
 
 let reconstruct ~max_degree : Graph.t option Protocol.t =
   if max_degree < 0 then invalid_arg "Bounded_degree.reconstruct: negative bound";
-  let local ~n ~id:_ ~neighbors =
+  let local v =
+    let n = View.n v in
     let w = Bounds.id_bits n in
     let wr = Bit_writer.create () in
-    let d = List.length neighbors in
+    let d = View.deg v in
     if d > max_degree then begin
       (* Signal overflow in-band with the reserved degree value. *)
       Codes.write_fixed wr ~width:w 0;
@@ -18,52 +19,55 @@ let reconstruct ~max_degree : Graph.t option Protocol.t =
     end
     else begin
       Codes.write_fixed wr ~width:w (d + 1);
-      List.iter (fun u -> Codes.write_fixed wr ~width:w u) neighbors;
+      View.iter_neighbors v (fun u -> Codes.write_fixed wr ~width:w u);
       Message.of_writer wr
     end
   in
-  let global ~n msgs =
-    let w = Bounds.id_bits n in
-    let b = Graph.Builder.create n in
-    let ok = ref true in
-    Array.iteri
-      (fun i msg ->
-        if !ok then begin
-          match
-            let r = Message.reader msg in
-            let tag = Codes.read_fixed r ~width:w in
-            if tag = 0 then None
-            else begin
-              let d = tag - 1 in
-              Some (List.init d (fun _ -> Codes.read_fixed r ~width:w))
-            end
-          with
-          | None -> ok := false
-          | Some nbrs ->
-            List.iter
-              (fun u ->
-                if u < 1 || u > n || u = i + 1 then ok := false
-                else Graph.Builder.add_edge b (i + 1) u)
-              nbrs
-          | exception Bit_reader.Exhausted -> ok := false
-        end)
-      msgs;
-    if !ok then Some (Graph.Builder.build b) else None
+  (* Streaming referee: each message contributes its edges to a shared
+     builder (edge insertion is idempotent and order-insensitive), so no
+     message array is ever materialized. *)
+  let init ~n = (Graph.Builder.create n, true) in
+  let absorb ~n (b, ok) ~id msg =
+    if not ok then (b, ok)
+    else begin
+      let w = Bounds.id_bits n in
+      match
+        let r = Message.reader msg in
+        let tag = Codes.read_fixed r ~width:w in
+        if tag = 0 then None
+        else begin
+          let d = tag - 1 in
+          Some (List.init d (fun _ -> Codes.read_fixed r ~width:w))
+        end
+      with
+      | None -> (b, false)
+      | exception Bit_reader.Exhausted -> (b, false)
+      | Some nbrs ->
+        let ok = ref true in
+        List.iter
+          (fun u ->
+            if u < 1 || u > n || u = id then ok := false else Graph.Builder.add_edge b id u)
+          nbrs;
+        (b, !ok)
+    end
   in
-  { name = Printf.sprintf "bounded-degree-%d" max_degree; local; global }
+  let finish ~n:_ (b, ok) = if ok then Some (Graph.Builder.build b) else None in
+  {
+    name = Printf.sprintf "bounded-degree-%d" max_degree;
+    local;
+    referee = Protocol.streaming ~init ~absorb ~finish;
+  }
 
 let full_information : Graph.t Protocol.t =
-  let local ~n ~id:_ ~neighbors =
-    let v = Bitvec.create n in
-    List.iter (fun u -> Bitvec.set v (u - 1)) neighbors;
-    v
+  let local v =
+    let row = Bitvec.create (View.n v) in
+    View.iter_neighbors v (fun u -> Bitvec.set row (u - 1));
+    row
   in
-  let global ~n msgs =
-    let b = Graph.Builder.create n in
-    Array.iteri
-      (fun i row ->
-        Bitvec.iter_set row (fun j -> if i < j then Graph.Builder.add_edge b (i + 1) (j + 1)))
-      msgs;
-    Graph.Builder.build b
+  let init ~n = Graph.Builder.create n in
+  let absorb ~n:_ b ~id row =
+    Bitvec.iter_set row (fun j -> if id - 1 < j then Graph.Builder.add_edge b id (j + 1));
+    b
   in
-  { name = "full-information"; local; global }
+  let finish ~n:_ b = Graph.Builder.build b in
+  { name = "full-information"; local; referee = Protocol.streaming ~init ~absorb ~finish }

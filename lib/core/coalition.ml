@@ -5,7 +5,7 @@ type view = { members : int list; neighborhoods : (int * int list) list }
 type 'a t = {
   name : string;
   local : n:int -> view -> (int * Message.t) list;
-  global : n:int -> Message.t array -> 'a;
+  referee : 'a Protocol.referee;
 }
 
 let partition_by_ranges ~n ~parts =
@@ -21,8 +21,9 @@ let partition_by_ranges ~n ~parts =
   in
   go 1 1 []
 
-let run (p : 'a t) g ~parts =
+let run ?(trace = Trace.null) (p : 'a t) g ~parts =
   let n = Graph.order g in
+  Trace.emit trace (Trace.Span_begin { label = p.name; n });
   let seen = Array.make n false in
   List.iter
     (List.iter (fun v ->
@@ -49,4 +50,10 @@ let run (p : 'a t) g ~parts =
         out)
     parts;
   let msgs = Array.map (function Some m -> m | None -> assert false) inbox in
-  (p.global ~n msgs, Simulator.transcript_of_messages msgs)
+  let out = Protocol.run_referee ~trace p.referee ~n msgs in
+  let t = Simulator.transcript_of_messages msgs in
+  Trace.emit trace
+    (Trace.Referee_done
+       { label = p.name; n; max_bits = t.Simulator.max_bits; total_bits = t.Simulator.total_bits });
+  Trace.emit trace (Trace.Span_end { label = p.name; n });
+  (out, t)

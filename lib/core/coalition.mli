@@ -21,7 +21,10 @@ type 'a t = {
   local : n:int -> view -> (int * Message.t) list;
       (** Messages for the part's members, tagged by member id; must
           cover exactly the part's members. *)
-  global : n:int -> Message.t array -> 'a;
+  referee : 'a Protocol.referee;
+      (** The referee still receives [n] individual messages, streamed
+          in identifier order; {!Protocol.batch} keeps the array-style
+          spelling available. *)
 }
 
 (** [partition_by_ranges ~n ~parts] splits [1..n] into [parts] contiguous
@@ -29,9 +32,10 @@ type 'a t = {
     @raise Invalid_argument if [parts < 1] or [parts > n]. *)
 val partition_by_ranges : n:int -> parts:int -> int list list
 
-(** [run p g ~parts] executes a coalition protocol over the given
-    partition of the vertices.
+(** [run ?trace p g ~parts] executes a coalition protocol over the given
+    partition of the vertices; with a live [trace], span, absorb and
+    done events are emitted as in {!Simulator.run}.
     @raise Invalid_argument if [parts] does not partition [1..n] or the
     local function mislabels a message. *)
 val run :
-  'a t -> Refnet_graph.Graph.t -> parts:int list list -> 'a * Simulator.transcript
+  ?trace:Trace.sink -> 'a t -> Refnet_graph.Graph.t -> parts:int list list -> 'a * Simulator.transcript

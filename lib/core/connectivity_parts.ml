@@ -42,26 +42,29 @@ let spanning_forest_messages ~n (view : Coalition.view) =
 
 let decide : bool Coalition.t =
   let local ~n view = spanning_forest_messages ~n view in
-  let global ~n msgs =
+  (* Streaming referee: a union-find over the vertices is the whole
+     state — each absorbed message's forest-edge share is unioned in on
+     the spot, so referee memory stays O(n) words with no edge list and
+     no rebuilt graph.  Edge insertion commutes, so any arrival order
+     yields the same component count. *)
+  let init ~n = (Union_find.create (max n 1), true) in
+  let absorb ~n (uf, ok) ~id:_ msg =
     let w = Bounds.id_bits n in
-    let edges = ref [] in
+    let ok = ref ok in
     (try
-       Array.iter
-         (fun msg ->
-           let r = Message.reader msg in
-           let count = Codes.read_nonneg r in
-           for _ = 1 to count do
-             let u = Codes.read_fixed r ~width:w in
-             let v = Codes.read_fixed r ~width:w in
-             edges := (u, v) :: !edges
-           done)
-         msgs
+       let r = Message.reader msg in
+       let count = Codes.read_nonneg r in
+       for _ = 1 to count do
+         let u = Codes.read_fixed r ~width:w in
+         let v = Codes.read_fixed r ~width:w in
+         if u < 1 || u > n || v < 1 || v > n || u = v then ok := false
+         else ignore (Union_find.union uf (u - 1) (v - 1))
+       done
      with Bit_reader.Exhausted -> ());
-    match Graph.of_edges n !edges with
-    | g -> Connectivity.is_connected g
-    | exception Invalid_argument _ -> false
+    (uf, !ok)
   in
-  { name = "coalition-connectivity"; local; global }
+  let finish ~n (uf, ok) = ok && (n = 0 || Union_find.count uf <= 1) in
+  { name = "coalition-connectivity"; local; referee = Protocol.streaming ~init ~absorb ~finish }
 
 let per_node_bound ~n ~parts =
   let w = Bounds.id_bits n in

@@ -44,36 +44,40 @@ let local ~layout ~k ~n ~id ~neighbors =
 
 exception Malformed
 
-let parse ~layout ~k ~n msgs =
-  let w = Bounds.id_bits n in
-  let deg = Array.make n 0 in
-  let enc = Array.make n [||] in
-  Array.iteri
-    (fun i msg ->
-      let r = Message.reader msg in
-      let id = Codes.read_fixed r ~width:w in
-      if id <> i + 1 then raise Malformed;
-      (match layout with
-      | Fixed ->
-        deg.(i) <- Codes.read_fixed r ~width:w;
-        if deg.(i) > n - 1 then raise Malformed;
-        enc.(i) <- Array.init k (fun p -> Nat_codec.read r ~width:(coord_width ~w p))
-      | Compact ->
-        deg.(i) <- Codes.read_nonneg r;
-        if deg.(i) > n - 1 then raise Malformed;
-        enc.(i) <-
-          Array.init k (fun p ->
-              let bits = Codes.read_nonneg r in
-              if bits > coord_width ~w p then raise Malformed;
-              Nat_codec.read r ~width:bits)))
-    msgs;
-  (deg, enc)
+(* Streaming referee state: the (degree, power-sum encoding) tables,
+   allocated once at [init]; each absorb decodes one message into its
+   slot.  A malformed message poisons the state instead of raising, so
+   the referee tolerates any absorb order. *)
+type state = { s_deg : int array; s_enc : Power_sum.encoding array; mutable s_bad : bool }
 
-let global ~(decoder : decoder) ~layout ~k ~n msgs =
-  match parse ~layout ~k ~n msgs with
-  | exception Malformed -> None
-  | exception Bit_reader.Exhausted -> None
-  | deg, enc ->
+let init ~n = { s_deg = Array.make n 0; s_enc = Array.make n [||]; s_bad = false }
+
+let absorb ~layout ~k ~n st ~id msg =
+  let i = id - 1 in
+  (try
+     let w = Bounds.id_bits n in
+     let r = Message.reader msg in
+     if Codes.read_fixed r ~width:w <> id then raise Malformed;
+     match layout with
+     | Fixed ->
+       st.s_deg.(i) <- Codes.read_fixed r ~width:w;
+       if st.s_deg.(i) > n - 1 then raise Malformed;
+       st.s_enc.(i) <- Array.init k (fun p -> Nat_codec.read r ~width:(coord_width ~w p))
+     | Compact ->
+       st.s_deg.(i) <- Codes.read_nonneg r;
+       if st.s_deg.(i) > n - 1 then raise Malformed;
+       st.s_enc.(i) <-
+         Array.init k (fun p ->
+             let bits = Codes.read_nonneg r in
+             if bits > coord_width ~w p then raise Malformed;
+             Nat_codec.read r ~width:bits)
+   with Malformed | Bit_reader.Exhausted -> st.s_bad <- true);
+  st
+
+let finish ~(decoder : decoder) ~k ~n st =
+  if st.s_bad then None
+  else
+    let deg = st.s_deg and enc = st.s_enc in
     let removed = Array.make n false in
     let b = Graph.Builder.create n in
     (* Queue of vertices whose degree dropped to at most k; entries may be
@@ -130,6 +134,10 @@ let reconstruct ?(decoder = newton_decoder) ?(layout = Fixed) ~k () :
     name =
       Printf.sprintf "degeneracy-%d-reconstruct%s" k
         (match layout with Fixed -> "" | Compact -> "-compact");
-    local = (fun ~n ~id ~neighbors -> local ~layout ~k ~n ~id ~neighbors);
-    global = (fun ~n msgs -> global ~decoder ~layout ~k ~n msgs);
+    local =
+      (fun v -> local ~layout ~k ~n:(View.n v) ~id:(View.id v) ~neighbors:(View.neighbors v));
+    referee =
+      Protocol.streaming ~init
+        ~absorb:(fun ~n st ~id msg -> absorb ~layout ~k ~n st ~id msg)
+        ~finish:(fun ~n st -> finish ~decoder ~k ~n st);
   }

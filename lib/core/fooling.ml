@@ -8,9 +8,9 @@ let truncate ~budget (p : 'a Protocol.t) : 'a Protocol.t =
     p with
     name = Printf.sprintf "%s|%d log n" p.Protocol.name budget;
     local =
-      (fun ~n ~id ~neighbors ->
-        let m = p.Protocol.local ~n ~id ~neighbors in
-        let limit = budget * Bounds.id_bits n in
+      (fun v ->
+        let m = p.Protocol.local v in
+        let limit = budget * Bounds.id_bits (View.n v) in
         if Message.bits m <= limit then m
         else begin
           let r = Message.reader m in
@@ -21,7 +21,7 @@ let truncate ~budget (p : 'a Protocol.t) : 'a Protocol.t =
 let vector_key ~n ~local g =
   let buf = Buffer.create 64 in
   for id = 1 to n do
-    let m = local ~n ~id ~neighbors:(Graph.neighbors g id) in
+    let m = local (View.make ~n ~id ~neighbors:(Graph.neighbors g id)) in
     Buffer.add_string buf (Bitvec.to_string m);
     Buffer.add_char buf '|'
   done;

@@ -30,12 +30,13 @@ val truncate : budget:int -> 'a Protocol.t -> 'a Protocol.t
 
 (** [find_pair ~n ~property ~local enum] enumerates graphs of order [n]
     via [enum] (e.g. {!Refnet_graph.Enumerate.iter}), computes each
-    graph's message vector with [local], and returns the first two
+    graph's message vector with [local] (evaluated on engine-built views),
+    and returns the first two
     graphs with equal vectors but different [property] values. *)
 val find_pair :
   n:int ->
   property:(Graph.t -> 'a) ->
-  local:(n:int -> id:int -> neighbors:int list -> Message.t) ->
+  local:(View.t -> Message.t) ->
   ((Graph.t -> unit) -> unit) ->
   'a pair option
 
@@ -50,7 +51,7 @@ val fooling_pair_for :
 val certify :
   n:int ->
   property:(Graph.t -> 'a) ->
-  local:(n:int -> id:int -> neighbors:int list -> Message.t) ->
+  local:(View.t -> Message.t) ->
   ((Graph.t -> unit) -> unit) ->
   'a pair option
 
@@ -59,6 +60,6 @@ val certify :
     to compare against the family size (Lemma 1 numerically). *)
 val vector_count :
   n:int ->
-  local:(n:int -> id:int -> neighbors:int list -> Message.t) ->
+  local:(View.t -> Message.t) ->
   ((Graph.t -> unit) -> unit) ->
   int

@@ -3,36 +3,40 @@ open Refnet_graph
 
 let message_bits = Bounds.forest_message_bits
 
-let local ~n ~id ~neighbors =
+let local v =
+  let n = View.n v in
   let w = Bounds.id_bits n in
   let wr = Bit_writer.create () in
-  Codes.write_fixed wr ~width:w id;
-  Codes.write_fixed wr ~width:w (List.length neighbors);
+  Codes.write_fixed wr ~width:w (View.id v);
+  Codes.write_fixed wr ~width:w (View.deg v);
   (* Sum of at most n identifiers of at most n: fits 2w bits. *)
-  Codes.write_fixed wr ~width:(2 * w) (List.fold_left ( + ) 0 neighbors);
+  Codes.write_fixed wr ~width:(2 * w) (View.fold_neighbors v 0 ( + ));
   Message.of_writer wr
 
 exception Malformed
 
-let parse ~n msgs =
-  let w = Bounds.id_bits n in
-  let deg = Array.make n 0 and sum = Array.make n 0 in
-  Array.iteri
-    (fun i msg ->
-      let r = Message.reader msg in
-      let id = Codes.read_fixed r ~width:w in
-      if id <> i + 1 then raise Malformed;
-      deg.(i) <- Codes.read_fixed r ~width:w;
-      sum.(i) <- Codes.read_fixed r ~width:(2 * w);
-      if deg.(i) > n - 1 then raise Malformed)
-    msgs;
-  (deg, sum)
+(* Streaming referee state: the (degree, neighbour-ID-sum) tables,
+   allocated once at [init] — each absorb decodes one triple in place,
+   so referee memory is O(n) words total and O(1) per message. *)
+type state = { deg : int array; sum : int array; mutable bad : bool }
 
-let global ~n msgs =
-  match parse ~n msgs with
-  | exception Malformed -> None
-  | exception Bit_reader.Exhausted -> None
-  | deg, sum ->
+let init ~n = { deg = Array.make n 0; sum = Array.make n 0; bad = false }
+
+let absorb ~n st ~id msg =
+  (try
+     let w = Bounds.id_bits n in
+     let r = Message.reader msg in
+     if Codes.read_fixed r ~width:w <> id then raise Malformed;
+     let d = Codes.read_fixed r ~width:w in
+     if d > n - 1 then raise Malformed;
+     st.deg.(id - 1) <- d;
+     st.sum.(id - 1) <- Codes.read_fixed r ~width:(2 * w)
+   with Malformed | Bit_reader.Exhausted -> st.bad <- true);
+  st
+
+let finish ~n { deg; sum; bad } =
+  if bad then None
+  else begin
     let removed = Array.make n false in
     let b = Graph.Builder.create n in
     (* Queue of candidate prune points; stale entries are skipped. *)
@@ -63,9 +67,10 @@ let global ~n msgs =
       end
     done;
     if !ok && !processed = n then Some (Graph.Builder.build b) else None
+  end
 
 let reconstruct : Graph.t option Protocol.t =
-  { name = "forest-reconstruct"; local; global }
+  { name = "forest-reconstruct"; local; referee = Protocol.streaming ~init ~absorb ~finish }
 
 let recognize : bool Protocol.t =
   Protocol.rename "forest-recognize" (Protocol.map_output Option.is_some reconstruct)

@@ -32,28 +32,35 @@ let local ~k ~n ~id ~neighbors =
 
 exception Malformed
 
-let parse ~k ~n msgs =
-  let w = Bounds.id_bits n in
-  let deg = Array.make n 0 in
-  let enc_n = Array.make n [||] in
-  let enc_c = Array.make n [||] in
-  Array.iteri
-    (fun i msg ->
-      let r = Message.reader msg in
-      let id = Codes.read_fixed r ~width:w in
-      if id <> i + 1 then raise Malformed;
-      deg.(i) <- Codes.read_fixed r ~width:w;
-      if deg.(i) > n - 1 then raise Malformed;
-      enc_n.(i) <- Array.init k (fun p -> Nat_codec.read r ~width:(coord_width ~w p));
-      enc_c.(i) <- Array.init k (fun p -> Nat_codec.read r ~width:(coord_width ~w p)))
-    msgs;
-  (deg, enc_n, enc_c)
+(* Streaming referee: both encoding tables allocated once at [init],
+   one message decoded per absorb, malformed input poisons the state. *)
+type state = {
+  s_deg : int array;
+  s_enc_n : Power_sum.encoding array;
+  s_enc_c : Power_sum.encoding array;
+  mutable s_bad : bool;
+}
 
-let global ~(decoder : Degeneracy_protocol.decoder) ~k ~n msgs =
-  match parse ~k ~n msgs with
-  | exception Malformed -> None
-  | exception Bit_reader.Exhausted -> None
-  | deg, enc_n, enc_c ->
+let init ~n =
+  { s_deg = Array.make n 0; s_enc_n = Array.make n [||]; s_enc_c = Array.make n [||]; s_bad = false }
+
+let absorb ~k ~n st ~id msg =
+  let i = id - 1 in
+  (try
+     let w = Bounds.id_bits n in
+     let r = Message.reader msg in
+     if Codes.read_fixed r ~width:w <> id then raise Malformed;
+     st.s_deg.(i) <- Codes.read_fixed r ~width:w;
+     if st.s_deg.(i) > n - 1 then raise Malformed;
+     st.s_enc_n.(i) <- Array.init k (fun p -> Nat_codec.read r ~width:(coord_width ~w p));
+     st.s_enc_c.(i) <- Array.init k (fun p -> Nat_codec.read r ~width:(coord_width ~w p))
+   with Malformed | Bit_reader.Exhausted -> st.s_bad <- true);
+  st
+
+let finish ~(decoder : Degeneracy_protocol.decoder) ~k ~n st =
+  if st.s_bad then None
+  else
+    let deg = st.s_deg and enc_n = st.s_enc_n and enc_c = st.s_enc_c in
     let removed = Array.make n false in
     let remaining = ref n in
     let b = Graph.Builder.create n in
@@ -134,8 +141,11 @@ let reconstruct ?(decoder = Degeneracy_protocol.newton_decoder) ~k () :
   if k < 0 then invalid_arg "Generalized_degeneracy.reconstruct: negative k";
   {
     name = Printf.sprintf "generalized-degeneracy-%d-reconstruct" k;
-    local = (fun ~n ~id ~neighbors -> local ~k ~n ~id ~neighbors);
-    global = (fun ~n msgs -> global ~decoder ~k ~n msgs);
+    local = (fun v -> local ~k ~n:(View.n v) ~id:(View.id v) ~neighbors:(View.neighbors v));
+    referee =
+      Protocol.streaming ~init
+        ~absorb:(fun ~n st ~id msg -> absorb ~k ~n st ~id msg)
+        ~finish:(fun ~n st -> finish ~decoder ~k ~n st);
   }
 
 let recognize ?decoder k =

@@ -15,6 +15,23 @@ let concat ms =
   List.iter (fun m -> Bit_writer.add_bitvec w m) ms;
   Bit_writer.contents w
 
+let write_framed w m =
+  Codes.write_nonneg w (Bitvec.length m);
+  Bit_writer.add_bitvec w m
+
+let read_framed r =
+  let len = Codes.read_nonneg r in
+  Bit_reader.read_bitvec r ~len
+
+let bundle parts =
+  let w = Bit_writer.create () in
+  List.iter (write_framed w) parts;
+  Bit_writer.contents w
+
+let unbundle ~count msg =
+  let r = Bit_reader.of_bitvec msg in
+  List.init count (fun _ -> read_framed r)
+
 let equal = Bitvec.equal
 
 let pp = Bitvec.pp

@@ -23,5 +23,22 @@ val empty : t
     self-delimiting by the caller). *)
 val concat : t list -> t
 
+(** Self-delimiting framing: each part is written as a gamma-coded
+    length followed by the raw bits, so a bundle of [count] parts —
+    including empty ones — splits back exactly. *)
+
+(** [bundle parts] frames and concatenates. *)
+val bundle : t list -> t
+
+(** [unbundle ~count m] splits a bundle back into [count] parts.
+    @raise Refnet_bits.Bit_reader.Exhausted on truncated input. *)
+val unbundle : count:int -> t -> t list
+
+(** [write_framed w m] appends one framed part to a writer. *)
+val write_framed : Bit_writer.t -> t -> unit
+
+(** [read_framed r] reads one framed part. *)
+val read_framed : Bit_reader.t -> t
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

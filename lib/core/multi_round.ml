@@ -73,10 +73,10 @@ let of_one_round (p : 'a Protocol.t) : 'a t =
     init = (fun ~n ~id ~neighbors -> make_state ~n ~id ~neighbors ~extra:[]);
     send =
       (fun ~round:_ s ->
-        (p.Protocol.local ~n:s.n ~id:s.id ~neighbors:s.neighbors, s));
+        (p.Protocol.local (View.make ~n:s.n ~id:s.id ~neighbors:s.neighbors), s));
     receive = (fun ~round:_ ~broadcast:_ s -> s);
     referee = (fun ~round:_ ~n:_ _ -> Message.empty);
-    output = (fun ~n msgs -> p.Protocol.global ~n msgs);
+    output = (fun ~n msgs -> Protocol.apply p ~n msgs);
   }
 
 module Adaptive_degeneracy = struct
@@ -117,7 +117,7 @@ module Adaptive_degeneracy = struct
             in
             let k = max 1 k_hat in
             let p = Degeneracy_protocol.reconstruct ~k () in
-            (p.Protocol.local ~n:s.n ~id:s.id ~neighbors:s.neighbors, s));
+            (p.Protocol.local (View.make ~n:s.n ~id:s.id ~neighbors:s.neighbors), s));
       receive = (fun ~round:_ ~broadcast s -> push_extra s broadcast);
       referee =
         (fun ~round:_ ~n msgs ->
@@ -147,7 +147,7 @@ module Adaptive_degeneracy = struct
             in
             let k = max 1 (degree_bound degrees) in
             let p = Degeneracy_protocol.reconstruct ~k () in
-            p.Protocol.global ~n msgs
+            Protocol.apply p ~n msgs
           end);
     }
 end

@@ -1,9 +1,46 @@
-type 'a t = {
-  name : string;
-  local : n:int -> id:int -> neighbors:int list -> Message.t;
-  global : n:int -> Message.t array -> 'a;
+type ('s, 'a) stream = {
+  init : n:int -> 's;
+  absorb : n:int -> 's -> id:int -> Message.t -> 's;
+  finish : n:int -> 's -> 'a;
 }
 
-let map_output f p = { p with global = (fun ~n msgs -> f (p.global ~n msgs)) }
+type 'a referee = Referee : ('s, 'a) stream -> 'a referee
 
+type 'a t = { name : string; local : View.t -> Message.t; referee : 'a referee }
+
+let streaming ~init ~absorb ~finish = Referee { init; absorb; finish }
+
+let batch global =
+  Referee
+    {
+      init = (fun ~n -> Array.make n Message.empty);
+      absorb =
+        (fun ~n:_ msgs ~id msg ->
+          msgs.(id - 1) <- msg;
+          msgs);
+      finish = (fun ~n msgs -> global ~n msgs);
+    }
+
+(* A feed pairs a stream with its in-flight state; the existential keeps
+   the state type private to the referee. *)
+type 'a feed = Feed : ('s, 'a) stream * int * 's -> 'a feed
+
+let start (Referee s) ~n = Feed (s, n, s.init ~n)
+let feed (Feed (s, n, st)) ~id msg = Feed (s, n, s.absorb ~n st ~id msg)
+let finish (Feed (s, n, st)) = s.finish ~n st
+
+let run_referee ?(trace = Trace.null) (Referee s) ~n msgs =
+  if Array.length msgs <> n then invalid_arg "Protocol.run_referee: wrong message count";
+  let st = ref (s.init ~n) in
+  for i = 0 to n - 1 do
+    st := s.absorb ~n !st ~id:(i + 1) msgs.(i);
+    if not (Trace.is_null trace) then
+      Trace.emit trace (Trace.Referee_absorb { id = i + 1; bits = Message.bits msgs.(i) })
+  done;
+  s.finish ~n !st
+
+let apply p ~n msgs = run_referee p.referee ~n msgs
+
+let map_referee f (Referee s) = Referee { s with finish = (fun ~n st -> f (s.finish ~n st)) }
+let map_output f p = { p with referee = map_referee f p.referee }
 let rename name p = { p with name }

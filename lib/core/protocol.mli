@@ -1,34 +1,97 @@
 (** One-round protocols (the paper's Definition 1).
 
-    A protocol is a family of pairs [(local_n, global_n)]: the local
-    function maps a node's knowledge — its identifier, its neighbour set
-    and the network size [n] — to a message, and the global function maps
-    the [n] collected messages to the output.  Following the paper, the
-    local function must be evaluable at {e any} pair [(i, N)] with
-    [N ⊆ {1..n}], not only pairs arising from an actual input graph; the
+    A protocol is a family of pairs [(local_n, referee_n)]: the local
+    function maps a node's knowledge — its {!View}: identifier,
+    neighbour set, network size — to a message, and the referee maps the
+    [n] collected messages to the output.  Following the paper, the
+    local function must be evaluable at {e any} view [(i, N)] with
+    [N ⊆ {1..n}], not only views arising from an actual input graph; the
     reduction protocols of Section II exploit exactly this by evaluating
     an oracle's local function on fictitious gadget vertices.
+
+    The referee is {e streaming}: it starts from [init], [absorb]s one
+    message at a time, and [finish]es into the output.  The paper's
+    referee waits for all [n] messages and knows which node sent which
+    ([absorb] carries the sender's identifier), so this is the same
+    model — but incremental referees (the forest sums of §III.A,
+    coalition connectivity, Lemma 1 counting) can hold O(1)-per-node
+    state instead of a materialized message array, and the reduction
+    referees can feed a simulated oracle without allocating per-pair
+    message arrays.  Array-style referees keep a one-line spelling via
+    {!batch}.
+
+    Referee contract: [absorb] must be insensitive to arrival order —
+    for any permutation π of [1..n], folding the messages in order π
+    must [finish] to the same output as identifier order (the simulator
+    checks this under {!Simulator.run_async}).  [init]/[absorb]/[finish]
+    must not mutate anything outside the state they thread.
 
     The output type is a parameter: reconstruction protocols produce
     [Graph.t option], decision protocols produce [bool].  This mirrors
     the paper's untyped [{0,1}*] output without forcing callers to
     re-parse bit strings. *)
 
-type 'a t = {
-  name : string;  (** for reports and transcripts *)
-  local : n:int -> id:int -> neighbors:int list -> Message.t;
-      (** [Γ^l_n(i, N)]: the message node [i] sends when its neighbour
-          set is [N] in a network of size [n].  [N] is a {e set}; by
-          convention callers (the simulator, the reductions) always pass
-          it as a strictly increasing list, and implementations must be
-          pure — same inputs, same message. *)
-  global : n:int -> Message.t array -> 'a;
-      (** [Γ^g_n]: referee decoding; [messages.(i - 1)] is node [i]'s
-          message (the referee knows [n] and waits for all messages, so
-          indexing by identifier is faithful to the model). *)
+(** A streaming referee with state ['s]: [Γ^g_n] as a fold.  [absorb]
+    receives the sender's identifier — the referee knows who sent what,
+    faithful to the model. *)
+type ('s, 'a) stream = {
+  init : n:int -> 's;
+  absorb : n:int -> 's -> id:int -> Message.t -> 's;
+  finish : n:int -> 's -> 'a;
 }
 
-(** [map_output f p] is [p] with [f] applied to the global result. *)
+(** A referee with its state type hidden. *)
+type 'a referee = Referee : ('s, 'a) stream -> 'a referee
+
+type 'a t = {
+  name : string;  (** for reports and transcripts *)
+  local : View.t -> Message.t;
+      (** [Γ^l_n(i, N)]: the message a node sends given its view.  The
+          view is the {e only} source of local knowledge; implementations
+          must be pure — same view contents, same message. *)
+  referee : 'a referee;  (** [Γ^g_n] as a streaming fold *)
+}
+
+(** [streaming ~init ~absorb ~finish] packs a referee. *)
+val streaming :
+  init:(n:int -> 's) ->
+  absorb:(n:int -> 's -> id:int -> Message.t -> 's) ->
+  finish:(n:int -> 's -> 'a) ->
+  'a referee
+
+(** [batch global] adapts an array-style referee: state is the message
+    vector indexed by identifier ([msgs.(i - 1)] for node [i]), filled
+    by [absorb], decoded whole by [global] at [finish]. *)
+val batch : (n:int -> Message.t array -> 'a) -> 'a referee
+
+(** A referee mid-fold.  [feed]ing is how engine code (and the reduction
+    referees simulating an oracle) streams messages without ever
+    materializing an array. *)
+type 'a feed
+
+(** [start r ~n] opens a fold over [n] messages. *)
+val start : 'a referee -> n:int -> 'a feed
+
+(** [feed f ~id msg] absorbs node [id]'s message. *)
+val feed : 'a feed -> id:int -> Message.t -> 'a feed
+
+(** [finish f] closes the fold into the output. *)
+val finish : 'a feed -> 'a
+
+(** [run_referee ?trace r ~n msgs] folds a full message vector in
+    identifier order, emitting one [Referee_absorb] event per message.
+    @raise Invalid_argument if [Array.length msgs <> n]. *)
+val run_referee : ?trace:Trace.sink -> 'a referee -> n:int -> Message.t array -> 'a
+
+(** [apply p ~n msgs] is [run_referee p.referee ~n msgs] — the old
+    array-style global, for tests and harnesses that fabricate message
+    vectors. *)
+val apply : 'a t -> n:int -> Message.t array -> 'a
+
+(** [map_referee f r] maps over the finished output. *)
+val map_referee : ('a -> 'b) -> 'a referee -> 'b referee
+
+(** [map_output f p] is [p] with [f] applied to the referee's result. *)
 val map_output : ('a -> 'b) -> 'a t -> 'b t
 
 (** [rename name p]. *)

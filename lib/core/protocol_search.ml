@@ -177,10 +177,11 @@ let search_family_reconstructor ?budget ~n ~colors ~family () =
 
 let to_protocol ~n ~colors (w : witness) ~property : bool Protocol.t =
   let width = max 1 (Codes.bits_needed (colors - 1)) in
-  let local ~n:n' ~id ~neighbors =
-    if n' <> n then invalid_arg "Protocol_search.to_protocol: wrong network size";
+  let local view =
+    if View.n view <> n then invalid_arg "Protocol_search.to_protocol: wrong network size";
+    let id = View.id view in
     let wr = Bit_writer.create () in
-    Codes.write_fixed wr ~width w.(id - 1).(neighborhood_mask ~n ~id neighbors);
+    Codes.write_fixed wr ~width w.(id - 1).(neighborhood_mask ~n ~id (View.neighbors view));
     Message.of_writer wr
   in
   let global ~n:n' msgs =
@@ -202,4 +203,8 @@ let to_protocol ~n ~colors (w : witness) ~property : bool Protocol.t =
      with Exit -> ());
     !verdict
   in
-  { name = Printf.sprintf "searched-protocol(n=%d,colors=%d)" n colors; local; global }
+  {
+    name = Printf.sprintf "searched-protocol(n=%d,colors=%d)" n colors;
+    local;
+    referee = Protocol.batch global;
+  }

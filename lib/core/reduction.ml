@@ -1,4 +1,3 @@
-open Refnet_bits
 open Refnet_graph
 
 let square_oracle : bool Protocol.t =
@@ -38,51 +37,57 @@ let graph_of_probe ~n probe =
   Array.iteri (fun i yes -> if yes then let s, t = pairs.(i) in Graph.Builder.add_edge b s t) verdicts;
   Graph.Builder.build b
 
+(* The referee simulates the oracle's own (streaming) referee per probe:
+   real nodes' recorded Γ-messages are fed first, then the fictitious
+   vertices' messages are fabricated and fed on the fly — no per-pair
+   message array of the gadget's size is ever materialized. *)
+let oracle_view ~size ~id ~neighbors = View.make ~n:size ~id ~neighbors
+
 let square ~(oracle : bool Protocol.t) : Graph.t Protocol.t =
-  let local ~n ~id ~neighbors =
+  let local v =
+    let n = View.n v in
+    let id = View.id v in
     (* Node id's neighbourhood in every G'_{s,t} is N(id) + its pendant —
        independent of s and t, so one Γ-message covers all pairs. *)
-    oracle.local ~n:(2 * n) ~id ~neighbors:(neighbors @ [ id + n ])
+    oracle.local (oracle_view ~size:(2 * n) ~id ~neighbors:(View.neighbors v @ [ id + n ]))
   in
   let global ~n msgs =
     graph_of_probe ~n (fun s t ->
-        let full = Array.make (2 * n) Message.empty in
-        Array.blit msgs 0 full 0 n;
-        for j = n + 1 to 2 * n do
-          full.(j - 1) <-
-            oracle.local ~n:(2 * n) ~id:j ~neighbors:(Gadgets.square_fictitious ~n ~s ~t j)
+        let size = 2 * n in
+        let feed = ref (Protocol.start oracle.referee ~n:size) in
+        for i = 1 to n do
+          feed := Protocol.feed !feed ~id:i msgs.(i - 1)
         done;
-        oracle.global ~n:(2 * n) full)
+        for j = n + 1 to size do
+          feed :=
+            Protocol.feed !feed ~id:j
+              (oracle.local
+                 (oracle_view ~size ~id:j ~neighbors:(Gadgets.square_fictitious ~n ~s ~t j)))
+        done;
+        Protocol.finish !feed)
   in
-  { name = "delta-square[" ^ oracle.name ^ "]"; local; global }
+  { name = "delta-square[" ^ oracle.name ^ "]"; local; referee = Protocol.batch global }
 
 (* Bundled messages: each part written as a gamma length prefix followed
-   by the raw bits, so the referee can split the bundle. *)
-let write_part w msg =
-  Codes.write_nonneg w (Message.bits msg);
-  Bit_writer.add_bitvec w msg
-
-let read_part r =
-  let len = Codes.read_nonneg r in
-  Bit_reader.read_bitvec r ~len
-
-let bundle parts =
-  let w = Bit_writer.create () in
-  List.iter (write_part w) parts;
-  Message.of_writer w
-
-let unbundle ~count msg =
-  let r = Message.reader msg in
-  List.init count (fun _ -> read_part r)
+   by the raw bits, so the referee can split the bundle.  The framing
+   itself lives in {!Message}; these aliases keep the historical
+   spellings. *)
+let write_part = Message.write_framed
+let read_part = Message.read_framed
+let bundle = Message.bundle
+let unbundle = Message.unbundle
 
 let diameter ~(oracle : bool Protocol.t) : Graph.t Protocol.t =
-  let local ~n ~id ~neighbors =
+  let local v =
+    let n = View.n v in
+    let id = View.id v in
+    let neighbors = View.neighbors v in
     let size = n + 3 in
     (* m0: id keeps only the universal vertex; ms: id additionally sees
        n+1 (id plays s); mt: id additionally sees n+2 (id plays t). *)
-    let m0 = oracle.local ~n:size ~id ~neighbors:(neighbors @ [ n + 3 ]) in
-    let ms = oracle.local ~n:size ~id ~neighbors:(neighbors @ [ n + 1; n + 3 ]) in
-    let mt = oracle.local ~n:size ~id ~neighbors:(neighbors @ [ n + 2; n + 3 ]) in
+    let m0 = oracle.local (oracle_view ~size ~id ~neighbors:(neighbors @ [ n + 3 ])) in
+    let ms = oracle.local (oracle_view ~size ~id ~neighbors:(neighbors @ [ n + 1; n + 3 ])) in
+    let mt = oracle.local (oracle_view ~size ~id ~neighbors:(neighbors @ [ n + 2; n + 3 ])) in
     bundle [ m0; ms; mt ]
   in
   let global ~n msgs =
@@ -90,23 +95,30 @@ let diameter ~(oracle : bool Protocol.t) : Graph.t Protocol.t =
     let parts = Parallel.map_array (unbundle ~count:3) msgs in
     let part i j = List.nth parts.(i - 1) j in
     graph_of_probe ~n (fun s t ->
-        let full = Array.make size Message.empty in
+        let feed = ref (Protocol.start oracle.referee ~n:size) in
         for i = 1 to n do
-          full.(i - 1) <- (if i = s then part i 1 else if i = t then part i 2 else part i 0)
+          feed :=
+            Protocol.feed !feed ~id:i
+              (if i = s then part i 1 else if i = t then part i 2 else part i 0)
         done;
         for j = n + 1 to n + 3 do
-          full.(j - 1) <-
-            oracle.local ~n:size ~id:j ~neighbors:(Gadgets.diameter_fictitious ~n ~s ~t j)
+          feed :=
+            Protocol.feed !feed ~id:j
+              (oracle.local
+                 (oracle_view ~size ~id:j ~neighbors:(Gadgets.diameter_fictitious ~n ~s ~t j)))
         done;
-        oracle.global ~n:size full)
+        Protocol.finish !feed)
   in
-  { name = "delta-diameter[" ^ oracle.name ^ "]"; local; global }
+  { name = "delta-diameter[" ^ oracle.name ^ "]"; local; referee = Protocol.batch global }
 
 let triangle ~(oracle : bool Protocol.t) : Graph.t Protocol.t =
-  let local ~n ~id ~neighbors =
+  let local v =
+    let n = View.n v in
+    let id = View.id v in
+    let neighbors = View.neighbors v in
     let size = n + 1 in
-    let plain = oracle.local ~n:size ~id ~neighbors in
-    let touched = oracle.local ~n:size ~id ~neighbors:(neighbors @ [ n + 1 ]) in
+    let plain = oracle.local (oracle_view ~size ~id ~neighbors) in
+    let touched = oracle.local (oracle_view ~size ~id ~neighbors:(neighbors @ [ n + 1 ])) in
     bundle [ plain; touched ]
   in
   let global ~n msgs =
@@ -114,13 +126,15 @@ let triangle ~(oracle : bool Protocol.t) : Graph.t Protocol.t =
     let parts = Parallel.map_array (unbundle ~count:2) msgs in
     let part i j = List.nth parts.(i - 1) j in
     graph_of_probe ~n (fun s t ->
-        let full = Array.make size Message.empty in
+        let feed = ref (Protocol.start oracle.referee ~n:size) in
         for i = 1 to n do
-          full.(i - 1) <- (if i = s || i = t then part i 1 else part i 0)
+          feed := Protocol.feed !feed ~id:i (if i = s || i = t then part i 1 else part i 0)
         done;
-        full.(n) <-
-          oracle.local ~n:size ~id:(n + 1)
-            ~neighbors:(Gadgets.triangle_fictitious ~n ~s ~t (n + 1));
-        oracle.global ~n:size full)
+        feed :=
+          Protocol.feed !feed ~id:(n + 1)
+            (oracle.local
+               (oracle_view ~size ~id:(n + 1)
+                  ~neighbors:(Gadgets.triangle_fictitious ~n ~s ~t (n + 1))));
+        Protocol.finish !feed)
   in
-  { name = "delta-triangle[" ^ oracle.name ^ "]"; local; global }
+  { name = "delta-triangle[" ^ oracle.name ^ "]"; local; referee = Protocol.batch global }

@@ -16,41 +16,91 @@ let transcript_of_messages msgs =
     total_bits = Array.fold_left ( + ) 0 message_bits;
   }
 
-let local_phase ?domains (p : 'a Protocol.t) g =
+let emit_node_events trace views msgs =
+  Array.iteri
+    (fun i msg ->
+      Trace.emit trace
+        (Trace.Node_local { id = i + 1; bits = Message.bits msg; queries = View.audit views.(i) }))
+    msgs
+
+let local_phase ?domains ?(trace = Trace.null) (p : 'a Protocol.t) g =
   (* The model makes this phase embarrassingly parallel: each node's
-     message depends only on (n, id, N(id)).  Messages land in their slot
-     by identifier, so the vector — and hence the transcript — is
+     message depends only on its view.  The engine is the only place
+     views of real nodes are built; messages land in their slot by
+     identifier, so the vector — and hence the transcript — is
      bit-identical to a sequential run at any domain count. *)
   let n = Graph.order g in
-  Parallel.init ?domains n (fun i -> p.local ~n ~id:(i + 1) ~neighbors:(Graph.neighbors g (i + 1)))
+  if Trace.is_null trace then
+    Parallel.init ?domains n (fun i ->
+        p.local (View.make ~n ~id:(i + 1) ~neighbors:(Graph.neighbors g (i + 1))))
+  else begin
+    (* Prebuild the views so their audit tallies survive the parallel
+       section; events are emitted from the submitting domain only,
+       after the batch completes, in identifier order. *)
+    let views =
+      Array.init n (fun i -> View.make ~n ~id:(i + 1) ~neighbors:(Graph.neighbors g (i + 1)))
+    in
+    let msgs = Parallel.init ?domains n (fun i -> p.local views.(i)) in
+    emit_node_events trace views msgs;
+    msgs
+  end
 
-let run ?domains (p : 'a Protocol.t) g =
-  let msgs = local_phase ?domains p g in
-  let out = p.global ~n:(Graph.order g) msgs in
-  (out, transcript_of_messages msgs)
-
-let run_async ?rng ?domains (p : 'a Protocol.t) g =
-  let rng = match rng with Some r -> r | None -> Random.State.make [| 0x5eed |] in
+let run ?domains ?(trace = Trace.null) (p : 'a Protocol.t) g =
   let n = Graph.order g in
-  let order = Array.init n (fun i -> i + 1) in
+  Trace.emit trace (Trace.Span_begin { label = p.name; n });
+  let msgs = local_phase ?domains ~trace p g in
+  let out = Protocol.run_referee ~trace p.referee ~n msgs in
+  let t = transcript_of_messages msgs in
+  Trace.emit trace
+    (Trace.Referee_done { label = p.name; n; max_bits = t.max_bits; total_bits = t.total_bits });
+  Trace.emit trace (Trace.Span_end { label = p.name; n });
+  (out, t)
+
+let shuffle rng a =
+  let n = Array.length a in
   for i = n - 1 downto 1 do
     let j = Random.State.int rng (i + 1) in
-    let t = order.(i) in
-    order.(i) <- order.(j);
-    order.(j) <- t
-  done;
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
+
+let run_async ?rng ?domains ?(trace = Trace.null) (p : 'a Protocol.t) g =
+  let rng = match rng with Some r -> r | None -> Random.State.make [| 0x5eed |] in
+  let n = Graph.order g in
+  Trace.emit trace (Trace.Span_begin { label = p.name; n });
+  let order = Array.init n (fun i -> i + 1) in
+  shuffle rng order;
   (* Compute in scheduling order (now also interleaved across domains),
-     deliver in another order, reassemble by identifier: the referee
-     waits for one message per node. *)
+     deliver in yet another order: the streaming referee absorbs each
+     message as it arrives, and its output must not depend on arrival
+     order (one message per node, sender identified). *)
   let inbox = Array.make n None in
+  let views = Array.make n None in
   Parallel.iter_range ?domains n (fun i ->
       let id = order.(i) in
-      inbox.(id - 1) <- Some (p.local ~n ~id ~neighbors:(Graph.neighbors g id)));
-  let msgs =
-    Array.map (function Some m -> m | None -> assert false) inbox
-  in
-  let out = p.global ~n msgs in
-  (out, transcript_of_messages msgs)
+      let v = View.make ~n ~id ~neighbors:(Graph.neighbors g id) in
+      views.(id - 1) <- Some v;
+      inbox.(id - 1) <- Some (p.local v));
+  let msgs = Array.map (function Some m -> m | None -> assert false) inbox in
+  if not (Trace.is_null trace) then begin
+    let views = Array.map (function Some v -> v | None -> assert false) views in
+    emit_node_events trace views msgs
+  end;
+  let arrival = Array.init n (fun i -> i + 1) in
+  shuffle rng arrival;
+  let feed = ref (Protocol.start p.referee ~n) in
+  Array.iter
+    (fun id ->
+      feed := Protocol.feed !feed ~id msgs.(id - 1);
+      Trace.emit trace (Trace.Referee_absorb { id; bits = Message.bits msgs.(id - 1) }))
+    arrival;
+  let out = Protocol.finish !feed in
+  let t = transcript_of_messages msgs in
+  Trace.emit trace
+    (Trace.Referee_done { label = p.name; n; max_bits = t.max_bits; total_bits = t.total_bits });
+  Trace.emit trace (Trace.Span_end { label = p.name; n });
+  (out, t)
 
 let ceil_log2 n =
   let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in

@@ -1,9 +1,15 @@
 (** Protocol execution over a concrete network.
 
     The simulator enforces the model's information boundary: the local
-    phase hands each node only [(n, id, N(id))]; the global phase hands
-    the referee only the message vector.  Message lengths are recorded
-    exactly, in bits. *)
+    phase builds each node's {!View} — the engine is the only place
+    views of real nodes are constructed — and the referee phase streams
+    the message vector into the protocol's referee.  Message lengths are
+    recorded exactly, in bits.
+
+    Every entry point takes an optional {!Trace.sink}; the default
+    {!Trace.null} costs nothing.  Events are emitted from the calling
+    domain only, never from pool workers, so sinks need not be
+    thread-safe. *)
 
 type transcript = {
   n : int;
@@ -12,27 +18,38 @@ type transcript = {
   total_bits : int;
 }
 
-(** [local_phase ?domains p g] runs every node's local function, fanned
-    out across the {!Parallel} domain pool ([?domains] selects the pool
-    width; the default honours [REFNET_DOMAINS]).  Local functions are
-    pure by the model's information boundary, and each message is written
-    into its slot by identifier, so the resulting vector is bit-identical
-    to a sequential run at any width. *)
-val local_phase : ?domains:int -> 'a Protocol.t -> Refnet_graph.Graph.t -> Message.t array
+(** [local_phase ?domains ?trace p g] runs every node's local function,
+    fanned out across the {!Parallel} domain pool ([?domains] selects
+    the pool width; the default honours [REFNET_DOMAINS]).  Local
+    functions are pure by the model's information boundary, and each
+    message is written into its slot by identifier, so the resulting
+    vector is bit-identical to a sequential run at any width.  With a
+    live [trace], one [Node_local] event per node is emitted (in
+    identifier order, after the parallel section). *)
+val local_phase :
+  ?domains:int -> ?trace:Trace.sink -> 'a Protocol.t -> Refnet_graph.Graph.t -> Message.t array
 
-(** [run ?domains p g] executes both phases; returns the referee's output
-    and the transcript.  The transcript is byte-identical whatever
+(** [run ?domains ?trace p g] executes both phases; returns the
+    referee's output and the transcript.  The referee absorbs messages
+    in identifier order.  The transcript is byte-identical whatever
     [domains] is — parallelism is an execution detail, never observable
     in the model. *)
-val run : ?domains:int -> 'a Protocol.t -> Refnet_graph.Graph.t -> 'a * transcript
+val run :
+  ?domains:int -> ?trace:Trace.sink -> 'a Protocol.t -> Refnet_graph.Graph.t -> 'a * transcript
 
-(** [run_async ?rng ?domains p g] is [run] but evaluates local functions
-    in a random order and delivers messages in another random order
-    before reassembling them by identifier — a check that nothing in a
-    protocol depends on scheduling (the paper notes one-round protocols
-    tolerate asynchrony). *)
+(** [run_async ?rng ?domains ?trace p g] is [run] but evaluates local
+    functions in a random order and delivers messages to the streaming
+    referee in {e another} random arrival order — a check that nothing
+    in a protocol depends on scheduling, including the referee's absorb
+    order (the paper notes one-round protocols tolerate asynchrony).
+    [Referee_absorb] trace events fire in arrival order. *)
 val run_async :
-  ?rng:Random.State.t -> ?domains:int -> 'a Protocol.t -> Refnet_graph.Graph.t -> 'a * transcript
+  ?rng:Random.State.t ->
+  ?domains:int ->
+  ?trace:Trace.sink ->
+  'a Protocol.t ->
+  Refnet_graph.Graph.t ->
+  'a * transcript
 
 (** [transcript_of_messages msgs] summarizes an externally-built message
     vector. *)

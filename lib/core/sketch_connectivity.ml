@@ -35,36 +35,38 @@ let protocol ~seed ?rounds ?levels () : bool Protocol.t =
     let l = match levels with Some l -> l | None -> default_levels n in
     (max 1 r, max 1 l)
   in
-  let local ~n ~id ~neighbors =
+  let local view =
+    let n = View.n view in
+    let id = View.id view in
     let r, l = params n in
     let ts = templates ~seed ~rounds:r ~levels:l in
     let w = Bit_writer.create () in
     Array.iter
       (fun template ->
         let sampler =
-          List.fold_left
-            (fun acc u ->
+          View.fold_neighbors view template (fun acc u ->
               L0_sampler.update acc ~index:(edge_index ~u ~v:id)
                 ~delta:(if id < u then 1 else -1))
-            template neighbors
         in
         L0_sampler.write w sampler)
       ts;
     Message.of_writer w
   in
-  let global ~n msgs =
+  (* Streaming referee: the per-node sampler banks are the state — one
+     bank parsed per absorb — and the Borůvka phases run at finish, once
+     all banks are in (component structure is inherently global). *)
+  let init ~n = Array.make n [||] in
+  let absorb ~n banks ~id msg =
+    let r, l = params n in
+    let ts = templates ~seed ~rounds:r ~levels:l in
+    let reader = Message.reader msg in
+    banks.(id - 1) <- Array.map (fun template -> L0_sampler.read reader ~template) ts;
+    banks
+  in
+  let finish ~n banks =
     if n = 0 then true
     else begin
-      let r, l = params n in
-      let ts = templates ~seed ~rounds:r ~levels:l in
-      (* Parse every node's sampler bank. *)
-      let banks =
-        Array.map
-          (fun msg ->
-            let reader = Message.reader msg in
-            Array.map (fun template -> L0_sampler.read reader ~template) ts)
-          msgs
-      in
+      let r, _l = params n in
       let uf = Union_find.create n in
       (* Borůvka phases: one fresh sampler bank column per phase. *)
       for round = 0 to r - 1 do
@@ -92,7 +94,7 @@ let protocol ~seed ?rounds ?levels () : bool Protocol.t =
       Union_find.count uf = 1
     end
   in
-  { name; local; global }
+  { name; local; referee = Protocol.streaming ~init ~absorb ~finish }
 
 let message_bits ~n ?rounds ?levels () =
   let r = match rounds with Some r -> r | None -> default_rounds n in

@@ -1,0 +1,68 @@
+type event =
+  | Span_begin of { label : string; n : int }
+  | Span_end of { label : string; n : int }
+  | Node_local of { id : int; bits : int; queries : View.counts }
+  | Referee_absorb of { id : int; bits : int }
+  | Referee_done of { label : string; n : int; max_bits : int; total_bits : int }
+
+type sink = Null | Emit of (event -> unit)
+
+let null = Null
+let is_null = function Null -> true | Emit _ -> false
+let make f = Emit f
+let emit sink ev = match sink with Null -> () | Emit f -> f ev
+
+let pp_event fmt = function
+  | Span_begin { label; n } -> Format.fprintf fmt "begin %-12s n=%d" label n
+  | Span_end { label; n } -> Format.fprintf fmt "end   %-12s n=%d" label n
+  | Node_local { id; bits; queries = q } ->
+    Format.fprintf fmt "local node=%d bits=%d queries=[id:%d n:%d deg:%d nbrs:%d]" id bits
+      q.View.id_reads q.View.n_reads q.View.deg_reads q.View.neighbor_reads
+  | Referee_absorb { id; bits } -> Format.fprintf fmt "absorb node=%d bits=%d" id bits
+  | Referee_done { label; n; max_bits; total_bits } ->
+    Format.fprintf fmt "done  %-12s n=%d max=%d bits total=%d bits" label n max_bits total_bits
+
+let pretty fmt = Emit (fun ev -> Format.fprintf fmt "[trace] %a@." pp_event ev)
+
+(* Every field is a string, an int or an event tag — no escaping beyond
+   the label strings, which are protocol names (alphanumeric plus a few
+   punctuation characters).  Escape anyway, defensively. *)
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let json_of_event = function
+  | Span_begin { label; n } ->
+    Printf.sprintf {|{"event":"span_begin","label":%s,"n":%d}|} (json_string label) n
+  | Span_end { label; n } ->
+    Printf.sprintf {|{"event":"span_end","label":%s,"n":%d}|} (json_string label) n
+  | Node_local { id; bits; queries = q } ->
+    Printf.sprintf
+      {|{"event":"local","id":%d,"bits":%d,"id_reads":%d,"n_reads":%d,"deg_reads":%d,"neighbor_reads":%d}|}
+      id bits q.View.id_reads q.View.n_reads q.View.deg_reads q.View.neighbor_reads
+  | Referee_absorb { id; bits } ->
+    Printf.sprintf {|{"event":"absorb","id":%d,"bits":%d}|} id bits
+  | Referee_done { label; n; max_bits; total_bits } ->
+    Printf.sprintf {|{"event":"done","label":%s,"n":%d,"max_bits":%d,"total_bits":%d}|}
+      (json_string label) n max_bits total_bits
+
+let jsonl oc =
+  Emit
+    (fun ev ->
+      output_string oc (json_of_event ev);
+      output_char oc '\n')
+
+let memory () =
+  let events = ref [] in
+  (Emit (fun ev -> events := ev :: !events), fun () -> List.rev !events)

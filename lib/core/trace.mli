@@ -1,0 +1,57 @@
+(** Structured execution traces.
+
+    The engine emits one event per observable step of a run: a span pair
+    around each phase, one [Node_local] per node (with its exact message
+    length and its {!View} audit), one [Referee_absorb] per message the
+    streaming referee consumes — in {e arrival} order, which under
+    {!Simulator.run_async} is the randomized delivery order — and a
+    final [Referee_done] with the transcript summary.
+
+    Sinks are pluggable and cost nothing when disabled: {!null} is a
+    constructor the engine branches away from before entering any hot
+    loop, so an untraced run allocates no events.  Events are emitted
+    from the submitting domain only, after each parallel section
+    completes — sinks need not be thread-safe.
+
+    The JSONL sink writes one JSON object per line; the schema is
+    documented in [EXPERIMENTS.md]. *)
+
+type event =
+  | Span_begin of { label : string; n : int }
+  | Span_end of { label : string; n : int }
+  | Node_local of { id : int; bits : int; queries : View.counts }
+      (** node [id] produced a [bits]-bit message, reading its view
+          [queries] times *)
+  | Referee_absorb of { id : int; bits : int }
+      (** the referee consumed node [id]'s message, in arrival order *)
+  | Referee_done of { label : string; n : int; max_bits : int; total_bits : int }
+
+type sink = Null | Emit of (event -> unit)
+
+(** The disabled sink; emission is a no-op. *)
+val null : sink
+
+val is_null : sink -> bool
+
+(** [make f] forwards every event to [f]. *)
+val make : (event -> unit) -> sink
+
+(** [emit sink ev] delivers [ev] (no-op on {!null}). *)
+val emit : sink -> event -> unit
+
+(** [pretty fmt] renders events human-readably, one line each. *)
+val pretty : Format.formatter -> sink
+
+(** [jsonl oc] writes one JSON object per event per line.  The caller
+    owns the channel (flush/close). *)
+val jsonl : out_channel -> sink
+
+(** [memory ()] is a sink that records events, and a function returning
+    them in emission order — for tests. *)
+val memory : unit -> sink * (unit -> event list)
+
+val pp_event : Format.formatter -> event -> unit
+
+(** [json_of_event ev] is the single-line JSON rendering used by
+    {!jsonl}. *)
+val json_of_event : event -> string

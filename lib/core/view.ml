@@ -1,0 +1,63 @@
+type counts = {
+  id_reads : int;
+  n_reads : int;
+  deg_reads : int;
+  neighbor_reads : int;
+}
+
+(* Mutable tally, bumped by the accessors.  Counters are write-only from
+   the protocol's point of view — no accessor exposes them back to the
+   local function — so purity of local functions is unaffected. *)
+type tally = {
+  mutable t_id : int;
+  mutable t_n : int;
+  mutable t_deg : int;
+  mutable t_nbr : int;
+}
+
+type t = { size : int; ident : int; nbrs : int list; degree : int; tally : tally }
+
+let make ~n ~id ~neighbors =
+  if n < 1 then invalid_arg "View.make: n must be positive";
+  if id < 1 || id > n then invalid_arg "View.make: id out of range";
+  {
+    size = n;
+    ident = id;
+    nbrs = neighbors;
+    degree = List.length neighbors;
+    tally = { t_id = 0; t_n = 0; t_deg = 0; t_nbr = 0 };
+  }
+
+let id v =
+  v.tally.t_id <- v.tally.t_id + 1;
+  v.ident
+
+let n v =
+  v.tally.t_n <- v.tally.t_n + 1;
+  v.size
+
+let deg v =
+  v.tally.t_deg <- v.tally.t_deg + 1;
+  v.degree
+
+let neighbors v =
+  v.tally.t_nbr <- v.tally.t_nbr + 1;
+  v.nbrs
+
+let fold_neighbors v init f =
+  v.tally.t_nbr <- v.tally.t_nbr + 1;
+  List.fold_left f init v.nbrs
+
+let iter_neighbors v f =
+  v.tally.t_nbr <- v.tally.t_nbr + 1;
+  List.iter f v.nbrs
+
+let audit v =
+  {
+    id_reads = v.tally.t_id;
+    n_reads = v.tally.t_n;
+    deg_reads = v.tally.t_deg;
+    neighbor_reads = v.tally.t_nbr;
+  }
+
+let queries v = v.tally.t_id + v.tally.t_n + v.tally.t_deg + v.tally.t_nbr

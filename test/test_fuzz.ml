@@ -33,14 +33,14 @@ let random_message rng ~bits =
   done;
   v
 
-(* Run a reconstruction global function on tampered messages; the only
+(* Run a reconstruction referee on tampered messages; the only
    acceptable outcomes are a graph option (any value) — exceptions fail
    the test. *)
-let assert_total name global ~n msgs =
-  match global ~n msgs with
+let assert_total name protocol ~n msgs =
+  match Core.Protocol.apply protocol ~n msgs with
   | (_ : Graph.t option) -> ()
   | exception e ->
-    Alcotest.failf "%s: global phase raised %s on tampered input" name (Printexc.to_string e)
+    Alcotest.failf "%s: referee raised %s on tampered input" name (Printexc.to_string e)
 
 let tamper_suite name (protocol : Graph.t option Core.Protocol.t) make_graph =
   let rng = Random.State.make [| 0xfa22; Hashtbl.hash name |] in
@@ -51,15 +51,15 @@ let tamper_suite name (protocol : Graph.t option Core.Protocol.t) make_graph =
     let msgs = Core.Simulator.local_phase protocol g in
     (* Bit flips. *)
     let flipped = Array.map (flip_random_bit rng) msgs in
-    assert_total name protocol.Core.Protocol.global ~n flipped;
+    assert_total name protocol ~n flipped;
     (* Truncations. *)
     let truncated =
       Array.map (fun m -> truncate_message m ~keep:(Random.State.int rng (Bitvec.length m + 1))) msgs
     in
-    assert_total name protocol.Core.Protocol.global ~n truncated;
+    assert_total name protocol ~n truncated;
     (* Pure noise of plausible size. *)
     let noise = Array.map (fun m -> random_message rng ~bits:(Bitvec.length m)) msgs in
-    assert_total name protocol.Core.Protocol.global ~n noise;
+    assert_total name protocol ~n noise;
     (* Swapped messages (wrong sender ids embedded). *)
     if n >= 2 then begin
       let swapped = Array.copy msgs in
@@ -67,7 +67,7 @@ let tamper_suite name (protocol : Graph.t option Core.Protocol.t) make_graph =
       let t = swapped.(a) in
       swapped.(a) <- swapped.(b);
       swapped.(b) <- t;
-      assert_total name protocol.Core.Protocol.global ~n swapped
+      assert_total name protocol ~n swapped
     end
   done
 
@@ -102,13 +102,13 @@ let test_swap_never_accepted_as_original () =
   swapped.(0) <- msgs.(5);
   swapped.(5) <- msgs.(0);
   Alcotest.(check bool) "swap detected" true
-    (Core.Forest_protocol.reconstruct.Core.Protocol.global ~n:12 swapped = None)
+    (Core.Protocol.apply Core.Forest_protocol.reconstruct ~n:12 swapped = None)
 
 let test_zero_length_messages () =
   List.iter
     (fun (name, (p : Graph.t option Core.Protocol.t)) ->
       let empty = Array.make 6 Core.Message.empty in
-      match p.Core.Protocol.global ~n:6 empty with
+      match Core.Protocol.apply p ~n:6 empty with
       | None -> ()
       | Some _ -> Alcotest.failf "%s accepted empty messages" name
       | exception e -> Alcotest.failf "%s raised %s" name (Printexc.to_string e))
@@ -129,7 +129,7 @@ let test_corrupted_never_returns_wrong_forest () =
     let g = Generators.random_tree (Random.State.make [| trial |]) 10 in
     let msgs = Core.Simulator.local_phase Core.Forest_protocol.reconstruct g in
     let tampered = Array.map (flip_random_bit rng) msgs in
-    match Core.Forest_protocol.reconstruct.Core.Protocol.global ~n:10 tampered with
+    match Core.Protocol.apply Core.Forest_protocol.reconstruct ~n:10 tampered with
     | None -> ()
     | Some h -> Alcotest.(check bool) "still a forest" true (Spanning.is_forest h)
   done

@@ -42,16 +42,16 @@ let degree_sum_protocol : int Core.Protocol.t =
   {
     name = "degree-sum";
     local =
-      (fun ~n ~id:_ ~neighbors ->
+      (fun v ->
         let w = Bit_writer.create () in
-        Codes.write_fixed w ~width:(Core.Bounds.id_bits n) (List.length neighbors);
+        Codes.write_fixed w ~width:(Core.Bounds.id_bits (Core.View.n v)) (Core.View.deg v);
         Core.Message.of_writer w);
-    global =
-      (fun ~n msgs ->
-        Array.fold_left
-          (fun acc m ->
-            acc + Codes.read_fixed (Core.Message.reader m) ~width:(Core.Bounds.id_bits n))
-          0 msgs);
+    referee =
+      Core.Protocol.streaming
+        ~init:(fun ~n:_ -> 0)
+        ~absorb:(fun ~n acc ~id:_ m ->
+          acc + Codes.read_fixed (Core.Message.reader m) ~width:(Core.Bounds.id_bits n))
+        ~finish:(fun ~n:_ acc -> acc);
   }
 
 let test_simulator_run () =
@@ -121,15 +121,13 @@ let coalition_edge_count : int Core.Coalition.t =
           Codes.write_fixed w ~width:(2 * Core.Bounds.id_bits n) internal;
           (first, Core.Message.of_writer w)
           :: List.map (fun m -> (m, Core.Message.empty)) rest);
-    global =
-      (fun ~n msgs ->
-        Array.fold_left
-          (fun acc m ->
-            if Core.Message.bits m = 0 then acc
-            else
-              acc
-              + Codes.read_fixed (Core.Message.reader m) ~width:(2 * Core.Bounds.id_bits n))
-          0 msgs);
+    referee =
+      Core.Protocol.streaming
+        ~init:(fun ~n:_ -> 0)
+        ~absorb:(fun ~n acc ~id:_ m ->
+          if Core.Message.bits m = 0 then acc
+          else acc + Codes.read_fixed (Core.Message.reader m) ~width:(2 * Core.Bounds.id_bits n))
+        ~finish:(fun ~n:_ acc -> acc);
   }
 
 let test_coalition_run () =
@@ -184,7 +182,9 @@ let prop_local_functions_pure =
           List.for_all
             (fun id ->
               let nbrs = Graph.neighbors g id in
-              Core.Message.equal (local ~n ~id ~neighbors:nbrs) (local ~n ~id ~neighbors:nbrs))
+              let once = local (Core.View.make ~n ~id ~neighbors:nbrs) in
+              let twice = local (Core.View.make ~n ~id ~neighbors:nbrs) in
+              Core.Message.equal once twice)
             (Graph.vertices g))
         locals)
 
@@ -199,10 +199,11 @@ let prop_simulator_provides_sorted_neighbors =
         {
           name = "probe";
           local =
-            (fun ~n:_ ~id:_ ~neighbors ->
+            (fun v ->
+              let neighbors = Core.View.neighbors v in
               if List.sort_uniq compare neighbors <> neighbors then sorted_seen := false;
               Core.Message.empty);
-          global = (fun ~n:_ _ -> ());
+          referee = Core.Protocol.batch (fun ~n:_ _ -> ());
         }
       in
       let () = fst (Core.Simulator.run probe g) in

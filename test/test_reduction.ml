@@ -77,17 +77,10 @@ let test_delta_square_with_frugal_oracle_on_restricted_family () =
      square-free graphs: degree-bounded adjacency shipping at size 2n.
      Demonstrates the reduction machinery is oracle-agnostic. *)
   let frugal_oracle : bool Core.Protocol.t =
-    {
-      name = "bounded-degree-square-decider";
-      local =
-        (fun ~n ~id ~neighbors ->
-          (Core.Bounded_degree.reconstruct ~max_degree:4).Core.Protocol.local ~n ~id ~neighbors);
-      global =
-        (fun ~n msgs ->
-          match (Core.Bounded_degree.reconstruct ~max_degree:4).Core.Protocol.global ~n msgs with
-          | Some g -> Cycles.has_square g
-          | None -> false);
-    }
+    Core.Protocol.rename "bounded-degree-square-decider"
+      (Core.Protocol.map_output
+         (function Some g -> Cycles.has_square g | None -> false)
+         (Core.Bounded_degree.reconstruct ~max_degree:4))
   in
   let delta = Core.Reduction.square ~oracle:frugal_oracle in
   let g = Generators.path 8 in
