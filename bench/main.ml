@@ -7,7 +7,9 @@
      main.exe tables     only the experiment tables (fast)
      main.exe timings    only the Bechamel timing benches
      main.exe scaling    multicore scaling: sequential vs 2/4/8 domains,
-                         results appended to BENCH_refnet.json *)
+                         results written to BENCH_refnet.json
+     main.exe faults     fault campaign: hardened-vs-plain absorb cost and
+                         crash-rate degradation, written to BENCH_refnet.json *)
 
 open Refnet_graph
 
@@ -873,6 +875,149 @@ let scaling () =
   let s3 = scaling_allocation () in
   write_scaling_json [ s1; s2 ] s3
 
+(* ------------------------------------------------------------------ *)
+(* F-bench: fault campaign — hardening overhead and crash degradation  *)
+(* ------------------------------------------------------------------ *)
+
+type fault_overhead_row = {
+  fo_name : string;
+  fo_n : int;
+  fo_plain_ns : float;
+  fo_hardened_ns : float;
+}
+
+type fault_degrade_row = {
+  fd_rate : float;
+  fd_hits : int;
+  fd_outcome : string;
+  fd_determined : int;
+}
+
+(* Seconds for one full feed of [msgs] into a fresh referee, best of 5. *)
+let feed_time referee ~n msgs =
+  time_best ~reps:5 (fun () ->
+      let feed = ref (Core.Protocol.start referee ~n) in
+      Array.iteri (fun i m -> feed := Core.Protocol.feed !feed ~id:(i + 1) m) msgs;
+      Core.Protocol.finish !feed)
+
+let coalition_inbox (p : 'a Core.Coalition.t) g ~parts =
+  let n = Graph.order g in
+  let parts = Core.Coalition.partition_by_ranges ~n ~parts in
+  let inbox = Array.make n Core.Message.empty in
+  List.iter
+    (fun members ->
+      let view =
+        { Core.Coalition.members; neighborhoods = List.map (fun v -> (v, Graph.neighbors g v)) members }
+      in
+      List.iter (fun (id, m) -> inbox.(id - 1) <- m) (p.Core.Coalition.local ~n view))
+    parts;
+  inbox
+
+let faults_overhead () =
+  Printf.printf "\nF1: hardened-vs-plain referee absorb cost (clean channel, best of 5)\n";
+  let row name n plain_t hardened_t =
+    let per t = 1e9 *. t /. float_of_int n in
+    Printf.printf "  %-24s n=%d  plain %7.1f ns/absorb   hardened %7.1f ns/absorb   x%.2f\n"
+      name n (per plain_t) (per hardened_t) (hardened_t /. plain_t);
+    { fo_name = name; fo_n = n; fo_plain_ns = per plain_t; fo_hardened_ns = per hardened_t }
+  in
+  (* Forest reconstruction over a random tree. *)
+  let n = 2048 in
+  let g = Generators.random_tree (rng ()) n in
+  let plain = Core.Forest_protocol.reconstruct in
+  let hardened = Core.Forest_protocol.hardened in
+  let plain_msgs = Core.Simulator.local_phase plain g in
+  let hard_msgs = Core.Simulator.local_phase hardened g in
+  (match fst (Core.Simulator.run_faulty hardened g) with
+  | Core.Verdict.Decided (Some h) when Graph.equal g h -> ()
+  | _ -> failwith "F1: hardened forest referee not Decided on a clean channel");
+  let forest =
+    row "forest-reconstruct" n
+      (feed_time plain.Core.Protocol.referee ~n plain_msgs)
+      (feed_time hardened.Core.Protocol.referee ~n hard_msgs)
+  in
+  (* Coalition connectivity over the same tree, 4 coalitions. *)
+  let cplain = Core.Connectivity_parts.decide in
+  let chard = Core.Connectivity_parts.hardened in
+  let cplain_inbox = coalition_inbox cplain g ~parts:4 in
+  let chard_inbox = coalition_inbox chard g ~parts:4 in
+  (match
+     fst
+       (Core.Coalition.run_faulty chard g
+          ~parts:(Core.Coalition.partition_by_ranges ~n ~parts:4))
+   with
+  | Core.Verdict.Decided true -> ()
+  | _ -> failwith "F1: hardened coalition referee not Decided on a clean channel");
+  let coalition =
+    row "coalition-connectivity" n
+      (feed_time cplain.Core.Coalition.referee ~n cplain_inbox)
+      (feed_time chard.Core.Coalition.referee ~n chard_inbox)
+  in
+  [ forest; coalition ]
+
+let faults_degradation () =
+  let n = 512 in
+  Printf.printf
+    "\nF2: forest reconstruction under crash faults (n=%d tree, seed-driven plans)\n" n;
+  let g = Generators.random_tree (rng ()) n in
+  List.map
+    (fun rate ->
+      let faults = Core.Faults.random ~seed:11 ~n ~crash:rate () in
+      let verdict, t = Core.Simulator.run_faulty ~faults Core.Forest_protocol.hardened g in
+      let hits = List.length t.Core.Simulator.faulted_ids in
+      let outcome, determined =
+        match verdict with
+        | Core.Verdict.Decided (Some h) when Graph.equal g h -> ("decided", n)
+        | Core.Verdict.Decided _ -> failwith "F2: wrong Decided under crash faults"
+        | Core.Verdict.Degraded (Some h, report) ->
+          (* Every surviving edge must be a true edge of g. *)
+          List.iter
+            (fun (u, v) ->
+              if not (Graph.has_edge g u v) then failwith "F2: Degraded invented an edge")
+            (Graph.edges h);
+          ("degraded", n - List.length report.Core.Verdict.undetermined)
+        | Core.Verdict.Degraded (None, report) ->
+          ("degraded", n - List.length report.Core.Verdict.undetermined)
+        | Core.Verdict.Inconclusive _ -> ("inconclusive", 0)
+      in
+      Printf.printf "  crash=%.2f  hits=%3d  %-12s determined %d/%d nodes\n" rate hits
+        outcome determined n;
+      { fd_rate = rate; fd_hits = hits; fd_outcome = outcome; fd_determined = determined })
+    [ 0.0; 0.05; 0.1; 0.2; 0.4 ]
+
+let write_faults_json overhead sweep =
+  let oc = open_out "BENCH_refnet.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"refnet-faults\",\n";
+  Printf.fprintf oc "  \"unix_time\": %.0f,\n" (Unix.time ());
+  Printf.fprintf oc "  \"hardening_overhead_ns_per_absorb\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"protocol\": \"%s\", \"n\": %d, \"plain_ns\": %.1f, \"hardened_ns\": %.1f, \"ratio\": %.3f}%s\n"
+        r.fo_name r.fo_n r.fo_plain_ns r.fo_hardened_ns
+        (r.fo_hardened_ns /. r.fo_plain_ns)
+        (if i = List.length overhead - 1 then "" else ","))
+    overhead;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"crash_degradation_forest_n512\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"crash_rate\": %.2f, \"faults_hit\": %d, \"outcome\": \"%s\", \"determined_nodes\": %d}%s\n"
+        r.fd_rate r.fd_hits r.fd_outcome r.fd_determined
+        (if i = List.length sweep - 1 then "" else ","))
+    sweep;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote BENCH_refnet.json\n"
+
+let faults () =
+  section "F1-F2" "Fault campaign: hardening overhead and detect-or-degrade sweep";
+  let overhead = faults_overhead () in
+  let sweep = faults_degradation () in
+  write_faults_json overhead sweep
+
 let tables () =
   experiment_f1 ();
   experiment_f2 ();
@@ -899,8 +1044,10 @@ let () =
   | "tables" -> tables ()
   | "timings" -> timing_benches ()
   | "scaling" -> scaling ()
+  | "faults" -> faults ()
   | _ ->
     tables ();
     timing_benches ();
-    scaling ());
+    scaling ();
+    faults ());
   Printf.printf "\n%s\nAll experiments completed.\n" line

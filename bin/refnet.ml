@@ -307,6 +307,68 @@ let connectivity path parts trace =
     (Core.Connectivity_parts.per_node_bound ~n ~parts);
   exit (if verdict then 0 else 1)
 
+(* ---------- faults ---------- *)
+
+let fault_proto_conv =
+  Arg.enum
+    [
+      ("forest", `Forest); ("degeneracy", `Degeneracy); ("bounded", `Bounded);
+      ("sketch", `Sketch); ("connectivity", `Connectivity);
+    ]
+
+let faults path proto k parts seed crash truncate flip flip_bits duplicate spoof trace =
+  let g = read_graph path in
+  let n = Graph.order g in
+  let plan = Core.Faults.random ~seed ~n ~crash ~truncate ~flip ~flip_bits ~duplicate ~spoof () in
+  Format.printf "fault plan: %a@." Core.Faults.pp plan;
+  let report pp_payload (verdict, t) =
+    Format.printf "verdict: %a@." (Core.Verdict.pp pp_payload) verdict;
+    Format.printf "transcript: %a@." Core.Simulator.pp_transcript t;
+    exit (match verdict with Core.Verdict.Inconclusive _ -> 1 | _ -> 0)
+  in
+  let pp_graph fmt = function
+    | Some h -> Format.fprintf fmt "graph(n=%d, m=%d)" (Graph.order h) (Graph.size h)
+    | None -> Format.pp_print_string fmt "rejected"
+  in
+  with_trace trace (fun sink ->
+      let run p = Core.Simulator.run_faulty ~faults:plan ~trace:sink p g in
+      match proto with
+      | `Forest -> report pp_graph (run Core.Forest_protocol.hardened)
+      | `Degeneracy -> report pp_graph (run (Core.Degeneracy_protocol.hardened ~k ()))
+      | `Bounded -> report pp_graph (run (Core.Bounded_degree.hardened ~max_degree:k))
+      | `Sketch -> report Format.pp_print_bool (run (Core.Sketch_connectivity.hardened ~seed ()))
+      | `Connectivity ->
+        let partition = Core.Coalition.partition_by_ranges ~n ~parts in
+        report Format.pp_print_bool
+          (Core.Coalition.run_faulty ~faults:plan ~trace:sink Core.Connectivity_parts.hardened g
+             ~parts:partition))
+
+let faults_cmd =
+  let proto =
+    Arg.(
+      value
+      & opt fault_proto_conv `Forest
+      & info [ "protocol" ] ~docv:"P"
+          ~doc:"Hardened protocol: forest, degeneracy, bounded, sketch or connectivity.")
+  in
+  let parts = Arg.(value & opt int 4 & info [ "parts" ] ~docv:"K" ~doc:"Coalition count.") in
+  let rate name doc =
+    Arg.(value & opt float 0. & info [ name ] ~docv:"P" ~doc)
+  in
+  let crash = rate "crash" "Per-node crash (message loss) probability." in
+  let truncate = rate "truncate" "Per-node truncation probability." in
+  let flip = rate "flip" "Per-node bit-flip probability." in
+  let flip_bits =
+    Arg.(value & opt int 1 & info [ "flip-bits" ] ~docv:"B" ~doc:"Bits flipped per hit message.")
+  in
+  let duplicate = rate "duplicate" "Per-node duplicate-delivery probability." in
+  let spoof = rate "spoof" "Per-node sender-spoofing probability." in
+  Cmd.v
+    (Cmd.info "faults" ~doc:"Run a hardened protocol under a seeded fault-injection campaign")
+    Term.(
+      const faults $ graph_file_arg $ proto $ k_arg $ parts $ seed_arg $ crash $ truncate $ flip
+      $ flip_bits $ duplicate $ spoof $ trace_arg)
+
 (* ---------- search ---------- *)
 
 let goal_conv =
@@ -397,10 +459,20 @@ let () =
     Cmd.info "refnet" ~version:"1.0.0"
       ~doc:"One-round referee protocols on interconnection networks (IPDPS 2011 reproduction)"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            generate_cmd; reconstruct_cmd; recognize_cmd; gadget_cmd; count_cmd; sizes_cmd; stats_cmd; search_cmd;
-            connectivity_cmd;
-          ]))
+  (* [~catch:false] so stray exceptions reach us instead of cmdliner's
+     multi-line backtrace dump: one diagnostic line on stderr, exit 2 —
+     distinct from the 0/1 verdict codes the subcommands use. *)
+  match
+    Cmd.eval ~catch:false
+      (Cmd.group info
+         [
+           generate_cmd; reconstruct_cmd; recognize_cmd; gadget_cmd; count_cmd; sizes_cmd; stats_cmd; search_cmd;
+           connectivity_cmd; faults_cmd;
+         ])
+  with
+  | code -> exit code
+  | exception e ->
+    let msg = Printexc.to_string e in
+    let msg = match String.index_opt msg '\n' with Some i -> String.sub msg 0 i | None -> msg in
+    Printf.eprintf "refnet: %s\n" msg;
+    exit 2

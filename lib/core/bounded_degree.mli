@@ -20,6 +20,18 @@ val reconstruct : max_degree:int -> Refnet_graph.Graph.t option Protocol.t
     as a correct-by-construction oracle [Γ]. *)
 val full_information : Refnet_graph.Graph.t Protocol.t
 
+(** [hardened ~max_degree] is the crash/corruption-tolerant variant:
+    rows are {!Message.seal}ed and the referee keeps only authenticated
+    ones.  Clean channel: [Decided] of {!reconstruct}'s answer.  An
+    authentic overflow row proves the fault-free answer is [None] even
+    under faults, so it stays [Decided None].  Otherwise, under faults,
+    the union of the trusted rows' edges — every one asserted by an
+    honest sender — is returned as [Degraded (Some partial, report)],
+    with the untrusted ids undetermined; a symmetry violation between
+    two trusted rows (impossible for honest senders) is
+    [Inconclusive]. *)
+val hardened : max_degree:int -> Refnet_graph.Graph.t option Verdict.t Protocol.t
+
 (** [message_bits ~max_degree n] is the worst-case message size of
     {!reconstruct}. *)
 val message_bits : max_degree:int -> int -> int

@@ -21,9 +21,10 @@ let partition_by_ranges ~n ~parts =
   in
   go 1 1 []
 
-let run ?(trace = Trace.null) (p : 'a t) g ~parts =
+(* Shared local phase of [run]/[run_faulty]: validate the partition and
+   collect the full message vector, one slot per vertex. *)
+let collect (p : 'a t) g ~parts =
   let n = Graph.order g in
-  Trace.emit trace (Trace.Span_begin { label = p.name; n });
   let seen = Array.make n false in
   List.iter
     (List.iter (fun v ->
@@ -49,9 +50,39 @@ let run ?(trace = Trace.null) (p : 'a t) g ~parts =
           | None -> inbox.(id - 1) <- Some msg)
         out)
     parts;
-  let msgs = Array.map (function Some m -> m | None -> assert false) inbox in
+  Array.map (function Some m -> m | None -> assert false) inbox
+
+let run ?(trace = Trace.null) (p : 'a t) g ~parts =
+  let n = Graph.order g in
+  Trace.emit trace (Trace.Span_begin { label = p.name; n });
+  let msgs = collect p g ~parts in
   let out = Protocol.run_referee ~trace p.referee ~n msgs in
   let t = Simulator.transcript_of_messages msgs in
+  Trace.emit trace
+    (Trace.Referee_done
+       { label = p.name; n; max_bits = t.Simulator.max_bits; total_bits = t.Simulator.total_bits });
+  Trace.emit trace (Trace.Span_end { label = p.name; n });
+  (out, t)
+
+let run_faulty ?(faults = Faults.empty) ?(trace = Trace.null) (p : 'a t) g ~parts =
+  let n = Graph.order g in
+  Trace.emit trace (Trace.Span_begin { label = p.name; n });
+  let msgs = collect p g ~parts in
+  let deliveries, injected = Faults.apply faults msgs in
+  if not (Trace.is_null trace) then
+    List.iter (fun (id, fault) -> Trace.emit trace (Trace.Fault_injected { id; fault })) injected;
+  let feed = ref (Protocol.start p.referee ~n) in
+  List.iter
+    (fun (id, msg) ->
+      feed := Protocol.feed !feed ~id msg;
+      Trace.emit trace (Trace.Referee_absorb { id; bits = Message.bits msg }))
+    deliveries;
+  let out = Protocol.finish !feed in
+  let t =
+    { (Simulator.transcript_of_messages msgs) with
+      Simulator.faulted_ids = List.map fst injected
+    }
+  in
   Trace.emit trace
     (Trace.Referee_done
        { label = p.name; n; max_bits = t.Simulator.max_bits; total_bits = t.Simulator.total_bits });

@@ -39,3 +39,18 @@ val partition_by_ranges : n:int -> parts:int -> int list list
     local function mislabels a message. *)
 val run :
   ?trace:Trace.sink -> 'a t -> Refnet_graph.Graph.t -> parts:int list list -> 'a * Simulator.transcript
+
+(** [run_faulty ?faults ?trace p g ~parts] is {!run} with a fault plan
+    applied between the pooled local phase and the referee, exactly as
+    in {!Simulator.run_faulty}: per-member messages are computed
+    honestly, then the channel applies [faults] ({!Faults.apply}),
+    [Fault_injected] events fire per in-scope plan entry, and the
+    transcript's [faulted_ids] records the hit ids.  An empty plan is
+    bit-identical to {!run}. *)
+val run_faulty :
+  ?faults:Faults.plan ->
+  ?trace:Trace.sink ->
+  'a t ->
+  Refnet_graph.Graph.t ->
+  parts:int list list ->
+  'a * Simulator.transcript

@@ -21,6 +21,16 @@
     {!Coalition.run}[ ~parts]. *)
 val decide : bool Coalition.t
 
+(** [hardened] is the crash/corruption-tolerant variant; run it with
+    {!Coalition.run_faulty}.  Shares are {!Message.seal}ed; the referee
+    unions only authenticated ones.  Clean channel: [Decided] of the
+    plain answer.  Under faults the verdict is one-sided: surviving
+    shares carry only true edges, so if they already connect the graph
+    the answer is [Degraded (true, report)]; if they do not, the lost
+    shares could have held the connecting edges, so the referee returns
+    [Inconclusive] rather than a possibly-wrong [false]. *)
+val hardened : bool Verdict.t Coalition.t
+
 (** [spanning_forest_messages ~n view] is the per-member payload the
     protocol generates — exposed for tests and size accounting. *)
 val spanning_forest_messages : n:int -> Coalition.view -> (int * Message.t) list

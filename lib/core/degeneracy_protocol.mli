@@ -50,6 +50,22 @@ type layout =
 val reconstruct :
   ?decoder:decoder -> ?layout:layout -> k:int -> unit -> Refnet_graph.Graph.t option Protocol.t
 
+(** [hardened ?decoder ?layout ~k ()] is the crash/corruption-tolerant
+    variant: messages are {!Message.seal}ed, and the referee runs the
+    Algorithm 4 prune over authenticated rows only.  Clean channel:
+    [Decided] of {!reconstruct}'s answer.  Under faults: the prune
+    restricted to trusted rows records only edges asserted by authentic
+    messages — sound for {e any} input graph — and reports unresolved
+    ids as undetermined, giving [Degraded (Some partial, report)].
+    Trusted rows that cannot be decoded or contradict one another
+    (impossible for honest senders) yield [Inconclusive]. *)
+val hardened :
+  ?decoder:decoder ->
+  ?layout:layout ->
+  k:int ->
+  unit ->
+  Refnet_graph.Graph.t option Verdict.t Protocol.t
+
 (** [message_bits ~k n] is the exact message size at parameters [(k, n)]
     (equals {!Bounds.degeneracy_message_bits}). *)
 val message_bits : k:int -> int -> int

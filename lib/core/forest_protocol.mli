@@ -18,3 +18,21 @@ val recognize : bool Protocol.t
 (** [message_bits n] is the exact fixed-width message length used at
     size [n] (= {!Bounds.forest_message_bits}). *)
 val message_bits : int -> int
+
+(** [hardened] is the crash/corruption-tolerant variant: each node
+    {!Message.seal}s its triple, and the referee keeps only
+    authenticated rows.  On a clean channel the verdict is
+    [Decided (reconstruct's answer)].  Under faults it leaf-prunes the
+    trusted rows alone: senders are honest, so every surviving row is
+    true, and the pruned edges are {e exactly} the input edges incident
+    to a node the prune fully resolved (under crash-only plans); the
+    verdict is [Degraded (Some partial, report)] with the unresolved
+    ids in [report.undetermined].  Authenticated rows that contradict
+    each other — impossible for honest rows on any simple graph, hence
+    evidence of a forged seal — yield [Inconclusive].  Never a wrong
+    [Decided]: corruption is either detected by the seal (up to the
+    [2^-32] digest collision rate) or surfaces as missing rows. *)
+val hardened : Refnet_graph.Graph.t option Verdict.t Protocol.t
+
+(** [hardened_message_bits n] = [message_bits n + Message.digest_bits]. *)
+val hardened_message_bits : int -> int

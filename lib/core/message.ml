@@ -15,13 +15,24 @@ let concat ms =
   List.iter (fun m -> Bit_writer.add_bitvec w m) ms;
   Bit_writer.contents w
 
+exception Malformed
+
 let write_framed w m =
   Codes.write_nonneg w (Bitvec.length m);
   Bit_writer.add_bitvec w m
 
 let read_framed r =
-  let len = Codes.read_nonneg r in
-  Bit_reader.read_bitvec r ~len
+  (* The declared length is attacker-controlled: check it against the
+     bits actually present before touching the payload, and fold every
+     decoder failure (truncated gamma header, absurd widths) into the
+     one documented exception. *)
+  match
+    let len = Codes.read_nonneg r in
+    if len < 0 || len > Bit_reader.remaining r then raise Malformed;
+    Bit_reader.read_bitvec r ~len
+  with
+  | part -> part
+  | exception (Bit_reader.Exhausted | Invalid_argument _) -> raise Malformed
 
 let bundle parts =
   let w = Bit_writer.create () in
@@ -31,6 +42,56 @@ let bundle parts =
 let unbundle ~count msg =
   let r = Bit_reader.of_bitvec msg in
   List.init count (fun _ -> read_framed r)
+
+(* ---------- integrity seals ---------- *)
+
+let digest_bits = 32
+
+let fnv_prime = 16777619
+let fnv_mask = 0xffffffff
+
+let fnv_byte h b = ((h lxor b) * fnv_prime) land fnv_mask
+
+let fnv_int h v =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := fnv_byte !h ((v lsr (8 * i)) land 0xff)
+  done;
+  !h
+
+let digest ~n ~id payload =
+  let h = ref 0x811c9dc5 in
+  h := fnv_int !h n;
+  h := fnv_int !h id;
+  h := fnv_int !h (Bitvec.length payload);
+  let acc = ref 0 and filled = ref 0 in
+  for i = 0 to Bitvec.length payload - 1 do
+    acc := (!acc lsl 1) lor (if Bitvec.get payload i then 1 else 0);
+    incr filled;
+    if !filled = 8 then begin
+      h := fnv_byte !h !acc;
+      acc := 0;
+      filled := 0
+    end
+  done;
+  if !filled > 0 then h := fnv_byte !h !acc;
+  !h
+
+let seal ~n ~id payload =
+  let w = Bit_writer.create () in
+  Bit_writer.add_bitvec w payload;
+  Codes.write_fixed w ~width:digest_bits (digest ~n ~id payload);
+  Bit_writer.contents w
+
+let unseal ~n ~id sealed =
+  let len = Bitvec.length sealed - digest_bits in
+  if len < 0 then None
+  else begin
+    let r = Bit_reader.of_bitvec sealed in
+    let payload = Bit_reader.read_bitvec r ~len in
+    let tag = Bit_reader.read_bits r ~width:digest_bits in
+    if tag = digest ~n ~id payload then Some payload else None
+  end
 
 let equal = Bitvec.equal
 

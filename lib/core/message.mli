@@ -27,18 +27,50 @@ val concat : t list -> t
     length followed by the raw bits, so a bundle of [count] parts —
     including empty ones — splits back exactly. *)
 
+exception Malformed
+(** The one exception the framing decoders raise on adversarial input:
+    a truncated length header, a declared length exceeding the bits
+    actually present, or an absurd gamma width.  It wraps (and replaces
+    at this API) {!Refnet_bits.Bit_reader.Exhausted} and the
+    [Invalid_argument] failures of the underlying bit decoders, so
+    referees need to contain exactly one exception family. *)
+
 (** [bundle parts] frames and concatenates. *)
 val bundle : t list -> t
 
 (** [unbundle ~count m] splits a bundle back into [count] parts.
-    @raise Refnet_bits.Bit_reader.Exhausted on truncated input. *)
+    @raise Malformed if a declared part length exceeds the remaining
+    bits, or a length header is truncated or overflows.  Never raises
+    [Bit_reader.Exhausted] or [Invalid_argument]. *)
 val unbundle : count:int -> t -> t list
 
 (** [write_framed w m] appends one framed part to a writer. *)
 val write_framed : Bit_writer.t -> t -> unit
 
-(** [read_framed r] reads one framed part. *)
+(** [read_framed r] reads one framed part.
+    @raise Malformed under the same conditions as {!unbundle}. *)
 val read_framed : Bit_reader.t -> t
+
+(** Integrity seals for the hardened (fault-tolerant) protocols.
+
+    A seal appends a {!digest_bits}-bit FNV-1a digest of [(n, id,
+    payload)] to the payload.  The digest binds the message to its
+    claimed sender, so a referee that [unseal]s with the {e delivery}
+    identifier detects bit flips, truncation and spoofed sender ids in
+    one check.  This is an error-{e detecting} code against channel
+    faults, not a MAC: collisions exist but are a [2^-32] event for the
+    fault model's oblivious corruptions. *)
+
+(** Number of digest bits appended by {!seal}. *)
+val digest_bits : int
+
+(** [seal ~n ~id m] is [m] followed by its digest. *)
+val seal : n:int -> id:int -> t -> t
+
+(** [unseal ~n ~id m] recovers the payload when the digest matches the
+    claimed [(n, id)]; [None] when the message is too short or the
+    digest disagrees. *)
+val unseal : n:int -> id:int -> t -> t option
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

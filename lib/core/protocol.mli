@@ -96,3 +96,46 @@ val map_output : ('a -> 'b) -> 'a t -> 'b t
 
 (** [rename name p]. *)
 val rename : string -> 'a t -> 'a t
+
+(** [default_malformed e] classifies the exceptions a referee may raise
+    while decoding a corrupted message: {!Refnet_bits.Bit_reader.Exhausted},
+    {!Message.Malformed}, [Invalid_argument] and [Failure].  Anything
+    else (assertion failures, [Out_of_memory], ...) is a bug, not a
+    channel fault, and is re-raised. *)
+val default_malformed : exn -> bool
+
+(** [harden_referee ?malformed ?on_fault r] contains per-message decoding
+    failures of [r]: an [absorb] that raises an exception satisfying
+    [malformed] (default {!default_malformed}) marks the sender id
+    malformed and continues the fold instead of aborting it; repeated
+    ids are counted once and the extra copies dropped; ids outside
+    [1..n] are recorded as malformed.
+
+    [finish] then classifies the run ({!Verdict.t}): if the channel was
+    clean — every id absorbed exactly once, nothing malformed — the
+    inner output is returned as [Decided].  Otherwise [on_fault report
+    partial] chooses the verdict, where [partial] is the inner finish
+    result if it still computes ([None] if it too raises a malformed
+    exception).  The default [on_fault] returns [Inconclusive]; hardened
+    protocols that can salvage a sound partial answer pass a smarter
+    one. *)
+val harden_referee :
+  ?malformed:(exn -> bool) ->
+  ?on_fault:(Verdict.fault_report -> 'a option -> 'a Verdict.t) ->
+  'a referee ->
+  'a Verdict.t referee
+
+(** [harden ?malformed ?on_fault p] is [p] with {!harden_referee}
+    applied and ["+hardened"] appended to the name.  The local function
+    is unchanged — hardening is purely referee-side, so it composes
+    with any protocol.  Note: without redundancy in the messages
+    themselves (see {!Message.seal}), a hardened referee can only
+    contain faults that {e break} parsing; a bit flip that yields
+    another well-formed message is indistinguishable from honest input
+    to a generic wrapper.  The shipped [*.hardened] protocols seal their
+    messages precisely to close that gap. *)
+val harden :
+  ?malformed:(exn -> bool) ->
+  ?on_fault:(Verdict.fault_report -> 'a option -> 'a Verdict.t) ->
+  'a t ->
+  'a Verdict.t t

@@ -5,6 +5,7 @@ type transcript = {
   message_bits : int array;
   max_bits : int;
   total_bits : int;
+  faulted_ids : int list;
 }
 
 let transcript_of_messages msgs =
@@ -14,6 +15,7 @@ let transcript_of_messages msgs =
     message_bits;
     max_bits = Array.fold_left max 0 message_bits;
     total_bits = Array.fold_left ( + ) 0 message_bits;
+    faulted_ids = [];
   }
 
 let emit_node_events trace views msgs =
@@ -51,6 +53,31 @@ let run ?domains ?(trace = Trace.null) (p : 'a Protocol.t) g =
   let msgs = local_phase ?domains ~trace p g in
   let out = Protocol.run_referee ~trace p.referee ~n msgs in
   let t = transcript_of_messages msgs in
+  Trace.emit trace
+    (Trace.Referee_done { label = p.name; n; max_bits = t.max_bits; total_bits = t.total_bits });
+  Trace.emit trace (Trace.Span_end { label = p.name; n });
+  (out, t)
+
+let run_faulty ?(faults = Faults.empty) ?domains ?(trace = Trace.null) (p : 'a Protocol.t) g =
+  (* Identical to [run] up to and including the local phase; the fault
+     plan then rewrites the delivery schedule.  Message {e production}
+     is untouched — the transcript keeps measuring what nodes sent, so
+     an empty plan is bit-identical to [run] (output, transcript and
+     event stream) at any domain count. *)
+  let n = Graph.order g in
+  Trace.emit trace (Trace.Span_begin { label = p.name; n });
+  let msgs = local_phase ?domains ~trace p g in
+  let deliveries, injected = Faults.apply faults msgs in
+  if not (Trace.is_null trace) then
+    List.iter (fun (id, fault) -> Trace.emit trace (Trace.Fault_injected { id; fault })) injected;
+  let feed = ref (Protocol.start p.referee ~n) in
+  List.iter
+    (fun (id, msg) ->
+      feed := Protocol.feed !feed ~id msg;
+      Trace.emit trace (Trace.Referee_absorb { id; bits = Message.bits msg }))
+    deliveries;
+  let out = Protocol.finish !feed in
+  let t = { (transcript_of_messages msgs) with faulted_ids = List.map fst injected } in
   Trace.emit trace
     (Trace.Referee_done { label = p.name; n; max_bits = t.max_bits; total_bits = t.total_bits });
   Trace.emit trace (Trace.Span_end { label = p.name; n });
@@ -113,4 +140,7 @@ let frugality_ratio t =
 
 let pp_transcript fmt t =
   Format.fprintf fmt "n=%d max=%d bits total=%d bits (%.2f x log n)" t.n t.max_bits
-    t.total_bits (frugality_ratio t)
+    t.total_bits (frugality_ratio t);
+  match t.faulted_ids with
+  | [] -> ()
+  | ids -> Format.fprintf fmt " faults=%d" (List.length ids)

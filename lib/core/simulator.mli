@@ -16,6 +16,11 @@ type transcript = {
   message_bits : int array;  (** [message_bits.(i - 1)] for node [i] *)
   max_bits : int;
   total_bits : int;
+  faulted_ids : int list;
+      (** sender ids the channel hit during this run ({!run_faulty});
+          [[]] for fault-free entry points.  Message lengths always
+          measure what nodes {e sent}, pre-fault — frugality is a
+          property of the protocol, not of the channel. *)
 }
 
 (** [local_phase ?domains ?trace p g] runs every node's local function,
@@ -36,6 +41,23 @@ val local_phase :
     in the model. *)
 val run :
   ?domains:int -> ?trace:Trace.sink -> 'a Protocol.t -> Refnet_graph.Graph.t -> 'a * transcript
+
+(** [run_faulty ?faults ?domains ?trace p g] is [run] with a
+    deterministic fault plan applied between the two phases: nodes
+    compute honestly, then the channel crashes, truncates, flips,
+    duplicates or re-addresses individual messages per [faults] (see
+    {!Faults.apply}).  One [Fault_injected] event fires per in-scope
+    plan entry, after the local phase and before any absorb; the
+    transcript records the hit ids in [faulted_ids].  With an empty
+    plan the run is bit-identical to [run] — same output, same
+    transcript, same event stream — at any [domains] width. *)
+val run_faulty :
+  ?faults:Faults.plan ->
+  ?domains:int ->
+  ?trace:Trace.sink ->
+  'a Protocol.t ->
+  Refnet_graph.Graph.t ->
+  'a * transcript
 
 (** [run_async ?rng ?domains ?trace p g] is [run] but evaluates local
     functions in a random order and delivers messages to the streaming

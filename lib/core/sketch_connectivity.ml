@@ -100,3 +100,36 @@ let message_bits ~n ?rounds ?levels () =
   let r = match rounds with Some r -> r | None -> default_rounds n in
   let l = match levels with Some l -> l | None -> default_levels n in
   max 1 r * L0_sampler.bits ~levels:(max 1 l)
+
+(* ---------- crash/corruption-tolerant variant ---------- *)
+
+let hardened ~seed ?rounds ?levels () : bool Verdict.t Protocol.t =
+  let plain = protocol ~seed ?rounds ?levels () in
+  (* Borůvka sums need {e every} member of a component for internal
+     edges to cancel, so there is no sound partial answer: the generic
+     {!Protocol.harden_referee} wrapper — Decided on a clean channel,
+     Inconclusive otherwise — is exactly the right policy.  The adapter
+     underneath authenticates each bank and pins its exact size before
+     the sampler parser ever sees it. *)
+  let referee =
+    match plain.referee with
+    | Protocol.Referee s ->
+      Protocol.harden_referee
+        (Protocol.Referee
+           {
+             s with
+             absorb =
+               (fun ~n st ~id msg ->
+                 match Message.unseal ~n ~id msg with
+                 | None -> raise Message.Malformed
+                 | Some payload ->
+                   if Message.bits payload <> message_bits ~n ?rounds ?levels () then
+                     raise Message.Malformed;
+                   s.absorb ~n st ~id payload);
+           })
+  in
+  {
+    Protocol.name = plain.name ^ "+sealed";
+    local = (fun v -> Message.seal ~n:(View.n v) ~id:(View.id v) (plain.local v));
+    referee;
+  }

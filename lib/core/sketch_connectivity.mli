@@ -35,6 +35,14 @@ val protocol : seed:int -> ?rounds:int -> ?levels:int -> unit -> bool Protocol.t
 (** [message_bits ~n ?rounds ?levels ()] — exact serialized size. *)
 val message_bits : n:int -> ?rounds:int -> ?levels:int -> unit -> int
 
+(** [hardened ~seed ?rounds ?levels ()] — the crash/corruption-tolerant
+    variant: sampler banks are {!Message.seal}ed and authenticated
+    before parsing.  Sketch sums need every node of a component for
+    internal edges to cancel, so no sound partial verdict exists: a
+    clean channel gives [Decided] of the plain answer, {e any} detected
+    fault gives [Inconclusive]. *)
+val hardened : seed:int -> ?rounds:int -> ?levels:int -> unit -> bool Verdict.t Protocol.t
+
 (** [edge_index ~u ~v] is the coordinate of edge [{u,v}] ([u <> v]) in
     the incidence vector: [C(max-1, 2) + min - 1]. *)
 val edge_index : u:int -> v:int -> int

@@ -3,6 +3,7 @@ type event =
   | Span_end of { label : string; n : int }
   | Node_local of { id : int; bits : int; queries : View.counts }
   | Referee_absorb of { id : int; bits : int }
+  | Fault_injected of { id : int; fault : Faults.fault }
   | Referee_done of { label : string; n : int; max_bits : int; total_bits : int }
 
 type sink = Null | Emit of (event -> unit)
@@ -19,6 +20,8 @@ let pp_event fmt = function
     Format.fprintf fmt "local node=%d bits=%d queries=[id:%d n:%d deg:%d nbrs:%d]" id bits
       q.View.id_reads q.View.n_reads q.View.deg_reads q.View.neighbor_reads
   | Referee_absorb { id; bits } -> Format.fprintf fmt "absorb node=%d bits=%d" id bits
+  | Fault_injected { id; fault } ->
+    Format.fprintf fmt "fault node=%d %s" id (Faults.fault_to_string fault)
   | Referee_done { label; n; max_bits; total_bits } ->
     Format.fprintf fmt "done  %-12s n=%d max=%d bits total=%d bits" label n max_bits total_bits
 
@@ -53,6 +56,9 @@ let json_of_event = function
       id bits q.View.id_reads q.View.n_reads q.View.deg_reads q.View.neighbor_reads
   | Referee_absorb { id; bits } ->
     Printf.sprintf {|{"event":"absorb","id":%d,"bits":%d}|} id bits
+  | Fault_injected { id; fault } ->
+    Printf.sprintf {|{"event":"fault","id":%d,"fault":%s}|} id
+      (json_string (Faults.fault_to_string fault))
   | Referee_done { label; n; max_bits; total_bits } ->
     Printf.sprintf {|{"event":"done","label":%s,"n":%d,"max_bits":%d,"total_bits":%d}|}
       (json_string label) n max_bits total_bits

@@ -24,6 +24,10 @@ type event =
           [queries] times *)
   | Referee_absorb of { id : int; bits : int }
       (** the referee consumed node [id]'s message, in arrival order *)
+  | Fault_injected of { id : int; fault : Faults.fault }
+      (** the channel hit node [id]'s message ({!Simulator.run_faulty} /
+          {!Coalition.run_faulty}); emitted once per in-scope plan
+          entry, after the local phase and before any absorb *)
   | Referee_done of { label : string; n : int; max_bits : int; total_bits : int }
 
 type sink = Null | Emit of (event -> unit)

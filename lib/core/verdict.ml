@@ -1,0 +1,48 @@
+type fault_report = {
+  missing : int list;
+  malformed : int list;
+  duplicated : int list;
+  undetermined : int list;
+}
+
+type 'a t =
+  | Decided of 'a
+  | Degraded of 'a * fault_report
+  | Inconclusive of string
+
+let empty_report = { missing = []; malformed = []; duplicated = []; undetermined = [] }
+
+let channel_clean r = r.missing = [] && r.malformed = [] && r.duplicated = []
+
+let map f = function
+  | Decided v -> Decided (f v)
+  | Degraded (v, r) -> Degraded (f v, r)
+  | Inconclusive reason -> Inconclusive reason
+
+let to_option = function
+  | Decided v | Degraded (v, _) -> Some v
+  | Inconclusive _ -> None
+
+let is_decided = function Decided _ -> true | Degraded _ | Inconclusive _ -> false
+
+let report_summary r =
+  Printf.sprintf "%d missing, %d malformed, %d duplicated, %d undetermined"
+    (List.length r.missing) (List.length r.malformed) (List.length r.duplicated)
+    (List.length r.undetermined)
+
+let pp_ids fmt = function
+  | [] -> Format.pp_print_string fmt "-"
+  | ids ->
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_char fmt ',')
+      Format.pp_print_int fmt ids
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<hov 2>{missing=%a;@ malformed=%a;@ duplicated=%a;@ undetermined=%a}@]"
+    pp_ids r.missing pp_ids r.malformed pp_ids r.duplicated pp_ids r.undetermined
+
+let pp pp_payload fmt = function
+  | Decided v -> Format.fprintf fmt "@[<hov 2>decided:@ %a@]" pp_payload v
+  | Degraded (v, r) ->
+    Format.fprintf fmt "@[<hov 2>degraded:@ %a@ %a@]" pp_payload v pp_report r
+  | Inconclusive reason -> Format.fprintf fmt "inconclusive: %s" reason

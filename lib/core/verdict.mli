@@ -1,0 +1,61 @@
+(** Detect-or-degrade referee outcomes.
+
+    A hardened referee never lets a channel fault turn into a
+    confidently wrong answer.  Its [finish] classifies the run:
+
+    - {!Decided}: the channel was clean (every id absorbed exactly
+      once, every message authentic) and the output is the same one the
+      plain referee would produce — full trust.
+    - {!Degraded}: faults were detected, but part of the output is
+      still {e certain} from the surviving messages.  The payload is
+      that sound part; the {!fault_report} names which ids were lost,
+      mangled or left undetermined.  Senders are honest in the fault
+      model, so every surviving (authenticated) message is a true
+      statement about the input — degraded payloads are sound, just
+      incomplete.
+    - {!Inconclusive}: the faults (or an authentication anomaly that
+      should be impossible under pure channel faults) leave nothing the
+      referee is willing to assert.
+
+    The invariant every hardened protocol maintains: under {e any}
+    fault plan, a [Decided] output equals the fault-free output —
+    detect or degrade, never lie. *)
+
+(** Who was hit, as seen from the referee's side of the channel. *)
+type fault_report = {
+  missing : int list;  (** ids never absorbed (crashed, or spoofed away) *)
+  malformed : int list;
+      (** ids whose delivered message failed authentication or parsing
+          (truncation, bit flips, spoofed sender) *)
+  duplicated : int list;  (** ids absorbed more than once (extra copies dropped) *)
+  undetermined : int list;
+      (** ids whose local structure the degraded output does not pin
+          down — every edge claim {e not} touching these ids is exact *)
+}
+
+type 'a t =
+  | Decided of 'a
+  | Degraded of 'a * fault_report
+  | Inconclusive of string
+
+val empty_report : fault_report
+
+(** [channel_clean r] — no missing, malformed or duplicated ids
+    ([undetermined] is an output-side attribute and does not count). *)
+val channel_clean : fault_report -> bool
+
+(** [map f v] maps over the payload of [Decided]/[Degraded]. *)
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+(** [to_option v] is the payload when one exists. *)
+val to_option : 'a t -> 'a option
+
+(** [is_decided v] is true only for [Decided]. *)
+val is_decided : 'a t -> bool
+
+(** One-line count summary, e.g. ["2 missing, 1 malformed, ..."]. *)
+val report_summary : fault_report -> string
+
+val pp_report : Format.formatter -> fault_report -> unit
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

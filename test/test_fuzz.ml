@@ -134,6 +134,124 @@ let test_corrupted_never_returns_wrong_forest () =
     | Some h -> Alcotest.(check bool) "still a forest" true (Spanning.is_forest h)
   done
 
+(* ---------- framing layer ---------- *)
+
+let test_unbundle_fuzz () =
+  (* Arbitrary bit noise against the framing decoder: the only
+     exception allowed out of [unbundle]/[read_framed] is the documented
+     [Message.Malformed] — declared lengths are attacker-controlled and
+     must be validated against the bits actually present. *)
+  let rng = Random.State.make [| 0xf4a3 |] in
+  for _ = 1 to 500 do
+    let noise = random_message rng ~bits:(Random.State.int rng 200) in
+    match Core.Message.unbundle ~count:(1 + Random.State.int rng 4) noise with
+    | (_ : Core.Message.t list) -> ()
+    | exception Core.Message.Malformed -> ()
+    | exception e ->
+      Alcotest.failf "unbundle leaked %s on %d-bit noise" (Printexc.to_string e)
+        (Bitvec.length noise)
+  done
+
+let test_unbundle_hostile_lengths () =
+  let open Refnet_bits in
+  (* A frame whose gamma header claims 2^40 payload bits. *)
+  let huge =
+    let w = Bit_writer.create () in
+    Codes.write_gamma w ((1 lsl 40) + 1);
+    Bit_writer.contents w
+  in
+  (match Core.Message.unbundle ~count:1 huge with
+  | _ -> Alcotest.fail "absurd declared length accepted"
+  | exception Core.Message.Malformed -> ());
+  (* All-ones: a unary prefix of 63 ones drives the gamma width past the
+     62-bit read limit. *)
+  let ones = Bitvec.create 70 in
+  for i = 0 to 69 do
+    Bitvec.set ones i
+  done;
+  (match Core.Message.unbundle ~count:1 ones with
+  | _ -> Alcotest.fail "oversized gamma width accepted"
+  | exception Core.Message.Malformed -> ());
+  (* Truncated mid-payload. *)
+  let frame =
+    let w = Bit_writer.create () in
+    Core.Message.write_framed w (random_message (Random.State.make [| 1 |]) ~bits:40);
+    Bit_writer.contents w
+  in
+  let cut = truncate_message frame ~keep:(Bitvec.length frame - 8) in
+  match Core.Message.unbundle ~count:1 cut with
+  | _ -> Alcotest.fail "truncated frame accepted"
+  | exception Core.Message.Malformed -> ()
+
+let test_roundtrip_bundles_still_decode () =
+  let rng = Random.State.make [| 0xb0b |] in
+  for _ = 1 to 100 do
+    let parts =
+      List.init (1 + Random.State.int rng 5) (fun _ ->
+          random_message rng ~bits:(Random.State.int rng 60))
+    in
+    let decoded = Core.Message.unbundle ~count:(List.length parts) (Core.Message.bundle parts) in
+    Alcotest.(check bool) "bundle roundtrip" true
+      (List.for_all2 Core.Message.equal parts decoded)
+  done
+
+(* ---------- hardened referees ---------- *)
+
+let test_hardened_feed_totality () =
+  (* Feed every hardened referee arbitrary garbage (wrong sizes, random
+     ids, missing and repeated senders): the fold must always close into
+     a verdict — no exception may escape [Protocol.feed]/[finish]. *)
+  let rng = Random.State.make [| 0x5ea1 |] in
+  let check_total : type a. string -> a Core.Verdict.t Core.Protocol.referee -> unit =
+   fun name referee ->
+    for _ = 1 to 120 do
+      let n = 2 + Random.State.int rng 14 in
+      match
+        let feed = ref (Core.Protocol.start referee ~n) in
+        for _ = 1 to Random.State.int rng (2 * n) do
+          let id = 1 + Random.State.int rng (n + 2) in
+          let msg = random_message rng ~bits:(Random.State.int rng 120) in
+          feed := Core.Protocol.feed !feed ~id msg
+        done;
+        Core.Protocol.finish !feed
+      with
+      | (_ : a Core.Verdict.t) -> ()
+      | exception e ->
+        Alcotest.failf "%s: hardened referee leaked %s" name (Printexc.to_string e)
+    done
+  in
+  check_total "forest" Core.Forest_protocol.hardened.Core.Protocol.referee;
+  check_total "degeneracy-2" (Core.Degeneracy_protocol.hardened ~k:2 ()).Core.Protocol.referee;
+  check_total "bounded-3" (Core.Bounded_degree.hardened ~max_degree:3).Core.Protocol.referee;
+  check_total "sketch" (Core.Sketch_connectivity.hardened ~seed:3 ()).Core.Protocol.referee;
+  check_total "coalition" Core.Connectivity_parts.hardened.Core.Coalition.referee;
+  check_total "generic-harden"
+    (Core.Protocol.harden Core.Forest_protocol.reconstruct).Core.Protocol.referee
+
+let test_hardened_never_wrong_on_garbage () =
+  (* Garbage in place of honest messages must never authenticate: the
+     verdict may say anything except a wrong [Decided]. *)
+  let rng = Random.State.make [| 0x900d |] in
+  for trial = 1 to 60 do
+    let n = 3 + (trial mod 12) in
+    let g = Generators.random_tree (Random.State.make [| trial |]) n in
+    let msgs = Core.Simulator.local_phase Core.Forest_protocol.hardened g in
+    let tampered =
+      Array.map
+        (fun m -> if Random.State.bool rng then random_message rng ~bits:(Bitvec.length m) else m)
+        msgs
+    in
+    match Core.Protocol.apply Core.Forest_protocol.hardened ~n tampered with
+    | Core.Verdict.Decided (Some h) ->
+      Alcotest.(check bool) "Decided only when untouched" true (Graph.equal g h)
+    | Core.Verdict.Decided None -> Alcotest.fail "a tree cannot be Decided rejected"
+    | Core.Verdict.Degraded (Some h, _) ->
+      Graph.iter_edges h (fun u v ->
+          if not (Graph.has_edge g u v) then
+            Alcotest.failf "degraded output claims non-edge {%d,%d}" u v)
+    | Core.Verdict.Degraded (None, _) | Core.Verdict.Inconclusive _ -> ()
+  done
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -150,5 +268,17 @@ let () =
           Alcotest.test_case "zero-length messages" `Quick test_zero_length_messages;
           Alcotest.test_case "tampered forests stay forests" `Quick
             test_corrupted_never_returns_wrong_forest;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "unbundle on noise" `Quick test_unbundle_fuzz;
+          Alcotest.test_case "hostile declared lengths" `Quick test_unbundle_hostile_lengths;
+          Alcotest.test_case "bundle roundtrip" `Quick test_roundtrip_bundles_still_decode;
+        ] );
+      ( "hardened referees",
+        [
+          Alcotest.test_case "feed totality" `Quick test_hardened_feed_totality;
+          Alcotest.test_case "no wrong Decided on garbage" `Quick
+            test_hardened_never_wrong_on_garbage;
         ] );
     ]
