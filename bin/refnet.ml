@@ -40,13 +40,51 @@ let trace_arg =
 
 (* Runs [f] with a JSONL sink on the given file, or the null sink.  The
    channel is closed on normal return; commands that [exit] inside [f]
-   still get their buffers flushed by [Stdlib.exit]. *)
+   still get their buffers flushed by [Stdlib.exit] (and the sink itself
+   flushes after every Referee_done — see trace.mli). *)
 let with_trace path f =
   match path with
   | None -> f Core.Trace.null
   | Some file ->
     let oc = open_out file in
     Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f (Core.Trace.jsonl oc))
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Record a metrics snapshot of the run into $(docv): Prometheus text exposition if the \
+           name ends in .prom, canonical JSON otherwise.")
+
+let write_metrics file m =
+  let snap = Core.Metrics.snapshot m in
+  let data =
+    if Filename.check_suffix file ".prom" then Core.Metrics.to_prometheus snap
+    else Core.Metrics.to_json snap ^ "\n"
+  in
+  let oc = open_out file in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc data)
+
+(* Combines the trace sink with an optional metrics registry.  Several
+   subcommands [exit] with a verdict code from inside [f], which skips
+   Fun.protect's finalizer — the at_exit hook makes sure the snapshot
+   still lands on disk on those paths (exactly once). *)
+let with_observability trace metrics_file f =
+  match metrics_file with
+  | None -> with_trace trace (fun sink -> f sink None)
+  | Some file ->
+    let m = Core.Metrics.create () in
+    let written = ref false in
+    let flush_metrics () =
+      if not !written then begin
+        written := true;
+        write_metrics file m
+      end
+    in
+    at_exit flush_metrics;
+    Fun.protect ~finally:flush_metrics (fun () -> with_trace trace (fun sink -> f sink (Some m)))
 
 let write_graph fmt g =
   match fmt with
@@ -122,10 +160,12 @@ let generate_cmd =
 
 (* ---------- reconstruct ---------- *)
 
-let reconstruct path k forest trace fmt =
+let reconstruct path k forest trace metrics fmt =
   let g = read_graph path in
   let n = Graph.order g in
-  let run p = with_trace trace (fun sink -> Core.Simulator.run ~trace:sink p g) in
+  let run p =
+    with_observability trace metrics (fun sink m -> Core.Simulator.run ~trace:sink ?metrics:m p g)
+  in
   if forest then begin
     match run Core.Forest_protocol.reconstruct with
     | Some h, t ->
@@ -156,17 +196,20 @@ let reconstruct_cmd =
   in
   Cmd.v
     (Cmd.info "reconstruct" ~doc:"Reconstruct a graph at the referee in one frugal round")
-    Term.(const reconstruct $ graph_file_arg $ k_arg $ forest $ trace_arg $ fmt_arg)
+    Term.(const reconstruct $ graph_file_arg $ k_arg $ forest $ trace_arg $ metrics_arg $ fmt_arg)
 
 (* ---------- recognize ---------- *)
 
-let recognize path k generalized trace =
+let recognize path k generalized trace metrics =
   let g = read_graph path in
   let protocol =
     if generalized then Core.Generalized_degeneracy.recognize k
     else Core.Recognition.degeneracy_at_most k
   in
-  let verdict, t = with_trace trace (fun sink -> Core.Simulator.run ~trace:sink protocol g) in
+  let verdict, t =
+    with_observability trace metrics (fun sink m ->
+        Core.Simulator.run ~trace:sink ?metrics:m protocol g)
+  in
   Printf.printf "%s degeneracy <= %d : %b   (%d bits/node; true %s = %d)\n"
     (if generalized then "generalized" else "plain")
     k verdict t.Core.Simulator.max_bits
@@ -180,7 +223,7 @@ let recognize_cmd =
   in
   Cmd.v
     (Cmd.info "recognize" ~doc:"Decide degeneracy <= k in one round")
-    Term.(const recognize $ graph_file_arg $ k_arg $ generalized $ trace_arg)
+    Term.(const recognize $ graph_file_arg $ k_arg $ generalized $ trace_arg $ metrics_arg)
 
 (* ---------- gadget ---------- *)
 
@@ -242,7 +285,7 @@ let count_cmd =
 
 (* ---------- sizes ---------- *)
 
-let sizes n graph trace =
+let sizes n graph trace metrics =
   let g = Option.map read_graph graph in
   let n = match g with Some g -> Graph.order g | None -> n in
   Printf.printf "message sizes at n = %d (id width %d bits):\n" n (Core.Bounds.id_bits n);
@@ -263,8 +306,10 @@ let sizes n graph trace =
   match g with
   | None -> ()
   | Some g ->
-    with_trace trace (fun sink ->
-        let is_forest, tf = Core.Simulator.run ~trace:sink Core.Forest_protocol.recognize g in
+    with_observability trace metrics (fun sink m ->
+        let is_forest, tf =
+          Core.Simulator.run ~trace:sink ?metrics:m Core.Forest_protocol.recognize g
+        in
         Printf.printf "measured on %s (n = %d, m = %d):\n"
           (Option.value ~default:"graph" graph)
           n (Graph.size g);
@@ -272,7 +317,7 @@ let sizes n graph trace =
           tf.Core.Simulator.max_bits is_forest;
         let k = max 1 (Degeneracy.degeneracy g) in
         let ok, td =
-          Core.Simulator.run ~trace:sink
+          Core.Simulator.run ~trace:sink ?metrics:m
             (Core.Recognition.degeneracy_at_most k)
             g
         in
@@ -290,17 +335,18 @@ let sizes_cmd =
   in
   Cmd.v
     (Cmd.info "sizes" ~doc:"Closed-form message-size tables")
-    Term.(const sizes $ n $ graph $ trace_arg)
+    Term.(const sizes $ n $ graph $ trace_arg $ metrics_arg)
 
 (* ---------- connectivity ---------- *)
 
-let connectivity path parts trace =
+let connectivity path parts trace metrics =
   let g = read_graph path in
   let n = Graph.order g in
   let partition = Core.Coalition.partition_by_ranges ~n ~parts in
   let verdict, t =
-    with_trace trace (fun sink ->
-        Core.Coalition.run ~trace:sink Core.Connectivity_parts.decide g ~parts:partition)
+    with_observability trace metrics (fun sink m ->
+        Core.Coalition.run ~trace:sink ?metrics:m Core.Connectivity_parts.decide g
+          ~parts:partition)
   in
   Printf.printf "connected: %b   (coalitions: %d, max %d bits/node, bound %d)\n" verdict parts
     t.Core.Simulator.max_bits
@@ -316,7 +362,7 @@ let fault_proto_conv =
       ("sketch", `Sketch); ("connectivity", `Connectivity);
     ]
 
-let faults path proto k parts seed crash truncate flip flip_bits duplicate spoof trace =
+let faults path proto k parts seed crash truncate flip flip_bits duplicate spoof trace metrics =
   let g = read_graph path in
   let n = Graph.order g in
   let plan = Core.Faults.random ~seed ~n ~crash ~truncate ~flip ~flip_bits ~duplicate ~spoof () in
@@ -330,8 +376,8 @@ let faults path proto k parts seed crash truncate flip flip_bits duplicate spoof
     | Some h -> Format.fprintf fmt "graph(n=%d, m=%d)" (Graph.order h) (Graph.size h)
     | None -> Format.pp_print_string fmt "rejected"
   in
-  with_trace trace (fun sink ->
-      let run p = Core.Simulator.run_faulty ~faults:plan ~trace:sink p g in
+  with_observability trace metrics (fun sink m ->
+      let run p = Core.Simulator.run_faulty ~faults:plan ~trace:sink ?metrics:m p g in
       match proto with
       | `Forest -> report pp_graph (run Core.Forest_protocol.hardened)
       | `Degeneracy -> report pp_graph (run (Core.Degeneracy_protocol.hardened ~k ()))
@@ -340,8 +386,8 @@ let faults path proto k parts seed crash truncate flip flip_bits duplicate spoof
       | `Connectivity ->
         let partition = Core.Coalition.partition_by_ranges ~n ~parts in
         report Format.pp_print_bool
-          (Core.Coalition.run_faulty ~faults:plan ~trace:sink Core.Connectivity_parts.hardened g
-             ~parts:partition))
+          (Core.Coalition.run_faulty ~faults:plan ~trace:sink ?metrics:m
+             Core.Connectivity_parts.hardened g ~parts:partition))
 
 let faults_cmd =
   let proto =
@@ -367,7 +413,89 @@ let faults_cmd =
     (Cmd.info "faults" ~doc:"Run a hardened protocol under a seeded fault-injection campaign")
     Term.(
       const faults $ graph_file_arg $ proto $ k_arg $ parts $ seed_arg $ crash $ truncate $ flip
-      $ flip_bits $ duplicate $ spoof $ trace_arg)
+      $ flip_bits $ duplicate $ spoof $ trace_arg $ metrics_arg)
+
+(* ---------- sweep ---------- *)
+
+(* One traced run of every flagship protocol per size: the trace feeds
+   [refnet report]'s bound audit, the metrics file a live snapshot.
+   Graphs are seeded per (seed, n), so a sweep is reproducible. *)
+let sweep sizes seed k parts trace metrics =
+  with_observability trace metrics (fun sink m ->
+      List.iter
+        (fun n ->
+          let rng = Random.State.make [| seed; n |] in
+          let run p g = ignore (Core.Simulator.run ~trace:sink ?metrics:m p g) in
+          run Core.Forest_protocol.reconstruct (Generators.random_tree rng n);
+          run
+            (Core.Degeneracy_protocol.reconstruct ~k ())
+            (Generators.random_k_degenerate rng n ~k);
+          let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+          run (Core.Bounded_degree.reconstruct ~max_degree:4) (Generators.grid side side);
+          let connected = Generators.random_connected rng n 0.15 in
+          let partition = Core.Coalition.partition_by_ranges ~n ~parts:(min parts n) in
+          ignore
+            (Core.Coalition.run ~trace:sink ?metrics:m Core.Connectivity_parts.decide connected
+               ~parts:partition);
+          run (Core.Sketch_connectivity.protocol ~seed ()) connected;
+          Printf.printf "n=%4d: forest, degeneracy-%d, bounded-degree-4, coalition(%d parts), sketch done\n%!"
+            n k (min parts n))
+        sizes)
+
+let sweep_cmd =
+  let sizes =
+    Arg.(
+      value
+      & opt (list int) [ 32; 64; 128 ]
+      & info [ "sizes" ] ~docv:"N,N,..." ~doc:"Comma-separated network sizes to sweep.")
+  in
+  let parts = Arg.(value & opt int 4 & info [ "parts" ] ~docv:"K" ~doc:"Coalition count.") in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run every flagship protocol across a size sweep, recording traces and metrics for \
+          offline bound auditing with $(b,refnet report)")
+    Term.(const sweep $ sizes $ seed_arg $ k_arg $ parts $ trace_arg $ metrics_arg)
+
+(* ---------- report ---------- *)
+
+let report traces json_out =
+  let r = Core.Report.create () in
+  List.iter (Core.Report.ingest_file r) traces;
+  Format.printf "%a@?" Core.Report.pp r;
+  (match json_out with
+  | Some file ->
+    let oc = open_out file in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Core.Report.to_json r);
+        output_char oc '\n')
+  | None -> ());
+  match Core.Report.violations r with
+  | [] -> ()
+  | vs ->
+    Printf.eprintf "refnet report: %d bound audit violation%s\n" (List.length vs)
+      (if List.length vs = 1 then "" else "s");
+    exit 1
+
+let report_cmd =
+  let traces =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"TRACE" ~doc:"JSONL trace file(s).")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the aggregate report as canonical JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Aggregate JSONL traces offline: per-protocol bit histograms, fault counts and \
+          bound-audit verdicts (exit 1 on any violated budget)")
+    Term.(const report $ traces $ json_out)
 
 (* ---------- search ---------- *)
 
@@ -452,7 +580,7 @@ let connectivity_cmd =
   let parts = Arg.(value & opt int 4 & info [ "parts" ] ~docv:"K" ~doc:"Coalition count.") in
   Cmd.v
     (Cmd.info "connectivity" ~doc:"Coalition connectivity audit (conclusion protocol)")
-    Term.(const connectivity $ graph_file_arg $ parts $ trace_arg)
+    Term.(const connectivity $ graph_file_arg $ parts $ trace_arg $ metrics_arg)
 
 let () =
   let info =
@@ -467,7 +595,7 @@ let () =
       (Cmd.group info
          [
            generate_cmd; reconstruct_cmd; recognize_cmd; gadget_cmd; count_cmd; sizes_cmd; stats_cmd; search_cmd;
-           connectivity_cmd; faults_cmd;
+           connectivity_cmd; faults_cmd; sweep_cmd; report_cmd;
          ])
   with
   | code -> exit code

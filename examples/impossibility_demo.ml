@@ -26,11 +26,11 @@ let () =
   let rng = Random.State.make [| 0x1dea |] in
 
   print_endline "Step 1-3: reductions Δ reconstruct hidden graphs through decision oracles.";
-  show_reduction "square" (Core.Reduction.square ~oracle:Core.Reduction.square_oracle)
+  show_reduction "square" (Core.Reduction.square Core.Reduction.square_oracle)
     (Generators.random_square_free rng 12 ~attempts:300);
-  show_reduction "diameter" (Core.Reduction.diameter ~oracle:Core.Reduction.diameter3_oracle)
+  show_reduction "diameter" (Core.Reduction.diameter Core.Reduction.diameter3_oracle)
     (Generators.gnp rng 12 0.35);
-  show_reduction "triangle" (Core.Reduction.triangle ~oracle:Core.Reduction.triangle_oracle)
+  show_reduction "triangle" (Core.Reduction.triangle Core.Reduction.triangle_oracle)
     (Generators.random_bipartite rng ~left:6 ~right:6 0.5);
 
   print_endline "\nStep 4: the counting bound (Lemma 1).";

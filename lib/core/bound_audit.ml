@@ -1,0 +1,169 @@
+type shape = Log_n | K_log_n of int | K2_log_n of int | Log_sq | Linear
+
+let shape_units shape n =
+  let w = Bounds.id_bits n in
+  match shape with
+  | Log_n -> w
+  | K_log_n k -> max 1 (k * w)
+  | K2_log_n k -> max 1 (k * k * w)
+  | Log_sq -> max 1 (w * w)
+  | Linear -> max 1 n
+
+let pp_shape fmt = function
+  | Log_n -> Format.pp_print_string fmt "log n"
+  | K_log_n k -> Format.fprintf fmt "%d*log n" k
+  | K2_log_n k -> Format.fprintf fmt "%d^2*log n" k
+  | Log_sq -> Format.pp_print_string fmt "log^2 n"
+  | Linear -> Format.pp_print_string fmt "n"
+
+let shape_string s = Format.asprintf "%a" pp_shape s
+
+type budget = { b_shape : shape; c_max : float; n_min : int }
+
+(* ---------- label parsing ---------- *)
+
+let has_substring s sub =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+  go 0
+
+let prefixed ~prefix s =
+  let lp = String.length prefix in
+  if String.length s >= lp && String.sub s 0 lp = prefix then
+    Some (String.sub s lp (String.length s - lp))
+  else None
+
+(* ["3-reconstruct..."] -> [Some 3] when the digits are followed by the
+   expected marker. *)
+let leading_int s =
+  let n = String.length s in
+  let rec stop i = if i < n && s.[i] >= '0' && s.[i] <= '9' then stop (i + 1) else i in
+  let i = stop 0 in
+  if i = 0 then None
+  else match int_of_string_opt (String.sub s 0 i) with
+    | Some k -> Some (k, String.sub s i (n - i))
+    | None -> None
+
+(* ["...[parts=4]"] -> [Some 4]. *)
+let parts_of label =
+  match String.index_opt label '[' with
+  | None -> None
+  | Some i -> (
+    match prefixed ~prefix:"parts=" (String.sub label (i + 1) (String.length label - i - 1)) with
+    | Some rest -> (
+      match leading_int rest with Some (k, "]") -> Some k | _ -> None)
+    | None -> None)
+
+(* The constants are derived from the exact message layouts in the
+   protocol modules (DESIGN.md §10 walks through each derivation):
+
+   - forest: 4 * id_bits exactly (Bounds.forest_message_bits).
+   - degeneracy-k (fixed layout): (2 + k(k+3)/2) * id_bits, and
+     (2 + k(k+3)/2) / k^2 <= 4 for every k >= 1 (equality at k = 1).
+     The compact layout gamma-codes the power sums, which can exceed the
+     fixed layout on dense small graphs; 9 covers its worst framing
+     overhead.
+   - generalized degeneracy: (2 + k(k+3)) * id_bits <= 6 k^2 id_bits
+     (equality at k = 1).
+   - bounded-degree-d: (1 + d) * id_bits <= 2 d id_bits (equality at
+     d = 1).
+   - coalition with k parts: per_node_bound of Connectivity_parts —
+     roughly 2 * ceil((n-1)/(n/k)) * id_bits + a header, which peaks at
+     small n/uneven parts; 6 covers every partition the CLI can build
+     once n >= 4.
+   - sketch: rounds * levels * 93 bits with rounds ≈ log n + 2 and
+     levels ≈ 2 log n + 2 over a fixed 31-bit field, i.e. ≈ 186 log² n
+     plus lower-order terms; 256 absorbs the additive terms from n >= 8.
+   - full-information: exactly n bits (an incidence row). *)
+let budget_of_label label =
+  if has_substring label "+sealed" || has_substring label "+hardened" then None
+  else if label = "forest-reconstruct" || label = "forest-recognize" then
+    Some { b_shape = Log_n; c_max = 4.0; n_min = 1 }
+  else if label = "full-information" then Some { b_shape = Linear; c_max = 1.0; n_min = 1 }
+  else
+    match prefixed ~prefix:"degeneracy-" label with
+    | Some rest -> (
+      match leading_int rest with
+      | Some (k, "-reconstruct") -> Some { b_shape = K2_log_n k; c_max = 4.0; n_min = 1 }
+      | Some (k, "-reconstruct-compact") -> Some { b_shape = K2_log_n k; c_max = 9.0; n_min = 1 }
+      | _ -> None)
+    | None -> (
+      match prefixed ~prefix:"generalized-degeneracy-" label with
+      | Some rest -> (
+        match leading_int rest with
+        | Some (k, "-reconstruct") -> Some { b_shape = K2_log_n k; c_max = 6.0; n_min = 1 }
+        | _ -> None)
+      | None -> (
+        match prefixed ~prefix:"bounded-degree-" label with
+        | Some rest -> (
+          match leading_int rest with
+          | Some (d, "") -> Some { b_shape = K_log_n d; c_max = 2.0; n_min = 1 }
+          | _ -> None)
+        | None ->
+          if prefixed ~prefix:"coalition-connectivity" label <> None then
+            match parts_of label with
+            | Some k -> Some { b_shape = K_log_n k; c_max = 6.0; n_min = 4 }
+            | None -> None
+          else if prefixed ~prefix:"sketch-connectivity" label <> None then
+            Some { b_shape = Log_sq; c_max = 256.0; n_min = 8 }
+          else None))
+
+(* ---------- auditing ---------- *)
+
+type observation = { o_n : int; o_max_bits : int }
+
+type verdict = {
+  v_label : string;
+  v_shape : shape;
+  v_c_max : float;
+  v_c_fit : float;
+  v_observations : int;
+  v_skipped : int;
+  v_worst_n : int;
+  v_passed : bool;
+}
+
+let audit ~label budget observations =
+  let c_fit = ref 0.0 and worst_n = ref 0 and audited = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun o ->
+      if o.o_n < budget.n_min then incr skipped
+      else begin
+        incr audited;
+        let c = float_of_int o.o_max_bits /. float_of_int (shape_units budget.b_shape o.o_n) in
+        if c > !c_fit then begin
+          c_fit := c;
+          worst_n := o.o_n
+        end
+      end)
+    observations;
+  {
+    v_label = label;
+    v_shape = budget.b_shape;
+    v_c_max = budget.c_max;
+    v_c_fit = !c_fit;
+    v_observations = !audited;
+    v_skipped = !skipped;
+    v_worst_n = !worst_n;
+    v_passed = !audited = 0 || !c_fit <= budget.c_max +. 1e-9;
+  }
+
+let audit_label label observations =
+  match budget_of_label label with
+  | None -> None
+  | Some b -> Some (audit ~label b observations)
+
+let pp_verdict fmt v =
+  Format.fprintf fmt "%-44s %-10s c_max=%-6g c_fit=%-8.3f (worst n=%d, %d obs%s)  %s" v.v_label
+    (shape_string v.v_shape) v.v_c_max v.v_c_fit v.v_worst_n v.v_observations
+    (if v.v_skipped > 0 then Printf.sprintf ", %d below n_min" v.v_skipped else "")
+    (if v.v_passed then "PASS" else "VIOLATED")
+
+let verdict_json v =
+  Printf.sprintf
+    {|{"c_fit":%.6f,"c_max":%g,"label":%s,"observations":%d,"passed":%b,"shape":%s,"skipped":%d,"worst_n":%d}|}
+    v.v_c_fit v.v_c_max
+    (Printf.sprintf "%S" v.v_label)
+    v.v_observations v.v_passed
+    (Printf.sprintf "%S" (shape_string v.v_shape))
+    v.v_skipped v.v_worst_n

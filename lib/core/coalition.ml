@@ -52,39 +52,76 @@ let collect (p : 'a t) g ~parts =
     parts;
   Array.map (function Some m -> m | None -> assert false) inbox
 
-let run ?(trace = Trace.null) (p : 'a t) g ~parts =
+(* Span and done events carry the part count in the label — the
+   coalition bound is O(k·log n) in the number of parts, so offline
+   analysis ({!Bound_audit}, [refnet report]) needs [k] recoverable
+   from the trace alone. *)
+let labelled p ~parts = Printf.sprintf "%s[parts=%d]" p.name (List.length parts)
+
+let observe_local metrics msgs =
+  match metrics with
+  | None -> ()
+  | Some m ->
+    Metrics.Counter.add (Metrics.Counter.counter m "refnet_messages_total") (Array.length msgs);
+    let bits = Metrics.Histogram.histogram m "refnet_message_bits" in
+    Array.iter (fun msg -> Metrics.Histogram.observe bits (Message.bits msg)) msgs
+
+let observe_transcript metrics (t : Simulator.transcript) =
+  match metrics with
+  | None -> ()
+  | Some m ->
+    Metrics.Counter.incr (Metrics.Counter.counter m "refnet_runs_total");
+    Metrics.Histogram.observe (Metrics.Histogram.histogram m "refnet_run_max_bits") t.max_bits;
+    Metrics.Counter.add (Metrics.Counter.counter m "refnet_run_bits_total") t.total_bits
+
+let maybe_time metrics name f =
+  match metrics with Some m -> Metrics.time m name f | None -> f ()
+
+let run ?(trace = Trace.null) ?metrics (p : 'a t) g ~parts =
   let n = Graph.order g in
-  Trace.emit trace (Trace.Span_begin { label = p.name; n });
-  let msgs = collect p g ~parts in
-  let out = Protocol.run_referee ~trace p.referee ~n msgs in
+  let label = labelled p ~parts in
+  Trace.emit trace (Trace.Span_begin { label; n });
+  let msgs = maybe_time metrics "refnet_local_phase" (fun () -> collect p g ~parts) in
+  observe_local metrics msgs;
+  let out =
+    maybe_time metrics "refnet_referee_phase" (fun () ->
+        Protocol.run_referee ~trace ?metrics p.referee ~n msgs)
+  in
   let t = Simulator.transcript_of_messages msgs in
+  observe_transcript metrics t;
   Trace.emit trace
     (Trace.Referee_done
-       { label = p.name; n; max_bits = t.Simulator.max_bits; total_bits = t.Simulator.total_bits });
-  Trace.emit trace (Trace.Span_end { label = p.name; n });
+       { label; n; max_bits = t.Simulator.max_bits; total_bits = t.Simulator.total_bits });
+  Trace.emit trace (Trace.Span_end { label; n });
   (out, t)
 
-let run_faulty ?(faults = Faults.empty) ?(trace = Trace.null) (p : 'a t) g ~parts =
+let run_faulty ?(faults = Faults.empty) ?(trace = Trace.null) ?metrics (p : 'a t) g ~parts =
   let n = Graph.order g in
-  Trace.emit trace (Trace.Span_begin { label = p.name; n });
-  let msgs = collect p g ~parts in
+  let label = labelled p ~parts in
+  Trace.emit trace (Trace.Span_begin { label; n });
+  let msgs = maybe_time metrics "refnet_local_phase" (fun () -> collect p g ~parts) in
+  observe_local metrics msgs;
   let deliveries, injected = Faults.apply faults msgs in
+  (match metrics with
+  | Some m when injected <> [] ->
+    Metrics.Counter.add
+      (Metrics.Counter.counter m "refnet_faults_injected_total")
+      (List.length injected)
+  | _ -> ());
   if not (Trace.is_null trace) then
     List.iter (fun (id, fault) -> Trace.emit trace (Trace.Fault_injected { id; fault })) injected;
-  let feed = ref (Protocol.start p.referee ~n) in
-  List.iter
-    (fun (id, msg) ->
-      feed := Protocol.feed !feed ~id msg;
-      Trace.emit trace (Trace.Referee_absorb { id; bits = Message.bits msg }))
-    deliveries;
-  let out = Protocol.finish !feed in
+  let out =
+    maybe_time metrics "refnet_referee_phase" (fun () ->
+        Protocol.feed_deliveries ~trace ?metrics p.referee ~n deliveries)
+  in
   let t =
     { (Simulator.transcript_of_messages msgs) with
       Simulator.faulted_ids = List.map fst injected
     }
   in
+  observe_transcript metrics t;
   Trace.emit trace
     (Trace.Referee_done
-       { label = p.name; n; max_bits = t.Simulator.max_bits; total_bits = t.Simulator.total_bits });
-  Trace.emit trace (Trace.Span_end { label = p.name; n });
+       { label; n; max_bits = t.Simulator.max_bits; total_bits = t.Simulator.total_bits });
+  Trace.emit trace (Trace.Span_end { label; n });
   (out, t)

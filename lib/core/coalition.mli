@@ -32,15 +32,25 @@ type 'a t = {
     @raise Invalid_argument if [parts < 1] or [parts > n]. *)
 val partition_by_ranges : n:int -> parts:int -> int list list
 
-(** [run ?trace p g ~parts] executes a coalition protocol over the given
-    partition of the vertices; with a live [trace], span, absorb and
-    done events are emitted as in {!Simulator.run}.
+(** [run ?trace ?metrics p g ~parts] executes a coalition protocol over
+    the given partition of the vertices; with a live [trace], span,
+    absorb and done events are emitted as in {!Simulator.run} — with the
+    part count baked into the span label as
+    ["name[parts=k]"], so the O(k·log n) coalition bound is auditable
+    from the trace alone.  [?metrics] records the same series as
+    {!Simulator.run} (minus [refnet_view_queries] — coalition views are
+    pooled, not per-node audited).
     @raise Invalid_argument if [parts] does not partition [1..n] or the
     local function mislabels a message. *)
 val run :
-  ?trace:Trace.sink -> 'a t -> Refnet_graph.Graph.t -> parts:int list list -> 'a * Simulator.transcript
+  ?trace:Trace.sink ->
+  ?metrics:Metrics.t ->
+  'a t ->
+  Refnet_graph.Graph.t ->
+  parts:int list list ->
+  'a * Simulator.transcript
 
-(** [run_faulty ?faults ?trace p g ~parts] is {!run} with a fault plan
+(** [run_faulty ?faults ?trace ?metrics p g ~parts] is {!run} with a fault plan
     applied between the pooled local phase and the referee, exactly as
     in {!Simulator.run_faulty}: per-member messages are computed
     honestly, then the channel applies [faults] ({!Faults.apply}),
@@ -50,6 +60,7 @@ val run :
 val run_faulty :
   ?faults:Faults.plan ->
   ?trace:Trace.sink ->
+  ?metrics:Metrics.t ->
   'a t ->
   Refnet_graph.Graph.t ->
   parts:int list list ->

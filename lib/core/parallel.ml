@@ -30,7 +30,7 @@ let default_domains =
 let domain_count () = Lazy.force default_domains
 
 type batch = {
-  run : slot:int -> int -> unit;
+  run : slot:int -> int -> int -> unit; (* ~slot start stop: items [start, stop) *)
   total : int;
   chunk : int;
   width : int;
@@ -57,10 +57,7 @@ let execute pool b ~slot =
     if start < b.total then begin
       let stop = min b.total (start + b.chunk) in
       if not (Atomic.get b.cancelled) then begin
-        try
-          for i = start to stop - 1 do
-            b.run ~slot i
-          done
+        try b.run ~slot start stop
         with e ->
           Atomic.set b.cancelled true;
           Mutex.lock pool.mu;
@@ -138,13 +135,14 @@ let effective_width domains total =
   let w = match domains with Some d -> max 1 (min d width_cap) | None -> domain_count () in
   min w (max 1 total)
 
-let run_batch ?domains ~total run_item =
+(* The chunk-level core: [run_chunk ~slot start stop] must process the
+   items in [[start, stop)].  Chunk granularity is also the
+   instrumentation granularity — see [run_batch]. *)
+let run_batch_chunks ?domains ~total run_chunk =
   if total > 0 then begin
     let width = effective_width domains total in
     if width = 1 || not (Atomic.compare_and_set busy false true) then
-      for i = 0 to total - 1 do
-        run_item ~slot:0 i
-      done
+      run_chunk ~slot:0 0 total
     else
       Fun.protect
         ~finally:(fun () -> Atomic.set busy false)
@@ -153,7 +151,7 @@ let run_batch ?domains ~total run_item =
           ensure_workers p width;
           let b =
             {
-              run = run_item;
+              run = run_chunk;
               total;
               chunk = max 1 (total / (width * 8));
               width;
@@ -179,25 +177,66 @@ let run_batch ?domains ~total run_item =
           match err with Some e -> raise e | None -> ())
   end
 
-let init ?domains n f =
+(* Busy time is accumulated in a batch-local per-slot array — each slot
+   is written by exactly one domain — and folded into the registry by
+   the submitting domain after the join, honouring the Metrics
+   single-writer discipline.  The clock is called from worker domains,
+   which {!Metrics.create} documents as a requirement on custom clocks.
+   Clocking happens once per {e chunk}, not per item, so instrumentation
+   stays off the per-item hot path (the [bench/main.exe metrics]
+   microbench holds live overhead under 5%). *)
+let run_batch ?domains ?metrics ~total run_item =
+  let run_chunk ~slot start stop =
+    for i = start to stop - 1 do
+      run_item ~slot i
+    done
+  in
+  match metrics with
+  | None -> run_batch_chunks ?domains ~total run_chunk
+  | Some m ->
+    if total > 0 then begin
+      let busy = Array.make width_cap 0. in
+      let wall0 = Metrics.now m in
+      let instrumented ~slot start stop =
+        let s = Metrics.now m in
+        run_chunk ~slot start stop;
+        busy.(slot) <- busy.(slot) +. (Metrics.now m -. s)
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          let wall = Metrics.now m -. wall0 in
+          Metrics.Counter.incr (Metrics.Counter.counter m "refnet_pool_batches_total");
+          let tb = Metrics.Timer.timer m "refnet_pool_busy" in
+          let ti = Metrics.Timer.timer m "refnet_pool_idle" in
+          Array.iteri
+            (fun slot b ->
+              if b > 0. then begin
+                Metrics.Timer.add tb ~domain:slot b;
+                Metrics.Timer.add ti ~domain:slot (Float.max 0. (wall -. b))
+              end)
+            busy)
+        (fun () -> run_batch_chunks ?domains ~total instrumented)
+    end
+
+let init ?domains ?metrics n f =
   if n < 0 then invalid_arg "Parallel.init: negative length";
   if n = 0 then [||]
   else begin
     let out = Array.make n (f 0) in
-    run_batch ?domains ~total:(n - 1) (fun ~slot:_ i -> out.(i + 1) <- f (i + 1));
+    run_batch ?domains ?metrics ~total:(n - 1) (fun ~slot:_ i -> out.(i + 1) <- f (i + 1));
     out
   end
 
-let map_array ?domains f a =
+let map_array ?domains ?metrics f a =
   let n = Array.length a in
   if n = 0 then [||]
   else begin
     let out = Array.make n (f a.(0)) in
-    run_batch ?domains ~total:(n - 1) (fun ~slot:_ i -> out.(i + 1) <- f a.(i + 1));
+    run_batch ?domains ?metrics ~total:(n - 1) (fun ~slot:_ i -> out.(i + 1) <- f a.(i + 1));
     out
   end
 
-let map_array_ctx ?domains mk f a =
+let map_array_ctx ?domains ?metrics mk f a =
   let n = Array.length a in
   if n = 0 then [||]
   else begin
@@ -213,8 +252,8 @@ let map_array_ctx ?domains mk f a =
         c
     in
     let out = Array.make n (f (ctx_of 0) a.(0)) in
-    run_batch ?domains ~total:(n - 1) (fun ~slot i -> out.(i + 1) <- f (ctx_of slot) a.(i + 1));
+    run_batch ?domains ?metrics ~total:(n - 1) (fun ~slot i -> out.(i + 1) <- f (ctx_of slot) a.(i + 1));
     out
   end
 
-let iter_range ?domains n f = run_batch ?domains ~total:n (fun ~slot:_ i -> f i)
+let iter_range ?domains ?metrics n f = run_batch ?domains ?metrics ~total:n (fun ~slot:_ i -> f i)

@@ -24,25 +24,35 @@
 
     {b Nesting.} A parallel call made while another batch is running —
     including from inside a task — degrades to inline sequential
-    execution instead of deadlocking. *)
+    execution instead of deadlocking.
+
+    {b Metrics.} Every entry point takes [?metrics]; when given, each
+    batch accumulates per-slot busy wall time in a batch-local array and
+    folds it into the registry {e after} the join, on the submitting
+    domain: timers [refnet_pool_busy] / [refnet_pool_idle] (idle = batch
+    wall time minus that slot's busy time) attributed per domain slot,
+    and counter [refnet_pool_batches_total].  When absent, the
+    uninstrumented code path runs — no clock calls at all. *)
 
 (** [domain_count ()] is the default pool width. *)
 val domain_count : unit -> int
 
-(** [init ?domains n f] is [Array.init n f] with [f] applied across the
-    pool.  [f] must be pure (safe to run on any domain, any order). *)
-val init : ?domains:int -> int -> (int -> 'a) -> 'a array
+(** [init ?domains ?metrics n f] is [Array.init n f] with [f] applied
+    across the pool.  [f] must be pure (safe to run on any domain, any
+    order). *)
+val init : ?domains:int -> ?metrics:Metrics.t -> int -> (int -> 'a) -> 'a array
 
-(** [map_array ?domains f a] maps [f] over [a] across the pool. *)
-val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array ?domains ?metrics f a] maps [f] over [a] across the pool. *)
+val map_array : ?domains:int -> ?metrics:Metrics.t -> ('a -> 'b) -> 'a array -> 'b array
 
-(** [map_array_ctx ?domains mk f a] is [map_array] for tasks needing
-    mutable per-domain scratch (e.g. a pre-sized graph builder): each
-    participating domain lazily creates one context with [mk ()] and
-    reuses it for all its chunks.  [f] may mutate its context freely but
-    must stay pure with respect to everything else. *)
-val map_array_ctx : ?domains:int -> (unit -> 'c) -> ('c -> 'a -> 'b) -> 'a array -> 'b array
+(** [map_array_ctx ?domains ?metrics mk f a] is [map_array] for tasks
+    needing mutable per-domain scratch (e.g. a pre-sized graph builder):
+    each participating domain lazily creates one context with [mk ()]
+    and reuses it for all its chunks.  [f] may mutate its context freely
+    but must stay pure with respect to everything else. *)
+val map_array_ctx :
+  ?domains:int -> ?metrics:Metrics.t -> (unit -> 'c) -> ('c -> 'a -> 'b) -> 'a array -> 'b array
 
-(** [iter_range ?domains n f] runs [f i] for [i = 0 .. n - 1] across the
-    pool. *)
-val iter_range : ?domains:int -> int -> (int -> unit) -> unit
+(** [iter_range ?domains ?metrics n f] runs [f i] for [i = 0 .. n - 1]
+    across the pool. *)
+val iter_range : ?domains:int -> ?metrics:Metrics.t -> int -> (int -> unit) -> unit

@@ -30,9 +30,15 @@ let all_pairs n =
    across the domain pool; verdicts land in a fixed slot per pair, and
    the builder replays them in lexicographic order, keeping the result
    identical to the sequential sweep. *)
-let graph_of_probe ~n probe =
+let graph_of_probe ?metrics ~n probe =
   let pairs = all_pairs n in
-  let verdicts = Parallel.map_array (fun (s, t) -> probe s t) pairs in
+  let verdicts = Parallel.map_array ?metrics (fun (s, t) -> probe s t) pairs in
+  (* Probes are counted once per sweep, on the submitting domain; the
+     workers never touch the registry. *)
+  (match metrics with
+  | Some m ->
+    Metrics.Counter.add (Metrics.Counter.counter m "refnet_oracle_probes_total") (Array.length pairs)
+  | None -> ());
   let b = Graph.Builder.create n in
   Array.iteri (fun i yes -> if yes then let s, t = pairs.(i) in Graph.Builder.add_edge b s t) verdicts;
   Graph.Builder.build b
@@ -43,7 +49,7 @@ let graph_of_probe ~n probe =
    message array of the gadget's size is ever materialized. *)
 let oracle_view ~size ~id ~neighbors = View.make ~n:size ~id ~neighbors
 
-let square ~(oracle : bool Protocol.t) : Graph.t Protocol.t =
+let square ?metrics (oracle : bool Protocol.t) : Graph.t Protocol.t =
   let local v =
     let n = View.n v in
     let id = View.id v in
@@ -52,7 +58,7 @@ let square ~(oracle : bool Protocol.t) : Graph.t Protocol.t =
     oracle.local (oracle_view ~size:(2 * n) ~id ~neighbors:(View.neighbors v @ [ id + n ]))
   in
   let global ~n msgs =
-    graph_of_probe ~n (fun s t ->
+    graph_of_probe ?metrics ~n (fun s t ->
         let size = 2 * n in
         let feed = ref (Protocol.start oracle.referee ~n:size) in
         for i = 1 to n do
@@ -77,7 +83,7 @@ let read_part = Message.read_framed
 let bundle = Message.bundle
 let unbundle = Message.unbundle
 
-let diameter ~(oracle : bool Protocol.t) : Graph.t Protocol.t =
+let diameter ?metrics (oracle : bool Protocol.t) : Graph.t Protocol.t =
   let local v =
     let n = View.n v in
     let id = View.id v in
@@ -92,9 +98,9 @@ let diameter ~(oracle : bool Protocol.t) : Graph.t Protocol.t =
   in
   let global ~n msgs =
     let size = n + 3 in
-    let parts = Parallel.map_array (unbundle ~count:3) msgs in
+    let parts = Parallel.map_array ?metrics (unbundle ~count:3) msgs in
     let part i j = List.nth parts.(i - 1) j in
-    graph_of_probe ~n (fun s t ->
+    graph_of_probe ?metrics ~n (fun s t ->
         let feed = ref (Protocol.start oracle.referee ~n:size) in
         for i = 1 to n do
           feed :=
@@ -111,7 +117,7 @@ let diameter ~(oracle : bool Protocol.t) : Graph.t Protocol.t =
   in
   { name = "delta-diameter[" ^ oracle.name ^ "]"; local; referee = Protocol.batch global }
 
-let triangle ~(oracle : bool Protocol.t) : Graph.t Protocol.t =
+let triangle ?metrics (oracle : bool Protocol.t) : Graph.t Protocol.t =
   let local v =
     let n = View.n v in
     let id = View.id v in
@@ -123,9 +129,9 @@ let triangle ~(oracle : bool Protocol.t) : Graph.t Protocol.t =
   in
   let global ~n msgs =
     let size = n + 1 in
-    let parts = Parallel.map_array (unbundle ~count:2) msgs in
+    let parts = Parallel.map_array ?metrics (unbundle ~count:2) msgs in
     let part i j = List.nth parts.(i - 1) j in
-    graph_of_probe ~n (fun s t ->
+    graph_of_probe ?metrics ~n (fun s t ->
         let feed = ref (Protocol.start oracle.referee ~n:size) in
         for i = 1 to n do
           feed := Protocol.feed !feed ~id:i (if i = s || i = t then part i 1 else part i 0)

@@ -17,19 +17,25 @@
 
 open Refnet_graph
 
-(** [square ~oracle] (Theorem 1 / Algorithm 1): reconstructs square-free
-    graphs.  Messages are single Γ-messages at size [2n]. *)
-val square : oracle:bool Protocol.t -> Graph.t Protocol.t
+(** Each constructor takes [?metrics]: the returned protocol's referee
+    captures the registry and records one [refnet_oracle_probes_total]
+    increment per simulated gadget pair during its O(n²) probe sweep
+    (plus the {!Parallel} pool timers).  Omitted, the referee runs the
+    uninstrumented path. *)
 
-(** [diameter ~oracle] (Theorem 2 / Algorithm 2): reconstructs arbitrary
-    graphs from a diameter-3 decider.  Messages bundle the three
-    Γ-messages [(m0, ms, mt)], length-prefixed. *)
-val diameter : oracle:bool Protocol.t -> Graph.t Protocol.t
+(** [square ?metrics oracle] (Theorem 1 / Algorithm 1): reconstructs
+    square-free graphs.  Messages are single Γ-messages at size [2n]. *)
+val square : ?metrics:Metrics.t -> bool Protocol.t -> Graph.t Protocol.t
 
-(** [triangle ~oracle] (Theorem 3): reconstructs triangle-free (in the
-    paper, bipartite) graphs from a triangle decider.  Messages bundle
-    two Γ-messages. *)
-val triangle : oracle:bool Protocol.t -> Graph.t Protocol.t
+(** [diameter ?metrics oracle] (Theorem 2 / Algorithm 2): reconstructs
+    arbitrary graphs from a diameter-3 decider.  Messages bundle the
+    three Γ-messages [(m0, ms, mt)], length-prefixed. *)
+val diameter : ?metrics:Metrics.t -> bool Protocol.t -> Graph.t Protocol.t
+
+(** [triangle ?metrics oracle] (Theorem 3): reconstructs triangle-free
+    (in the paper, bipartite) graphs from a triangle decider.  Messages
+    bundle two Γ-messages. *)
+val triangle : ?metrics:Metrics.t -> bool Protocol.t -> Graph.t Protocol.t
 
 (** Reference oracles, correct by construction but deliberately
     non-frugal ([n] bits per node): each node ships its incidence vector

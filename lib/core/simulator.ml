@@ -25,40 +25,69 @@ let emit_node_events trace views msgs =
         (Trace.Node_local { id = i + 1; bits = Message.bits msg; queries = View.audit views.(i) }))
     msgs
 
-let local_phase ?domains ?(trace = Trace.null) (p : 'a Protocol.t) g =
+let query_total (c : View.counts) = c.id_reads + c.n_reads + c.deg_reads + c.neighbor_reads
+
+let observe_local metrics views msgs =
+  match metrics with
+  | None -> ()
+  | Some m ->
+    Metrics.Counter.add (Metrics.Counter.counter m "refnet_messages_total") (Array.length msgs);
+    let bits = Metrics.Histogram.histogram m "refnet_message_bits" in
+    Array.iter (fun msg -> Metrics.Histogram.observe bits (Message.bits msg)) msgs;
+    let queries = Metrics.Histogram.histogram m "refnet_view_queries" in
+    Array.iter (fun v -> Metrics.Histogram.observe queries (query_total (View.audit v))) views
+
+let maybe_time metrics name f =
+  match metrics with Some m -> Metrics.time m name f | None -> f ()
+
+let observe_transcript metrics t =
+  match metrics with
+  | None -> ()
+  | Some m ->
+    Metrics.Counter.incr (Metrics.Counter.counter m "refnet_runs_total");
+    Metrics.Histogram.observe (Metrics.Histogram.histogram m "refnet_run_max_bits") t.max_bits;
+    Metrics.Counter.add (Metrics.Counter.counter m "refnet_run_bits_total") t.total_bits
+
+let local_phase ?domains ?(trace = Trace.null) ?metrics (p : 'a Protocol.t) g =
   (* The model makes this phase embarrassingly parallel: each node's
      message depends only on its view.  The engine is the only place
      views of real nodes are built; messages land in their slot by
      identifier, so the vector — and hence the transcript — is
      bit-identical to a sequential run at any domain count. *)
   let n = Graph.order g in
-  if Trace.is_null trace then
+  if Trace.is_null trace && metrics = None then
     Parallel.init ?domains n (fun i ->
         p.local (View.make ~n ~id:(i + 1) ~neighbors:(Graph.neighbors g (i + 1))))
   else begin
     (* Prebuild the views so their audit tallies survive the parallel
-       section; events are emitted from the submitting domain only,
-       after the batch completes, in identifier order. *)
+       section; events and metrics are recorded from the submitting
+       domain only, after the batch completes, in identifier order. *)
     let views =
       Array.init n (fun i -> View.make ~n ~id:(i + 1) ~neighbors:(Graph.neighbors g (i + 1)))
     in
-    let msgs = Parallel.init ?domains n (fun i -> p.local views.(i)) in
-    emit_node_events trace views msgs;
+    let msgs = Parallel.init ?domains ?metrics n (fun i -> p.local views.(i)) in
+    if not (Trace.is_null trace) then emit_node_events trace views msgs;
+    observe_local metrics views msgs;
     msgs
   end
 
-let run ?domains ?(trace = Trace.null) (p : 'a Protocol.t) g =
+let run ?domains ?(trace = Trace.null) ?metrics (p : 'a Protocol.t) g =
   let n = Graph.order g in
   Trace.emit trace (Trace.Span_begin { label = p.name; n });
-  let msgs = local_phase ?domains ~trace p g in
-  let out = Protocol.run_referee ~trace p.referee ~n msgs in
+  let msgs = maybe_time metrics "refnet_local_phase" (fun () -> local_phase ?domains ~trace ?metrics p g) in
+  let out =
+    maybe_time metrics "refnet_referee_phase" (fun () ->
+        Protocol.run_referee ~trace ?metrics p.referee ~n msgs)
+  in
   let t = transcript_of_messages msgs in
+  observe_transcript metrics t;
   Trace.emit trace
     (Trace.Referee_done { label = p.name; n; max_bits = t.max_bits; total_bits = t.total_bits });
   Trace.emit trace (Trace.Span_end { label = p.name; n });
   (out, t)
 
-let run_faulty ?(faults = Faults.empty) ?domains ?(trace = Trace.null) (p : 'a Protocol.t) g =
+let run_faulty ?(faults = Faults.empty) ?domains ?(trace = Trace.null) ?metrics (p : 'a Protocol.t) g
+    =
   (* Identical to [run] up to and including the local phase; the fault
      plan then rewrites the delivery schedule.  Message {e production}
      is untouched — the transcript keeps measuring what nodes sent, so
@@ -66,18 +95,22 @@ let run_faulty ?(faults = Faults.empty) ?domains ?(trace = Trace.null) (p : 'a P
      event stream) at any domain count. *)
   let n = Graph.order g in
   Trace.emit trace (Trace.Span_begin { label = p.name; n });
-  let msgs = local_phase ?domains ~trace p g in
+  let msgs = maybe_time metrics "refnet_local_phase" (fun () -> local_phase ?domains ~trace ?metrics p g) in
   let deliveries, injected = Faults.apply faults msgs in
+  (match metrics with
+  | Some m when injected <> [] ->
+    Metrics.Counter.add
+      (Metrics.Counter.counter m "refnet_faults_injected_total")
+      (List.length injected)
+  | _ -> ());
   if not (Trace.is_null trace) then
     List.iter (fun (id, fault) -> Trace.emit trace (Trace.Fault_injected { id; fault })) injected;
-  let feed = ref (Protocol.start p.referee ~n) in
-  List.iter
-    (fun (id, msg) ->
-      feed := Protocol.feed !feed ~id msg;
-      Trace.emit trace (Trace.Referee_absorb { id; bits = Message.bits msg }))
-    deliveries;
-  let out = Protocol.finish !feed in
+  let out =
+    maybe_time metrics "refnet_referee_phase" (fun () ->
+        Protocol.feed_deliveries ~trace ?metrics p.referee ~n deliveries)
+  in
   let t = { (transcript_of_messages msgs) with faulted_ids = List.map fst injected } in
+  observe_transcript metrics t;
   Trace.emit trace
     (Trace.Referee_done { label = p.name; n; max_bits = t.max_bits; total_bits = t.total_bits });
   Trace.emit trace (Trace.Span_end { label = p.name; n });
@@ -92,7 +125,7 @@ let shuffle rng a =
     a.(j) <- t
   done
 
-let run_async ?rng ?domains ?(trace = Trace.null) (p : 'a Protocol.t) g =
+let run_async ?rng ?domains ?(trace = Trace.null) ?metrics (p : 'a Protocol.t) g =
   let rng = match rng with Some r -> r | None -> Random.State.make [| 0x5eed |] in
   let n = Graph.order g in
   Trace.emit trace (Trace.Span_begin { label = p.name; n });
@@ -104,26 +137,25 @@ let run_async ?rng ?domains ?(trace = Trace.null) (p : 'a Protocol.t) g =
      order (one message per node, sender identified). *)
   let inbox = Array.make n None in
   let views = Array.make n None in
-  Parallel.iter_range ?domains n (fun i ->
-      let id = order.(i) in
-      let v = View.make ~n ~id ~neighbors:(Graph.neighbors g id) in
-      views.(id - 1) <- Some v;
-      inbox.(id - 1) <- Some (p.local v));
+  maybe_time metrics "refnet_local_phase" (fun () ->
+      Parallel.iter_range ?domains ?metrics n (fun i ->
+          let id = order.(i) in
+          let v = View.make ~n ~id ~neighbors:(Graph.neighbors g id) in
+          views.(id - 1) <- Some v;
+          inbox.(id - 1) <- Some (p.local v)));
   let msgs = Array.map (function Some m -> m | None -> assert false) inbox in
-  if not (Trace.is_null trace) then begin
-    let views = Array.map (function Some v -> v | None -> assert false) views in
-    emit_node_events trace views msgs
-  end;
+  let views = Array.map (function Some v -> v | None -> assert false) views in
+  if not (Trace.is_null trace) then emit_node_events trace views msgs;
+  observe_local metrics views msgs;
   let arrival = Array.init n (fun i -> i + 1) in
   shuffle rng arrival;
-  let feed = ref (Protocol.start p.referee ~n) in
-  Array.iter
-    (fun id ->
-      feed := Protocol.feed !feed ~id msgs.(id - 1);
-      Trace.emit trace (Trace.Referee_absorb { id; bits = Message.bits msgs.(id - 1) }))
-    arrival;
-  let out = Protocol.finish !feed in
+  let deliveries = Array.to_list (Array.map (fun id -> (id, msgs.(id - 1))) arrival) in
+  let out =
+    maybe_time metrics "refnet_referee_phase" (fun () ->
+        Protocol.feed_deliveries ~trace ?metrics p.referee ~n deliveries)
+  in
   let t = transcript_of_messages msgs in
+  observe_transcript metrics t;
   Trace.emit trace
     (Trace.Referee_done { label = p.name; n; max_bits = t.max_bits; total_bits = t.total_bits });
   Trace.emit trace (Trace.Span_end { label = p.name; n });

@@ -9,7 +9,19 @@
     Every entry point takes an optional {!Trace.sink}; the default
     {!Trace.null} costs nothing.  Events are emitted from the calling
     domain only, never from pool workers, so sinks need not be
-    thread-safe. *)
+    thread-safe.
+
+    Every entry point also takes an optional {!Metrics.t} registry.
+    When given, a run records: counter [refnet_runs_total]; counter
+    [refnet_messages_total] and histograms [refnet_message_bits] /
+    [refnet_view_queries] over the local phase; timers
+    [refnet_local_phase] / [refnet_referee_phase] around the two
+    phases (plus the {!Parallel} pool timers); histogram
+    [refnet_run_max_bits] and counter [refnet_run_bits_total] from the
+    transcript; and (under {!run_faulty}) counter
+    [refnet_faults_injected_total].  Like trace events, metrics are
+    recorded from the calling domain only.  When absent, the
+    uninstrumented fast path runs. *)
 
 type transcript = {
   n : int;
@@ -32,7 +44,12 @@ type transcript = {
     live [trace], one [Node_local] event per node is emitted (in
     identifier order, after the parallel section). *)
 val local_phase :
-  ?domains:int -> ?trace:Trace.sink -> 'a Protocol.t -> Refnet_graph.Graph.t -> Message.t array
+  ?domains:int ->
+  ?trace:Trace.sink ->
+  ?metrics:Metrics.t ->
+  'a Protocol.t ->
+  Refnet_graph.Graph.t ->
+  Message.t array
 
 (** [run ?domains ?trace p g] executes both phases; returns the
     referee's output and the transcript.  The referee absorbs messages
@@ -40,7 +57,12 @@ val local_phase :
     [domains] is — parallelism is an execution detail, never observable
     in the model. *)
 val run :
-  ?domains:int -> ?trace:Trace.sink -> 'a Protocol.t -> Refnet_graph.Graph.t -> 'a * transcript
+  ?domains:int ->
+  ?trace:Trace.sink ->
+  ?metrics:Metrics.t ->
+  'a Protocol.t ->
+  Refnet_graph.Graph.t ->
+  'a * transcript
 
 (** [run_faulty ?faults ?domains ?trace p g] is [run] with a
     deterministic fault plan applied between the two phases: nodes
@@ -55,6 +77,7 @@ val run_faulty :
   ?faults:Faults.plan ->
   ?domains:int ->
   ?trace:Trace.sink ->
+  ?metrics:Metrics.t ->
   'a Protocol.t ->
   Refnet_graph.Graph.t ->
   'a * transcript
@@ -69,6 +92,7 @@ val run_async :
   ?rng:Random.State.t ->
   ?domains:int ->
   ?trace:Trace.sink ->
+  ?metrics:Metrics.t ->
   'a Protocol.t ->
   Refnet_graph.Graph.t ->
   'a * transcript

@@ -67,8 +67,23 @@ let jsonl oc =
   Emit
     (fun ev ->
       output_string oc (json_of_event ev);
-      output_char oc '\n')
+      output_char oc '\n';
+      (* Each Referee_done closes a run; flushing there bounds the loss
+         window to the current run even when the process exits through
+         the CLI's diagnostic path (exit 2) without closing the
+         caller-owned channel. *)
+      match ev with Referee_done _ -> flush oc | _ -> ())
 
 let memory () =
   let events = ref [] in
   (Emit (fun ev -> events := ev :: !events), fun () -> List.rev !events)
+
+let balanced_spans events =
+  let rec go stack = function
+    | [] -> stack = []
+    | Span_begin { label; _ } :: rest -> go (label :: stack) rest
+    | Span_end { label; _ } :: rest -> (
+      match stack with l :: tl when String.equal l label -> go tl rest | _ -> false)
+    | _ :: rest -> go stack rest
+  in
+  go [] events

@@ -46,13 +46,25 @@ val emit : sink -> event -> unit
 (** [pretty fmt] renders events human-readably, one line each. *)
 val pretty : Format.formatter -> sink
 
-(** [jsonl oc] writes one JSON object per event per line.  The caller
-    owns the channel (flush/close). *)
+(** [jsonl oc] writes one JSON object per event per line.
+
+    {b Flushing contract.} The sink flushes [oc] after every
+    [Referee_done] event — each completed run is durable on disk even if
+    the process then exits abnormally (the CLI's one-line-diagnostic
+    exit-2 path does not unwind to the channel's closer).  Events of a
+    run still in flight may be lost; the caller owns the channel and
+    remains responsible for the final flush/close on the orderly path. *)
 val jsonl : out_channel -> sink
 
 (** [memory ()] is a sink that records events, and a function returning
-    them in emission order — for tests. *)
+    them in emission order — for tests (pair with {!balanced_spans}). *)
 val memory : unit -> sink * (unit -> event list)
+
+(** [balanced_spans events] checks the span discipline every engine
+    entry point promises: [Span_begin]/[Span_end] pairs nest properly
+    and matching pairs carry the same label, with nothing left open at
+    the end. *)
+val balanced_spans : event list -> bool
 
 val pp_event : Format.formatter -> event -> unit
 

@@ -147,7 +147,7 @@ let test_determinism_reduction_probe () =
      the pool; the rebuilt graph must equal the input regardless. *)
   let r = Random.State.make [| 0xd0; 4 |] in
   let g = Generators.random_tree r 14 in
-  let delta = Core.Reduction.square ~oracle:Core.Reduction.square_oracle in
+  let delta = Core.Reduction.square Core.Reduction.square_oracle in
   List.iter
     (fun d ->
       let out, _ = Core.Simulator.run ~domains:d delta g in

@@ -14,7 +14,7 @@ let test_oracles_correct () =
   Alcotest.(check bool) "P6 diam 5" false (di (Generators.path 6))
 
 let test_delta_square_reconstructs () =
-  let delta = Core.Reduction.square ~oracle:Core.Reduction.square_oracle in
+  let delta = Core.Reduction.square Core.Reduction.square_oracle in
   List.iter
     (fun (name, g) -> Alcotest.check graph name g (fst (Core.Simulator.run delta g)))
     [
@@ -25,7 +25,7 @@ let test_delta_square_reconstructs () =
     ]
 
 let test_delta_diameter_reconstructs () =
-  let delta = Core.Reduction.diameter ~oracle:Core.Reduction.diameter3_oracle in
+  let delta = Core.Reduction.diameter Core.Reduction.diameter3_oracle in
   List.iter
     (fun (name, g) -> Alcotest.check graph name g (fst (Core.Simulator.run delta g)))
     [
@@ -36,7 +36,7 @@ let test_delta_diameter_reconstructs () =
     ]
 
 let test_delta_triangle_reconstructs () =
-  let delta = Core.Reduction.triangle ~oracle:Core.Reduction.triangle_oracle in
+  let delta = Core.Reduction.triangle Core.Reduction.triangle_oracle in
   List.iter
     (fun (name, g) -> Alcotest.check graph name g (fst (Core.Simulator.run delta g)))
     [
@@ -52,13 +52,13 @@ let test_blowup_accounting () =
   let g = Generators.random_tree (Random.State.make [| 6 |]) n in
   let oracle_bits m = m in
   let _, t_sq =
-    Core.Simulator.run (Core.Reduction.square ~oracle:Core.Reduction.square_oracle) g
+    Core.Simulator.run (Core.Reduction.square Core.Reduction.square_oracle) g
   in
   Alcotest.(check int) "square: exactly the 2n oracle message"
     (Core.Bounds.reduction_blowup_square ~bits:oracle_bits n)
     t_sq.Core.Simulator.max_bits;
   let _, t_di =
-    Core.Simulator.run (Core.Reduction.diameter ~oracle:Core.Reduction.diameter3_oracle) g
+    Core.Simulator.run (Core.Reduction.diameter Core.Reduction.diameter3_oracle) g
   in
   Alcotest.(check bool) "diameter: >= 3 oracle messages" true
     (t_di.Core.Simulator.max_bits >= Core.Bounds.reduction_blowup_diameter ~bits:oracle_bits n);
@@ -67,7 +67,7 @@ let test_blowup_accounting () =
     <= Core.Bounds.reduction_blowup_diameter ~bits:oracle_bits n
        + (3 * ((2 * Core.Bounds.id_bits (n + 3)) + 1)));
   let _, t_tr =
-    Core.Simulator.run (Core.Reduction.triangle ~oracle:Core.Reduction.triangle_oracle) g
+    Core.Simulator.run (Core.Reduction.triangle Core.Reduction.triangle_oracle) g
   in
   Alcotest.(check bool) "triangle: >= 2 oracle messages" true
     (t_tr.Core.Simulator.max_bits >= Core.Bounds.reduction_blowup_triangle ~bits:oracle_bits n)
@@ -82,7 +82,7 @@ let test_delta_square_with_frugal_oracle_on_restricted_family () =
          (function Some g -> Cycles.has_square g | None -> false)
          (Core.Bounded_degree.reconstruct ~max_degree:4))
   in
-  let delta = Core.Reduction.square ~oracle:frugal_oracle in
+  let delta = Core.Reduction.square frugal_oracle in
   let g = Generators.path 8 in
   Alcotest.check graph "path via frugal oracle" g (fst (Core.Simulator.run delta g))
 
@@ -91,7 +91,7 @@ let prop_delta_square_on_trees =
     QCheck2.Gen.(pair (int_range 2 10) int)
     (fun (n, seed) ->
       let g = Generators.random_tree (Random.State.make [| seed; n |]) n in
-      let delta = Core.Reduction.square ~oracle:Core.Reduction.square_oracle in
+      let delta = Core.Reduction.square Core.Reduction.square_oracle in
       Graph.equal g (fst (Core.Simulator.run delta g)))
 
 let prop_delta_diameter_on_gnp =
@@ -99,7 +99,7 @@ let prop_delta_diameter_on_gnp =
     QCheck2.Gen.(pair (int_range 2 8) int)
     (fun (n, seed) ->
       let g = Generators.gnp (Random.State.make [| seed; n |]) n 0.5 in
-      let delta = Core.Reduction.diameter ~oracle:Core.Reduction.diameter3_oracle in
+      let delta = Core.Reduction.diameter Core.Reduction.diameter3_oracle in
       Graph.equal g (fst (Core.Simulator.run delta g)))
 
 let prop_delta_triangle_on_bipartite =
@@ -109,7 +109,7 @@ let prop_delta_triangle_on_bipartite =
       let g =
         Generators.random_bipartite (Random.State.make [| seed; half |]) ~left:half ~right:half 0.6
       in
-      let delta = Core.Reduction.triangle ~oracle:Core.Reduction.triangle_oracle in
+      let delta = Core.Reduction.triangle Core.Reduction.triangle_oracle in
       Graph.equal g (fst (Core.Simulator.run delta g)))
 
 let () =

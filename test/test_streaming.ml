@@ -83,7 +83,7 @@ let test_reduction_order_insensitive () =
      identifier, so arrival order must still be invisible. *)
   let g = Generators.path 6 in
   check_order_insensitive "delta-square"
-    (Core.Reduction.square ~oracle:Core.Reduction.square_oracle)
+    (Core.Reduction.square Core.Reduction.square_oracle)
     Graph.equal g;
   check_order_insensitive "square-oracle" Core.Reduction.square_oracle ( = ) g
 
@@ -267,6 +267,45 @@ let test_trace_json_escaping () =
   Alcotest.(check string) "escaped"
     "{\"event\":\"span_begin\",\"label\":\"quo\\\"te\\\\back\",\"n\":3}" s
 
+let test_trace_balanced_spans () =
+  (* Every traced entry point must emit properly nested, label-matched
+     Span_begin/Span_end pairs — including the fault-injection paths. *)
+  let g = Generators.gnp (Random.State.make [| 77 |]) 12 0.3 in
+  let faults = Core.Faults.of_list [ (1, Core.Faults.Crash); (2, Core.Faults.Duplicate) ] in
+  let check name run =
+    let sink, events = Core.Trace.memory () in
+    run sink;
+    let evs = events () in
+    Alcotest.(check bool) (name ^ ": spans balance") true (Core.Trace.balanced_spans evs);
+    Alcotest.(check bool) (name ^ ": spans present") true
+      (List.exists (function Core.Trace.Span_begin _ -> true | _ -> false) evs)
+  in
+  check "run" (fun trace -> ignore (Core.Simulator.run ~trace Core.Forest_protocol.recognize g));
+  check "run_faulty" (fun trace ->
+      ignore (Core.Simulator.run_faulty ~faults ~trace Core.Forest_protocol.hardened g));
+  check "run_async" (fun trace ->
+      ignore
+        (Core.Simulator.run_async ~rng:(Random.State.make [| 7 |]) ~trace
+           Core.Forest_protocol.recognize g));
+  check "coalition run" (fun trace ->
+      ignore
+        (Core.Coalition.run ~trace Core.Connectivity_parts.decide g
+           ~parts:(Core.Coalition.partition_by_ranges ~n:12 ~parts:3)));
+  check "coalition run_faulty" (fun trace ->
+      ignore
+        (Core.Coalition.run_faulty ~faults ~trace Core.Connectivity_parts.hardened g
+           ~parts:(Core.Coalition.partition_by_ranges ~n:12 ~parts:3)));
+  (* The checker itself rejects mismatched and dangling spans. *)
+  let b l = Core.Trace.Span_begin { label = l; n = 1 }
+  and e l = Core.Trace.Span_end { label = l; n = 1 } in
+  Alcotest.(check bool) "nested ok" true
+    (Core.Trace.balanced_spans [ b "a"; b "b"; e "b"; e "a" ]);
+  Alcotest.(check bool) "label mismatch" false (Core.Trace.balanced_spans [ b "a"; e "b" ]);
+  Alcotest.(check bool) "dangling begin" false (Core.Trace.balanced_spans [ b "a" ]);
+  Alcotest.(check bool) "stray end" false (Core.Trace.balanced_spans [ e "a" ]);
+  Alcotest.(check bool) "crossed pairs" false
+    (Core.Trace.balanced_spans [ b "a"; b "b"; e "a"; e "b" ])
+
 let test_trace_jsonl_lines () =
   let path = Filename.temp_file "refnet_trace" ".jsonl" in
   Fun.protect
@@ -320,6 +359,8 @@ let () =
             test_trace_async_absorbs_every_id_once;
           Alcotest.test_case "null sink" `Quick test_trace_untraced_is_silent;
           Alcotest.test_case "json escaping" `Quick test_trace_json_escaping;
+          Alcotest.test_case "balanced spans on every entry point" `Quick
+            test_trace_balanced_spans;
           Alcotest.test_case "jsonl lines" `Quick test_trace_jsonl_lines;
         ] );
       ( "framing",
