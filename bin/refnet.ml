@@ -549,6 +549,41 @@ let search_cmd =
     (Cmd.info "search" ~doc:"Exhaustively decide whether ANY b-bit one-round protocol exists")
     Term.(const search $ n $ bits $ goal)
 
+(* ---------- lint ---------- *)
+
+(* Thin wrapper over lib/lint — the same engine as the standalone
+   refnet_lint.exe, reachable from the shipped binary. *)
+let lint paths json =
+  let paths = match paths with [] -> [ "lib"; "bin"; "bench"; "examples" ] | ps -> ps in
+  let files, findings = Lint.Driver.lint_paths paths in
+  if json then print_endline (Lint.Finding.report_json findings)
+  else begin
+    List.iter (fun f -> print_endline (Lint.Finding.to_string f)) findings;
+    Printf.printf "refnet lint: %d finding%s in %d scanned file%s\n" (List.length findings)
+      (if List.length findings = 1 then "" else "s")
+      (List.length files)
+      (if List.length files = 1 then "" else "s")
+  end;
+  exit (if findings = [] then 0 else 1)
+
+let lint_cmd =
+  let paths =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:"Files or directories to lint (default: lib bin bench examples).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the findings as a canonical JSON report.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically enforce the model's invariants (view boundary, determinism, referee \
+          totality, span grammar, bit accounting); exit 1 on any finding")
+    Term.(const lint $ paths $ json)
+
 (* ---------- stats ---------- *)
 
 let stats path =
@@ -595,7 +630,7 @@ let () =
       (Cmd.group info
          [
            generate_cmd; reconstruct_cmd; recognize_cmd; gadget_cmd; count_cmd; sizes_cmd; stats_cmd; search_cmd;
-           connectivity_cmd; faults_cmd; sweep_cmd; report_cmd;
+           connectivity_cmd; faults_cmd; sweep_cmd; report_cmd; lint_cmd;
          ])
   with
   | code -> exit code

@@ -1,0 +1,34 @@
+(* refnet-lint — the standalone entry point for the repo's AST-level
+   invariant checker (lib/lint).  `refnet lint` exposes the same linter
+   from the main CLI; this thin binary is what CI gates on.
+
+     refnet_lint [--json] PATH...
+
+   PATHs are .ml files or directories (recursed, _build and
+   dot-directories skipped; defaults to lib bin bench examples).  Exits
+   1 when any finding survives policy and suppressions, 0 on a clean
+   tree. *)
+
+let usage = "refnet-lint [--json] PATH...  (default paths: lib bin bench examples)"
+
+let () =
+  let json = ref false in
+  let paths = ref [] in
+  Arg.parse
+    [ ("--json", Arg.Set json, " emit the findings as a canonical JSON report on stdout") ]
+    (fun p -> paths := p :: !paths)
+    usage;
+  let paths = match List.rev !paths with [] -> [ "lib"; "bin"; "bench"; "examples" ] | ps -> ps in
+  let files, findings = Lint.Driver.lint_paths paths in
+  if !json then print_endline (Lint.Finding.report_json findings)
+  else begin
+    List.iter (fun f -> print_endline (Lint.Finding.to_string f)) findings;
+    if findings = [] then
+      Printf.printf "refnet-lint: clean (%d files)\n" (List.length files)
+    else
+      Printf.printf "refnet-lint: %d finding%s in %d scanned file%s\n" (List.length findings)
+        (if List.length findings = 1 then "" else "s")
+        (List.length files)
+        (if List.length files = 1 then "" else "s")
+  end;
+  exit (if findings = [] then 0 else 1)

@@ -33,7 +33,7 @@ let () =
 
   (* Link-failure drill: drop one link and rerun — the base station sees
      the partition immediately. *)
-  let victim = List.hd (Graph.edges field) in
+  let victim = List.hd (Graph.edges field) in (* lint: allow referee-totality -- a 500-sensor forest with 8 trees always has links *)
   let n_edges = List.filter (fun e -> e <> victim) (Graph.edges field) in
   let degraded = Graph.of_edges n n_edges in
   (match fst (Core.Simulator.run Core.Forest_protocol.reconstruct degraded) with
@@ -52,7 +52,7 @@ let () =
         match List.find_opt (fun y -> not (Graph.has_edge field x y)) rest with
         | Some y -> (x, y)
         | None -> pick rest)
-      | [] -> failwith "no non-adjacent pair in a tree of size >= 3"
+      | [] -> failwith "no non-adjacent pair in a tree of size >= 3" (* lint: allow referee-totality -- unreachable: a tree on >= 3 vertices is never complete *)
     in
     pick tree
   in

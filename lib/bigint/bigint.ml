@@ -18,7 +18,7 @@ let to_int_opt n =
 let to_int n =
   match to_int_opt n with
   | Some v -> v
-  | None -> failwith "Bigint.to_int: overflow"
+  | None -> failwith "Bigint.to_int: overflow" (* lint: allow referee-totality -- documented contract; use to_int_opt for the total variant *)
 
 let of_nat m = mk 1 m
 

@@ -43,7 +43,7 @@ let to_int_opt n =
 let to_int n =
   match to_int_opt n with
   | Some v -> v
-  | None -> failwith "Nat.to_int: overflow"
+  | None -> failwith "Nat.to_int: overflow" (* lint: allow referee-totality -- documented contract; use to_int_opt for the total variant *)
 
 let equal (a : t) (b : t) = a = b
 

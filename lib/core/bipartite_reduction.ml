@@ -32,12 +32,17 @@ let connectivity ~(oracle : bool Protocol.t) ~left ~right : bool Protocol.t =
     let parse i =
       let r = Message.reader msgs.(i - 1) in
       let deg = Refnet_bits.Codes.read_nonneg r in
-      let parts = List.init 3 (fun _ -> Message.read_framed r) in
-      (deg, parts)
+      (* An array, not a list: [part] is read per membership probe.
+         Framed parts must be decoded left to right, so spell the reads
+         out rather than lean on Array.init's traversal order. *)
+      let m0 = Message.read_framed r in
+      let ms = Message.read_framed r in
+      let mt = Message.read_framed r in
+      (deg, [| m0; ms; mt |])
     in
     let parsed = Parallel.init n (fun i -> parse (i + 1)) in
     let deg i = fst parsed.(i - 1) in
-    let part i j = List.nth (snd parsed.(i - 1)) j in
+    let part i j = (snd parsed.(i - 1)).(j) in
     (* Same-component query through the bipartiteness oracle: feed its
        streaming referee directly, fabricating the two gadget vertices'
        messages on the fly. *)

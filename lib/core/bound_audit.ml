@@ -108,6 +108,113 @@ let budget_of_label label =
             Some { b_shape = Log_sq; c_max = 256.0; n_min = 8 }
           else None))
 
+(* ---------- grammar classification ---------- *)
+
+type label_class = Budgeted of budget | Exempt | Malformed of string
+
+let strip_suffix ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  if ls >= lx && String.sub s (ls - lx) lx = suffix then Some (String.sub s 0 (ls - lx))
+  else None
+
+(* Validates the stem (decorations already peeled): either it belongs to
+   one of the budgeted families above and parses exactly, or it is
+   outside every budgeted family (no theorem to audit).  [Ok true] means
+   budgeted-family stem, [Ok false] means foreign, [Error] means a
+   near-miss spelling that would silently escape the audit. *)
+let check_stem stem =
+  if stem = "forest-reconstruct" || stem = "forest-recognize" || stem = "full-information" then
+    Ok true
+  else
+    match prefixed ~prefix:"generalized-degeneracy-" stem with
+    | Some rest -> (
+      match leading_int rest with
+      | Some (_, "-reconstruct") -> Ok true
+      | _ -> Error "must read generalized-degeneracy-<k>-reconstruct")
+    | None -> (
+      match prefixed ~prefix:"degeneracy-" stem with
+      | Some rest -> (
+        match leading_int rest with
+        | Some (_, "-reconstruct") | Some (_, "-reconstruct-compact") -> Ok true
+        | _ -> Error "must read degeneracy-<k>-reconstruct[-compact]")
+      | None -> (
+        match prefixed ~prefix:"bounded-degree-" stem with
+        | Some rest -> (
+          match leading_int rest with
+          | Some (_, "") -> Ok true
+          | _ -> Error "must read bounded-degree-<d>")
+        | None -> (
+          match prefixed ~prefix:"coalition-connectivity" stem with
+          | Some "" -> Ok true
+          | Some _ -> Error "coalition-connectivity takes only the [parts=<k>] decoration"
+          | None -> (
+            match prefixed ~prefix:"sketch-connectivity" stem with
+            | Some "" -> Ok true
+            | Some rest -> (
+              match prefixed ~prefix:"(seed=" rest with
+              | Some r -> (
+                match leading_int r with
+                | Some (_, ")") -> Ok true
+                | _ -> Error "sketch-connectivity seed must read (seed=<n>)")
+              | None -> Error "sketch-connectivity takes only the (seed=<n>) decoration")
+            | None -> (
+              match prefixed ~prefix:"forest-" stem with
+              | Some _ -> Error "unknown forest- label (forest-reconstruct / forest-recognize)"
+              | None -> Ok false)))))
+
+let classify_label label =
+  if label = "" then Malformed "empty label"
+  else if String.exists (fun c -> Char.code c < 0x20) label then
+    Malformed "label contains control characters"
+  else begin
+    (* Peel the coalition decoration first — {!Coalition.labelled}
+       appends it last, outside any +sealed/+hardened suffix. *)
+    let parts_error = ref None in
+    let parts, stem0 =
+      match String.index_opt label '[' with
+      | Some i when String.length label - i > 7 && String.sub label i 7 = "[parts=" -> (
+        let inner = String.sub label (i + 7) (String.length label - i - 7) in
+        match leading_int inner with
+        | Some (k, "]") when k >= 1 -> (Some k, String.sub label 0 i)
+        | _ ->
+          parts_error := Some "bad [parts=<k>] decoration";
+          (None, label))
+      | _ -> (None, label)
+    in
+    let rec peel stem decorated =
+      match strip_suffix ~suffix:"+hardened" stem with
+      | Some s -> peel s true
+      | None -> (
+        match strip_suffix ~suffix:"+sealed" stem with
+        | Some s -> peel s true
+        | None -> (stem, decorated))
+    in
+    let stem, decorated = peel stem0 false in
+    match !parts_error with
+    | Some msg -> Malformed msg
+    | None -> (
+      if String.contains stem '+' then Malformed "unknown +decoration (expected +hardened or +sealed)"
+      else
+        match check_stem stem with
+        | Error msg -> Malformed msg
+        | Ok false -> Exempt (* foreign families have no theorem to audit *)
+        | Ok true -> (
+          match parts with
+          | Some _ when stem <> "coalition-connectivity" ->
+            Malformed "only coalition-connectivity carries [parts=<k>]"
+          | _ ->
+            if decorated then Exempt (* hardened/sealed layouts opt out of the audit by design *)
+            else
+              let canonical =
+                match parts with
+                | Some k -> Printf.sprintf "%s[parts=%d]" stem k
+                | None -> stem
+              in
+              (match budget_of_label canonical with
+              | Some b -> Budgeted b
+              | None -> Exempt (* bare coalition-connectivity: parts arrive at run time *))))
+  end
+
 (* ---------- auditing ---------- *)
 
 type observation = { o_n : int; o_max_bits : int }

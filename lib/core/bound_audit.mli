@@ -47,6 +47,28 @@ type budget = {
     deliberately non-frugal, unknown labels). *)
 val budget_of_label : string -> budget option
 
+(** Grammar-level classification of a span label.  [budget_of_label]
+    answers "does this label carry a budget?"; [classify_label]
+    additionally distinguishes labels that are {e deliberately}
+    unbudgeted from near-miss spellings that would silently escape the
+    audit — the property refnet-lint's span-grammar rule enforces on
+    label literals at build time. *)
+type label_class =
+  | Budgeted of budget
+      (** parses inside a budgeted family; round-trips: [classify_label l
+          = Budgeted b] iff [budget_of_label l = Some b] *)
+  | Exempt
+      (** grammatically fine but unaudited by design: [+hardened] /
+          [+sealed] layouts, bare ["coalition-connectivity"] (the
+          [[parts=k]] decoration arrives at run time), and labels outside
+          every budgeted family (reductions, oracles, demo protocols) *)
+  | Malformed of string
+      (** inside a budgeted family but fails its grammar (typo'd
+          decoration, missing [k], unknown [forest-] variant...) — the
+          label would silently skip its theorem's audit *)
+
+val classify_label : string -> label_class
+
 type observation = { o_n : int; o_max_bits : int }
 
 type verdict = {

@@ -98,8 +98,13 @@ let diameter ?metrics (oracle : bool Protocol.t) : Graph.t Protocol.t =
   in
   let global ~n msgs =
     let size = n + 3 in
-    let parts = Parallel.map_array ?metrics (unbundle ~count:3) msgs in
-    let part i j = List.nth parts.(i - 1) j in
+    (* Parts are materialized as arrays once: [part] sits inside the
+       O(n^2)-probe sweep below, where a per-lookup list walk compounds
+       into quadratic referee work. *)
+    let parts =
+      Parallel.map_array ?metrics (fun m -> Array.of_list (unbundle ~count:3 m)) msgs
+    in
+    let part i j = parts.(i - 1).(j) in
     graph_of_probe ?metrics ~n (fun s t ->
         let feed = ref (Protocol.start oracle.referee ~n:size) in
         for i = 1 to n do
@@ -129,8 +134,10 @@ let triangle ?metrics (oracle : bool Protocol.t) : Graph.t Protocol.t =
   in
   let global ~n msgs =
     let size = n + 1 in
-    let parts = Parallel.map_array ?metrics (unbundle ~count:2) msgs in
-    let part i j = List.nth parts.(i - 1) j in
+    let parts =
+      Parallel.map_array ?metrics (fun m -> Array.of_list (unbundle ~count:2 m)) msgs
+    in
+    let part i j = parts.(i - 1).(j) in
     graph_of_probe ?metrics ~n (fun s t ->
         let feed = ref (Protocol.start oracle.referee ~n:size) in
         for i = 1 to n do

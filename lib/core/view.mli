@@ -11,10 +11,13 @@
     Views are cheap to construct and are built in exactly two kinds of
     places: the execution engine ({!Simulator}, {!Coalition},
     {!Multi_round}) for real nodes, and referee-side oracle simulations
-    ({!Reduction}, {!Bipartite_reduction}) for fictitious gadget
-    vertices — the paper's requirement that local functions be evaluable
-    at {e any} pair [(i, N)], not only pairs arising from an input
-    graph.
+    ({!Reduction}, {!Bipartite_reduction}, {!Fooling}) for fictitious
+    gadget vertices — the paper's requirement that local functions be
+    evaluable at {e any} pair [(i, N)], not only pairs arising from an
+    input graph.  The [view-boundary] lint rule enforces this list
+    mechanically: [refnet-lint] flags any [View.make] outside these
+    modules (the allowlist is [Lint.Policy.view_builders]) and any
+    [Graph.*] access inside a protocol [local] function.
 
     Accessor calls are tallied per view (see {!audit}); the tally is
     invisible to the local function itself, so purity — same view

@@ -46,7 +46,7 @@ let find_square g =
            | a0 :: b0 :: _ ->
              found := Some (u, a0 + 1, v, b0 + 1);
              raise Exit
-           | _ -> assert false
+           | _ -> assert false (* lint: allow referee-totality -- popcount >= 2 guarantees two set bits *)
          end
        done
      done

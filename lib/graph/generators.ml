@@ -292,11 +292,15 @@ let random_connected rng n p =
   match Connectivity.component_members g with
   | [] | [ _ ] -> g
   | first :: rest ->
+    (* Arrays for O(1) member picks; components are non-empty by
+       construction, so plain indexing is total here. *)
+    let first = Array.of_list first in
     let patch =
       List.map
         (fun comp ->
-          let a = List.nth first (Random.State.int rng (List.length first)) in
-          let bv = List.nth comp (Random.State.int rng (List.length comp)) in
+          let comp = Array.of_list comp in
+          let a = first.(Random.State.int rng (Array.length first)) in
+          let bv = comp.(Random.State.int rng (Array.length comp)) in
           (a, bv))
         rest
     in

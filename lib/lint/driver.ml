@@ -1,0 +1,114 @@
+let normalize path =
+  let path = String.map (fun c -> if c = '\\' then '/' else c) path in
+  if String.length path > 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+(* ---------- suppressions ---------- *)
+
+(* Built by concatenation so this very literal does not register as a
+   (malformed) suppression when the linter scans its own source. *)
+let marker = "(* lint:" ^ " allow "
+
+let find_sub s sub from =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = if i + lb > ls then None else if String.sub s i lb = sub then Some i else go (i + 1) in
+  go from
+
+(* Scans raw source lines for suppression comments.  Returns the set of
+   [(line, rule)] pairs covered and any findings for comments naming an
+   unknown rule. *)
+let scan_suppressions ~file source =
+  let lines = String.split_on_char '\n' source in
+  let covered = Hashtbl.create 8 in
+  let errors = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match find_sub line marker 0 with
+      | None -> ()
+      | Some at ->
+        let rest = String.sub line (at + String.length marker) (String.length line - at - String.length marker) in
+        let stop = ref 0 in
+        while
+          !stop < String.length rest
+          && (match rest.[!stop] with 'a' .. 'z' | '-' -> true | _ -> false)
+        do
+          incr stop
+        done;
+        let name = String.sub rest 0 !stop in
+        (match Finding.rule_of_name name with
+        | Some rule ->
+          Hashtbl.replace covered (lineno, rule) ();
+          (* A comment alone on its line covers the line below. *)
+          if String.trim (String.sub line 0 at) = "" then Hashtbl.replace covered (lineno + 1, rule) ()
+        | None ->
+          errors :=
+            {
+              Finding.rule = Finding.Parse_error;
+              file;
+              line = lineno;
+              col = at;
+              message = Printf.sprintf "suppression names unknown lint rule %S" name;
+            }
+            :: !errors))
+    lines;
+  (covered, List.rev !errors)
+
+(* ---------- parsing ---------- *)
+
+let parse_error_finding ~file ?(line = 1) ?(col = 0) message =
+  { Finding.rule = Finding.Parse_error; file; line; col; message }
+
+let finding_of_loc ~file (loc : Location.t) message =
+  let p = loc.Location.loc_start in
+  parse_error_finding ~file ~line:(max 1 p.pos_lnum) ~col:(max 0 (p.pos_cnum - p.pos_bol)) message
+
+let parse ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | ast -> Ok ast
+  | exception Syntaxerr.Error err ->
+    Error (finding_of_loc ~file (Syntaxerr.location_of_error err) "syntax error")
+  | exception Lexer.Error (_, loc) -> Error (finding_of_loc ~file loc "lexer error")
+  | exception exn ->
+    Error (parse_error_finding ~file (Printf.sprintf "parse failed: %s" (Printexc.to_string exn)))
+
+(* ---------- pipeline ---------- *)
+
+let lint_source ~file source =
+  let file = normalize file in
+  match parse ~file source with
+  | Error finding -> [ finding ]
+  | Ok ast ->
+    let covered, comment_errors = scan_suppressions ~file source in
+    let raw = Rules.check ~file ast in
+    let kept = List.filter (fun f -> not (Hashtbl.mem covered (f.Finding.line, f.Finding.rule))) raw in
+    List.sort Finding.compare (comment_errors @ kept)
+
+let lint_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | source -> lint_source ~file:path source
+  | exception Sys_error msg ->
+    [ parse_error_finding ~file:(normalize path) (Printf.sprintf "cannot read file: %s" msg) ]
+
+let rec collect acc path =
+  if Sys.file_exists path && Sys.is_directory path then
+    Array.to_list (Sys.readdir path)
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if entry = "_build" || (String.length entry > 0 && entry.[0] = '.') then acc
+           else collect acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let collect_files paths =
+  List.sort String.compare (List.fold_left collect [] paths)
+
+let lint_paths paths =
+  let files = collect_files paths in
+  let findings = List.concat_map lint_file files in
+  (files, List.sort Finding.compare findings)

@@ -1,0 +1,28 @@
+(** The linting pipeline: parse, run {!Rules}, apply per-line
+    suppressions, sort.
+
+    Suppression syntax — one rule per comment, reason recommended:
+    {[ expr (* lint: allow referee-totality -- slots filled above *) ]}
+    The comment suppresses that rule's findings on its own line; a
+    comment alone on a line also covers the line below it.  Naming an
+    unknown rule is itself a [parse-error] finding, so suppressions
+    cannot rot silently. *)
+
+(** [lint_source ~file source] lints one implementation given as a
+    string.  A source that does not parse yields a single [parse-error]
+    finding. *)
+val lint_source : file:string -> string -> Finding.t list
+
+(** [lint_file path] reads and lints [path]; an unreadable file is a
+    [parse-error] finding. *)
+val lint_file : string -> Finding.t list
+
+(** [collect_files paths] expands files and directories into the sorted
+    list of [.ml] files to lint, recursing into directories and skipping
+    [_build] and dot-directories.  [.mli] files are not linted: every
+    rule concerns implementation behaviour. *)
+val collect_files : string list -> string list
+
+(** [lint_paths paths] is [collect_files] + [lint_file] over the lot:
+    the scanned files and all findings, sorted. *)
+val lint_paths : string list -> string list * Finding.t list

@@ -1,0 +1,61 @@
+type rule =
+  | View_boundary
+  | Determinism
+  | Referee_totality
+  | Span_grammar
+  | Bit_accounting
+  | Parse_error
+
+let all_rules =
+  [ View_boundary; Determinism; Referee_totality; Span_grammar; Bit_accounting; Parse_error ]
+
+let rule_name = function
+  | View_boundary -> "view-boundary"
+  | Determinism -> "determinism"
+  | Referee_totality -> "referee-totality"
+  | Span_grammar -> "span-grammar"
+  | Bit_accounting -> "bit-accounting"
+  | Parse_error -> "parse-error"
+
+let rule_of_name name = List.find_opt (fun r -> rule_name r = name) all_rules
+
+type t = { rule : rule; file : string; line : int; col : int; message : string }
+
+let compare a b =
+  Stdlib.compare
+    (a.file, a.line, a.col, rule_name a.rule, a.message)
+    (b.file, b.line, b.col, rule_name b.rule, b.message)
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col (rule_name f.rule) f.message
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf {|{"col":%d,"file":%s,"line":%d,"message":%s,"rule":%s}|} f.col
+    (json_string f.file) f.line (json_string f.message)
+    (json_string (rule_name f.rule))
+
+let report_json findings =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\"findings\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (to_json f))
+    findings;
+  Buffer.add_string b "],\"version\":1}";
+  Buffer.contents b

@@ -1,0 +1,61 @@
+(** Lint findings: one invariant violation at one source location.
+
+    Every rule is a named, documented repo invariant (see DESIGN.md §11
+    for the catalogue); findings render either as classic
+    [file:line:col: [rule] message] text lines or as a canonical JSON
+    report whose schema is frozen by test_lint. *)
+
+type rule =
+  | View_boundary
+      (** Definition 1: locals read a {!Core.View.t} and nothing else;
+          [View.make] only in the engine/reduction modules of
+          {!Lint.Policy.view_builders}. *)
+  | Determinism
+      (** transcripts must be bit-identical at any domain-pool width: no
+          global PRNG, no wall clock outside Metrics, no raw
+          [Domain.spawn] outside Parallel. *)
+  | Referee_totality
+      (** hardened referees must be total: no [failwith], [assert false]
+          or partial stdlib ([List.hd], [List.nth], [Option.get],
+          [Array.unsafe_get]) without a justified suppression. *)
+  | Span_grammar
+      (** span-label literals must classify cleanly under
+          {!Core.Bound_audit.classify_label} — a near-miss spelling
+          silently escapes the theorem audit. *)
+  | Bit_accounting
+      (** message bytes are constructed via [Message] / [lib/bits] only;
+          raw [Bytes] / [Buffer] use is confined to the sanctioned byte
+          layers of {!Lint.Policy.bytes_ok}. *)
+  | Parse_error
+      (** the file does not parse (or a suppression comment names an
+          unknown rule) — reported as a finding, never as a crash. *)
+
+val all_rules : rule list
+
+(** [rule_name r] is the kebab-case name used in reports and in
+    [(* lint: allow <rule> *)] suppressions. *)
+val rule_name : rule -> string
+
+val rule_of_name : string -> rule option
+
+type t = {
+  rule : rule;
+  file : string;  (** normalized to '/' separators, as scanned *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler diagnostics *)
+  message : string;
+}
+
+(** Total order: file, line, col, rule name, message. *)
+val compare : t -> t -> int
+
+(** [to_string f] is ["file:line:col: [rule] message"]. *)
+val to_string : t -> string
+
+(** [to_json f] is one canonical JSON object (sorted keys, no
+    whitespace). *)
+val to_json : t -> string
+
+(** [report_json findings] is the full report document:
+    [{"findings":[...],"version":1}]. *)
+val report_json : t list -> string

@@ -1,0 +1,63 @@
+(* Allowlists are deny-by-default: a module added tomorrow is subject
+   to every rule until it is listed here, with its reason, or carries a
+   per-line suppression.  Keep each entry justified — the reviewer of a
+   policy change is reviewing an information-flow exception. *)
+
+let has_substring s sub =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+  go 0
+
+let matches path entries =
+  let path = "/" ^ path in
+  List.exists
+    (fun entry ->
+      if String.length entry > 0 && entry.[String.length entry - 1] = '/' then
+        has_substring path ("/" ^ entry)
+      else String.ends_with ~suffix:("/" ^ entry) path)
+    entries
+
+(* View.t constructors (Definition 1's boundary): the engine builds real
+   nodes' views, the reductions and the fooling-set harness evaluate
+   locals on fictitious views — exactly the list in view.mli. *)
+let view_builders =
+  [
+    "lib/core/simulator.ml" (* engine: one view per real node *);
+    "lib/core/coalition.ml" (* engine: coalition runs *);
+    "lib/core/multi_round.ml" (* engine: per-round views *);
+    "lib/core/reduction.ml" (* referee-side gadget-vertex probes *);
+    "lib/core/bipartite_reduction.ml" (* referee-side gadget-vertex probes *);
+    "lib/core/fooling.ml" (* lower-bound harness: evaluates locals on candidate views *);
+    "lib/core/view.ml" (* the constructor itself *);
+  ]
+
+(* Wall-clock reads: Metrics owns the clock (injected, so tests can fix
+   it); the bench harness stamps its own JSON output. *)
+let clock_ok = [ "lib/core/metrics.ml"; "bench/main.ml" ]
+
+(* Domain.spawn: the deterministic domain pool is the only place new
+   domains may be born — everything else goes through Parallel. *)
+let spawn_ok = [ "lib/core/parallel.ml" ]
+
+(* bench/main.ml's failwith calls are bench assertions: a violated
+   invariant must abort the campaign, loudly.  Nothing in bench runs
+   inside a referee. *)
+let totality_exempt = [ "bench/main.ml" ]
+
+(* Raw Bytes/Buffer: the byte layers themselves, plus the
+   string-rendering modules (JSON/graph6 codecs, trace sinks).  Protocol
+   modules never appear here — their bits go through Message. *)
+let bytes_ok =
+  [
+    "lib/bits/" (* the sanctioned bit layer *);
+    "lib/bigint/" (* limb storage for Nat *);
+    "lib/algebra/power_sum.ml" (* memo-table scratch *);
+    "lib/graph/gio.ml" (* graph6 / edge-list codecs *);
+    "lib/graph/treewidth.ml" (* bitset DP tables *);
+    "lib/core/message.ml" (* the message layer itself *);
+    "lib/core/trace.ml" (* JSONL rendering *);
+    "lib/core/report.ml" (* JSON parsing/rendering *);
+    "lib/core/metrics.ml" (* exposition formats *);
+    "lib/core/fooling.ml" (* transcript fingerprints, not messages *);
+    "lib/lint/" (* the linter's own string rendering *);
+  ]

@@ -1,0 +1,33 @@
+(** The repo's lint policy: which modules are allowed to cross which
+    boundary, with the reason recorded next to each entry (see
+    policy.ml).  There is deliberately no external config file — the
+    allowlists are code, reviewed like code, and a new module is covered
+    by every rule until someone adds it here or writes a per-line
+    [(* lint: allow <rule> — reason *)] suppression.
+
+    Entries are path suffixes ("lib/core/metrics.ml") or directory
+    scopes ("lib/bits/"), matched against '/'-normalized paths, so the
+    linter works from the repo root or any parent directory. *)
+
+(** [matches path entries] — [path] ends with one of the file entries
+    (on a component boundary) or passes through one of the directory
+    entries. *)
+val matches : string -> string list -> bool
+
+(** Modules allowed to call [View.make] — the execution engine and the
+    referee-side oracle simulations listed in view.mli. *)
+val view_builders : string list
+
+(** Modules allowed to read the wall clock ([Unix.gettimeofday],
+    [Sys.time], ...). *)
+val clock_ok : string list
+
+(** Modules allowed to call [Domain.spawn]. *)
+val spawn_ok : string list
+
+(** Modules exempt from the referee-totality rule as a whole. *)
+val totality_exempt : string list
+
+(** The sanctioned byte layers: modules allowed to touch raw [Bytes] /
+    [Buffer]. *)
+val bytes_ok : string list

@@ -1,0 +1,217 @@
+open Parsetree
+open Ast_iterator
+
+type state = {
+  file : string;
+  mutable in_local : int;  (* nesting depth of protocol local-function bodies *)
+  mutable acc : Finding.t list;
+}
+
+let emit st rule (loc : Location.t) message =
+  let p = loc.loc_start in
+  st.acc <-
+    {
+      Finding.rule;
+      file = st.file;
+      line = p.pos_lnum;
+      col = p.pos_cnum - p.pos_bol;
+      message;
+    }
+    :: st.acc
+
+(* [Longident.flatten] raises on functor applications; those can never
+   spell the constants we ban. *)
+let flatten lid = try Longident.flatten lid with _ -> []
+
+let last_two path =
+  match List.rev path with
+  | f :: m :: _ -> Some (m, f)
+  | [ f ] -> Some ("", f)
+  | [] -> None
+
+(* ---------- per-identifier checks ---------- *)
+
+let partial_stdlib = [ ("List", "hd"); ("List", "nth"); ("Option", "get"); ("Array", "unsafe_get") ]
+let clock_reads = [ ("Unix", "gettimeofday"); ("Unix", "time"); ("Unix", "localtime"); ("Unix", "gmtime"); ("Sys", "time") ]
+
+let check_ident st loc lid =
+  let path = flatten lid in
+  match last_two path with
+  | None -> ()
+  | Some ((m, f) as mf) ->
+    (* view-boundary (a): View.make outside the engine/reductions *)
+    if mf = ("View", "make") && not (Policy.matches st.file Policy.view_builders) then
+      emit st Finding.View_boundary loc
+        "View.make outside the engine/reduction modules listed in view.mli: only the execution \
+         engine and referee-side oracle simulations may construct views";
+    (* view-boundary (b): Graph accessors inside a protocol local function *)
+    if st.in_local > 0 && List.exists (fun c -> c = "Graph") path && m <> "" then
+      emit st Finding.View_boundary loc
+        (Printf.sprintf
+           "Graph access %s inside a protocol local function: locals may only read their View.t \
+            (Definition 1)"
+           (String.concat "." path));
+    (* determinism: the global PRNG *)
+    if m = "Random" then
+      emit st Finding.Determinism loc
+        (if f = "self_init" then
+           "Random.self_init makes transcripts irreproducible; seed a Random.State explicitly"
+         else
+           Printf.sprintf
+             "Random.%s touches the shared global PRNG (width-dependent under Parallel); thread \
+              a seeded Random.State instead"
+             f);
+    (* determinism: wall-clock reads *)
+    if List.mem mf clock_reads && not (Policy.matches st.file Policy.clock_ok) then
+      emit st Finding.Determinism loc
+        (Printf.sprintf
+           "wall-clock read %s.%s outside Metrics' injected clock breaks run reproducibility" m f);
+    (* determinism: raw domains *)
+    if mf = ("Domain", "spawn") && not (Policy.matches st.file Policy.spawn_ok) then
+      emit st Finding.Determinism loc
+        "raw Domain.spawn outside Parallel: use the deterministic domain pool";
+    (* referee-totality: partial stdlib + failwith *)
+    if not (Policy.matches st.file Policy.totality_exempt) then begin
+      if List.mem mf partial_stdlib then
+        emit st Finding.Referee_totality loc
+          (Printf.sprintf
+             "partial function %s.%s: referees must be total — use a total variant or justify \
+              with (* lint: allow referee-totality -- reason *)"
+             m f);
+      if f = "failwith" && (m = "" || m = "Stdlib") then
+        emit st Finding.Referee_totality loc
+          "failwith in library code: referees must be total — raise a typed exception, return a \
+           verdict, or justify with (* lint: allow referee-totality -- reason *)"
+    end;
+    (* bit-accounting: raw byte construction *)
+    if (m = "Bytes" || m = "Buffer") && not (Policy.matches st.file Policy.bytes_ok) then
+      emit st Finding.Bit_accounting loc
+        (Printf.sprintf
+           "raw %s.%s: message bytes are constructed via Message / Refnet_bits only, so every \
+            bit is accounted against the theorem budgets"
+           m f)
+
+(* ---------- span-grammar ---------- *)
+
+(* Instantiates a format literal with placeholder arguments ("%d" -> 1,
+   "%s" -> "", ...) so sprintf-built labels can be classified too.
+   [None] when the format uses a conversion we do not model. *)
+let instantiate_format fmt =
+  let n = String.length fmt in
+  let b = Buffer.create n in
+  let exception Unmodelled in
+  let rec go i =
+    if i >= n then Some (Buffer.contents b)
+    else if fmt.[i] <> '%' then begin
+      Buffer.add_char b fmt.[i];
+      go (i + 1)
+    end
+    else begin
+      let j = ref (i + 1) in
+      while
+        !j < n && (match fmt.[!j] with '-' | '+' | ' ' | '#' | '0' .. '9' | '.' -> true | _ -> false)
+      do
+        incr j
+      done;
+      if !j >= n then None
+      else begin
+        (match fmt.[!j] with
+        | 'd' | 'i' | 'u' | 'x' | 'X' | 'o' -> Buffer.add_char b '1'
+        | 's' -> ()
+        | 'b' | 'B' -> Buffer.add_string b "true"
+        | 'c' -> Buffer.add_char b 'c'
+        | 'e' | 'f' | 'g' | 'F' -> Buffer.add_string b "1.0"
+        | '%' -> Buffer.add_char b '%'
+        | _ -> raise Unmodelled);
+        go (!j + 1)
+      end
+    end
+  in
+  try go 0 with Unmodelled -> None
+
+let check_label_string st loc ~display label =
+  match Core.Bound_audit.classify_label label with
+  | Core.Bound_audit.Budgeted _ | Core.Bound_audit.Exempt -> ()
+  | Core.Bound_audit.Malformed reason ->
+    emit st Finding.Span_grammar loc
+      (Printf.sprintf
+         "span label %S does not parse under Bound_audit's grammar (%s) and would silently \
+          escape the theorem audit"
+         display reason)
+
+(* A label-position expression: a literal, or sprintf applied to a
+   literal format.  Anything else (runtime concatenation) is out of
+   reach for a static pass and skipped. *)
+let check_label_expr st e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_string (s, _, _)) ->
+    check_label_string st e.pexp_loc ~display:s s
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, (Asttypes.Nolabel, fmt) :: _)
+    when match last_two (flatten txt) with Some (_, "sprintf") -> true | _ -> false -> (
+    match fmt.pexp_desc with
+    | Pexp_constant (Pconst_string (s, _, _)) -> (
+      match instantiate_format s with
+      | Some inst -> check_label_string st fmt.pexp_loc ~display:s inst
+      | None -> ())
+    | _ -> ())
+  | _ -> ()
+
+let is_rename e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+    match last_two (flatten txt) with Some ("Protocol", "rename") -> true | _ -> false)
+  | _ -> false
+
+(* ---------- the walk ---------- *)
+
+let last_component lid = match List.rev (flatten lid) with c :: _ -> Some c | [] -> None
+
+let check ~file ast =
+  let st = { file; in_local = 0; acc = [] } in
+  let in_local_scope f =
+    st.in_local <- st.in_local + 1;
+    f ();
+    st.in_local <- st.in_local - 1
+  in
+  let iter = Ast_iterator.default_iterator in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> check_ident st loc txt
+    | Pexp_assert { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); _ }
+      when not (Policy.matches st.file Policy.totality_exempt) ->
+      emit st Finding.Referee_totality e.pexp_loc
+        "assert false: referees must be total — make the case impossible by construction or \
+         justify with (* lint: allow referee-totality -- reason *)"
+    | Pexp_apply (f, (Asttypes.Nolabel, arg) :: _) when is_rename f -> check_label_expr st arg
+    | Pexp_record (fields, _) ->
+      List.iter
+        (fun ({ Location.txt; _ }, value) ->
+          match last_component txt with
+          | Some ("name" | "label") -> check_label_expr st value
+          | _ -> ())
+        fields
+    | _ -> ());
+    match e.pexp_desc with
+    | Pexp_record (fields, base) ->
+      Option.iter (it.expr it) base;
+      List.iter
+        (fun ({ Location.txt; _ }, value) ->
+          match last_component txt with
+          | Some "local" -> in_local_scope (fun () -> it.expr it value)
+          | _ -> it.expr it value)
+        fields
+    | _ -> iter.expr it e
+  in
+  let value_binding it vb =
+    match vb.pvb_pat.ppat_desc with
+    | Ppat_var { txt = "local"; _ } ->
+      it.pat it vb.pvb_pat;
+      in_local_scope (fun () -> it.expr it vb.pvb_expr)
+    | Ppat_var { txt = "name" | "label"; _ } ->
+      check_label_expr st vb.pvb_expr;
+      iter.value_binding it vb
+    | _ -> iter.value_binding it vb
+  in
+  let it = { iter with expr; value_binding } in
+  it.structure it ast;
+  List.rev st.acc

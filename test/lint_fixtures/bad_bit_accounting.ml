@@ -1,0 +1,4 @@
+(* Lint fixture: must trip [bit-accounting] (twice) and no other rule. *)
+
+let raw n = Bytes.make n '\000'
+let sneak () = Buffer.create 16

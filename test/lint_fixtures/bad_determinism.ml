@@ -1,0 +1,7 @@
+(* Lint fixture: must trip [determinism] (four times) and no other rule.
+   Parsed, never compiled — the free identifiers are deliberate. *)
+
+let () = Random.self_init ()
+let pick n = Random.int n
+let stamp () = Unix.gettimeofday ()
+let racy f = Domain.spawn f

@@ -1,0 +1,4 @@
+(* Lint fixture: malformed source must yield a [parse-error] finding,
+   never a crash. *)
+
+let broken = (

@@ -1,0 +1,6 @@
+(* Lint fixture: must trip [referee-totality] (three times) and no other
+   rule.  Parsed, never compiled. *)
+
+let head xs = List.hd xs
+let boom () = failwith "referee gave up"
+let force = function Some x -> x | None -> assert false

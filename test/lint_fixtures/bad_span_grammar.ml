@@ -1,0 +1,6 @@
+(* Lint fixture: must trip [span-grammar] (three times) and no other
+   rule.  Parsed, never compiled — the free identifiers are deliberate. *)
+
+let name = "degeneracy-reconstruct"
+let label = Printf.sprintf "bounded-degree-%s" "three"
+let p = Protocol.rename "coalition-connectivity[parts=0]" q

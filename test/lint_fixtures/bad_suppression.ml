@@ -1,0 +1,4 @@
+(* Lint fixture: a suppression naming an unknown rule must itself be
+   reported (as [parse-error]) rather than silently ignored. *)
+
+let x = 1 (* lint: allow no-such-rule -- typo in the rule name *)

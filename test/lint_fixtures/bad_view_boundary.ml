@@ -1,0 +1,7 @@
+(* Lint fixture: must trip [view-boundary] (twice) and no other rule.
+   Parsed, never compiled — the free identifiers are deliberate. *)
+
+let smuggled_view ~n = View.make ~n ~id:1 ~neighbors:[ 2; 3 ]
+
+let cheating_protocol g referee =
+  { name = "forest-reconstruct"; local = (fun _view -> Graph.neighbors g 1); referee }

@@ -1,0 +1,5 @@
+(* Lint fixture: the [bit-accounting] rule must stay silent here —
+   bytes flow through Message only.  Parsed, never compiled. *)
+
+let packet v = Message.of_int v
+let width m = Message.bits m

@@ -1,0 +1,5 @@
+(* Lint fixture: the [determinism] rule must stay silent here.
+   Seeded Random.State is the sanctioned source of randomness. *)
+
+let rng = Random.State.make [| 0x5eed |]
+let pick n = Random.State.int rng n

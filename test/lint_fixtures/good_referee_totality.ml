@@ -1,0 +1,5 @@
+(* Lint fixture: the [referee-totality] rule must stay silent here —
+   total variants of the patterns in the bad twin. *)
+
+let head = function [] -> None | x :: _ -> Some x
+let force ~default = function Some x -> x | None -> default

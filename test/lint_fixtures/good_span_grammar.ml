@@ -1,0 +1,8 @@
+(* Lint fixture: the [span-grammar] rule must stay silent here —
+   budgeted, decorated and foreign labels are all fine.
+   Parsed, never compiled — the free identifiers are deliberate. *)
+
+let name = "degeneracy-3-reconstruct"
+let label = Printf.sprintf "coalition-connectivity[parts=%d]" 4
+let sealed = Protocol.rename "forest-recognize+sealed" q
+let foreign = { name = "my-experimental-protocol"; local = ignore; referee = r }

@@ -1,0 +1,8 @@
+(* Lint fixture: the [view-boundary] rule must stay silent here.
+   Parsed, never compiled — the free identifiers are deliberate. *)
+
+let well_behaved referee =
+  { name = "forest-reconstruct";
+    local = (fun view -> Message.of_int (View.id view + View.n view));
+    referee
+  }

@@ -1,0 +1,7 @@
+(* Lint fixture: both suppression forms must silence their findings,
+   so this file lints clean despite the violations below. *)
+
+let head xs = List.hd xs (* lint: allow referee-totality -- fixture: same-line form *)
+
+(* lint: allow determinism -- fixture: standalone form covers the next line *)
+let pick n = Random.int n

@@ -1,0 +1,170 @@
+(* The lint fixture corpus: every rule has a bad twin that must fire
+   (and fire only that rule) and a good twin that must stay silent.
+   Also freezes the suppression semantics and the --json schema. *)
+
+let fixture name = Filename.concat "lint_fixtures" name
+
+let contains s sub =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+  go 0
+
+let rule_names findings =
+  List.map (fun f -> Lint.Finding.rule_name f.Lint.Finding.rule) findings
+
+(* [bad fixture rule n] checks the fixture yields exactly [n] findings,
+   all of [rule]. *)
+let bad name rule n () =
+  let findings = Lint.Driver.lint_file (fixture name) in
+  Alcotest.(check (list string))
+    (name ^ " fires exactly its rule")
+    (List.init n (fun _ -> rule))
+    (rule_names findings)
+
+let good name () =
+  let findings = Lint.Driver.lint_file (fixture name) in
+  Alcotest.(check (list string)) (name ^ " is clean") [] (rule_names findings)
+
+(* ---------- suppressions ---------- *)
+
+let suppressed_file_is_clean () = good "suppressed.ml" ()
+
+let unknown_rule_is_reported () =
+  match Lint.Driver.lint_file (fixture "bad_suppression.ml") with
+  | [ f ] ->
+    Alcotest.(check string) "rule" "parse-error" (Lint.Finding.rule_name f.Lint.Finding.rule);
+    Alcotest.(check bool)
+      "message names the bogus rule" true
+      (contains f.Lint.Finding.message {|"no-such-rule"|})
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let suppression_is_rule_specific () =
+  (* An allow for the wrong rule must not silence the finding. *)
+  let source = "let pick n = Random.int n (* lint: allow referee-totality -- wrong rule *)\n" in
+  let findings = Lint.Driver.lint_source ~file:"wrong_rule.ml" source in
+  Alcotest.(check (list string)) "still fires" [ "determinism" ] (rule_names findings)
+
+(* ---------- malformed input ---------- *)
+
+let parse_error_is_a_finding () =
+  match Lint.Driver.lint_file (fixture "bad_parse.ml") with
+  | [ f ] -> Alcotest.(check string) "rule" "parse-error" (Lint.Finding.rule_name f.Lint.Finding.rule)
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let unreadable_file_is_a_finding () =
+  match Lint.Driver.lint_file (fixture "does_not_exist.ml") with
+  | [ f ] -> Alcotest.(check string) "rule" "parse-error" (Lint.Finding.rule_name f.Lint.Finding.rule)
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+(* ---------- JSON schema (frozen) ---------- *)
+
+let json_empty_report () =
+  Alcotest.(check string) "empty" {|{"findings":[],"version":1}|} (Lint.Finding.report_json [])
+
+let json_schema_is_stable () =
+  let f =
+    {
+      Lint.Finding.rule = Lint.Finding.Bit_accounting;
+      file = "lib/x.ml";
+      line = 3;
+      col = 7;
+      message = {|raw "bytes"|};
+    }
+  in
+  Alcotest.(check string) "one finding"
+    {|{"findings":[{"col":7,"file":"lib/x.ml","line":3,"message":"raw \"bytes\"","rule":"bit-accounting"}],"version":1}|}
+    (Lint.Finding.report_json [ f ])
+
+let findings_are_sorted () =
+  let _, findings = Lint.Driver.lint_paths [ "lint_fixtures" ] in
+  Alcotest.(check bool) "non-empty" true (findings <> []);
+  Alcotest.(check bool) "sorted" true
+    (List.sort Lint.Finding.compare findings = findings)
+
+(* ---------- label grammar round-trip ---------- *)
+
+let classify label = Core.Bound_audit.classify_label label
+
+let label_grammar () =
+  let budgeted l =
+    match classify l with
+    | Core.Bound_audit.Budgeted _ -> ()
+    | _ -> Alcotest.failf "%S should be budgeted" l
+  in
+  let exempt l =
+    match classify l with
+    | Core.Bound_audit.Exempt -> ()
+    | _ -> Alcotest.failf "%S should be exempt" l
+  in
+  let malformed l =
+    match classify l with
+    | Core.Bound_audit.Malformed _ -> ()
+    | _ -> Alcotest.failf "%S should be malformed" l
+  in
+  List.iter budgeted
+    [
+      "forest-reconstruct";
+      "degeneracy-3-reconstruct";
+      "degeneracy-2-reconstruct-compact";
+      "generalized-degeneracy-4-reconstruct";
+      "bounded-degree-5";
+      "coalition-connectivity[parts=2]";
+      "sketch-connectivity(seed=7)";
+      "full-information";
+    ];
+  List.iter exempt
+    [
+      "my-experimental-protocol";
+      "forest-reconstruct+hardened";
+      "bounded-degree-3+sealed";
+      "coalition-connectivity";
+    ];
+  List.iter malformed
+    [
+      "";
+      "degeneracy-reconstruct";
+      "bounded-degree-";
+      "forest-rebuild";
+      "coalition-connectivity[parts=0]";
+      "forest-reconstruct[parts=2]";
+      "degeneracy-3-reconstruct+glittered";
+    ]
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "bad view-boundary" `Quick
+            (bad "bad_view_boundary.ml" "view-boundary" 2);
+          Alcotest.test_case "good view-boundary" `Quick (good "good_view_boundary.ml");
+          Alcotest.test_case "bad determinism" `Quick (bad "bad_determinism.ml" "determinism" 4);
+          Alcotest.test_case "good determinism" `Quick (good "good_determinism.ml");
+          Alcotest.test_case "bad referee-totality" `Quick
+            (bad "bad_referee_totality.ml" "referee-totality" 3);
+          Alcotest.test_case "good referee-totality" `Quick (good "good_referee_totality.ml");
+          Alcotest.test_case "bad span-grammar" `Quick (bad "bad_span_grammar.ml" "span-grammar" 3);
+          Alcotest.test_case "good span-grammar" `Quick (good "good_span_grammar.ml");
+          Alcotest.test_case "bad bit-accounting" `Quick
+            (bad "bad_bit_accounting.ml" "bit-accounting" 2);
+          Alcotest.test_case "good bit-accounting" `Quick (good "good_bit_accounting.ml");
+        ] );
+      ( "suppressions",
+        [
+          Alcotest.test_case "both forms silence" `Quick suppressed_file_is_clean;
+          Alcotest.test_case "unknown rule is reported" `Quick unknown_rule_is_reported;
+          Alcotest.test_case "rule-specific" `Quick suppression_is_rule_specific;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "parse error is a finding" `Quick parse_error_is_a_finding;
+          Alcotest.test_case "unreadable file is a finding" `Quick unreadable_file_is_a_finding;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "empty JSON report" `Quick json_empty_report;
+          Alcotest.test_case "JSON schema frozen" `Quick json_schema_is_stable;
+          Alcotest.test_case "findings sorted" `Quick findings_are_sorted;
+        ] );
+      ("labels", [ Alcotest.test_case "classify_label" `Quick label_grammar ]);
+    ]
