@@ -12,6 +12,11 @@
                          crash-rate degradation, written to BENCH_refnet.json
      main.exe metrics    metrics-overhead microbench: unobserved runs pay
                          nothing, live registries stay under 5%, written to
+                         BENCH_refnet.json
+     main.exe graphsource  Graph_source campaign: backend transcript
+                         equivalence at n = 512, then forest recognition on
+                         an implicit path at n = 10^3..10^6 with a chunked
+                         referee feed, peak-heap gated, written to
                          BENCH_refnet.json *)
 
 open Refnet_graph
@@ -1155,6 +1160,187 @@ let metrics_bench () =
   section "M1" "Metrics overhead: unobserved runs pay nothing, live stays under 5%";
   write_metrics_json (metrics_overhead ())
 
+(* ------------------------------------------------------------------ *)
+(* G1/G2: Graph_source campaign — backend equivalence, then the        *)
+(* million-node frontier run                                           *)
+(* ------------------------------------------------------------------ *)
+
+type gs_equiv_row = { ge_family : string; ge_n : int; ge_identical : bool }
+
+type gs_scale_row = {
+  gs_n : int;
+  gs_backend : string;
+  gs_chunk : int option;
+  gs_seconds : float;
+  gs_ns_per_node : float;
+  gs_alloc_bytes_per_node : float;
+  gs_top_heap_bytes : int;  (** absolute process peak after the run *)
+  gs_max_bits : int;
+  gs_matches_implicit : bool;
+      (** twin transcript bit-identical to the implicit run at this n *)
+}
+
+(* The whole-process high-water mark: the one number the incidence
+   matrix cannot hide behind (at n = 10^6 it alone would be ~125 GB). *)
+let top_heap_bytes () = 8 * (Gc.stat ()).Gc.top_heap_words
+
+let gs_same (o1, (t1 : Core.Simulator.transcript)) (o2, (t2 : Core.Simulator.transcript)) =
+  o1 = o2 && t1.Core.Simulator.message_bits = t2.Core.Simulator.message_bits
+
+let graphsource_equivalence () =
+  Printf.printf
+    "\nG1: backend equivalence — forest recognition transcripts must be bit-identical\n\
+    \    on materialized / CSR / implicit, at every chunk size and pool width\n";
+  let p = Core.Forest_protocol.recognize in
+  List.map
+    (fun spec ->
+      let imp = Implicit.parse spec in
+      let g = Implicit.materialize imp in
+      let n = Graph.order g in
+      let reference = Core.Simulator.run p g in
+      let identical = ref true in
+      let check run = if not (gs_same reference (run ())) then identical := false in
+      List.iter
+        (fun (_, src) ->
+          check (fun () -> Core.Simulator.run_source p src);
+          List.iter
+            (fun chunk -> check (fun () -> Core.Simulator.run_source ~chunk p src))
+            [ 1; 7; 64; n ];
+          check (fun () -> Core.Simulator.run_source ~domains:4 p src))
+        [
+          ("materialized", Graph_source.of_graph g);
+          ("csr", Graph_source.of_csr (Csr.of_graph g));
+          ("implicit", Graph_source.of_implicit imp);
+        ];
+      Printf.printf "  %-22s n=%4d  transcripts identical: %b\n" spec n !identical;
+      if not !identical then failwith ("graphsource: backend divergence on " ^ spec);
+      { ge_family = spec; ge_n = n; ge_identical = !identical })
+    [
+      "path:512"; "cycle:512"; "star:512"; "grid:16x32"; "hypercube:9";
+      "regular:512:4:7"; "degenerate:512:3:5";
+    ]
+
+(* Peak-heap budget for the n = 10^6 implicit run: the referee tables
+   (2 x 8 MB), the transcript (8 MB), the chunk of in-flight messages
+   and GC slack — far under the 125 GB incidence matrix or even the
+   ~60 MB full message vector an unchunked schedule would hold live. *)
+let gs_heap_budget = 256 * 1024 * 1024
+
+let graphsource_scaling () =
+  Printf.printf
+    "\nG2: forest recognition on implicit paths, chunked referee feed (chunk = 65536)\n";
+  let p = Core.Forest_protocol.recognize in
+  let chunk = 65536 in
+  let rows = ref [] in
+  let timed ~n ~backend ~chunk ~reps run =
+    Gc.compact ();
+    let a0 = Gc.allocated_bytes () in
+    let (ok, t), dt = wall run in
+    let alloc = (Gc.allocated_bytes () -. a0) /. float_of_int n in
+    let dt = ref dt in
+    for _ = 2 to reps do
+      let _, d = wall run in
+      if d < !dt then dt := d
+    done;
+    if not ok then failwith "graphsource: a path was not recognized as a forest";
+    ( t,
+      {
+        gs_n = n;
+        gs_backend = backend;
+        gs_chunk = chunk;
+        gs_seconds = !dt;
+        gs_ns_per_node = 1e9 *. !dt /. float_of_int n;
+        gs_alloc_bytes_per_node = alloc;
+        gs_top_heap_bytes = top_heap_bytes ();
+        gs_max_bits = t.Core.Simulator.max_bits;
+        gs_matches_implicit = true;
+      } )
+  in
+  let report r =
+    Printf.printf
+      "  n=%8d  %-13s %s  %8.1f ns/node  %7.1f B/node alloc  top-heap %5.1f MB  twin-identical %b\n"
+      r.gs_n r.gs_backend
+      (match r.gs_chunk with Some c -> Printf.sprintf "chunk=%-6d" c | None -> "unchunked   ")
+      r.gs_ns_per_node r.gs_alloc_bytes_per_node
+      (float_of_int r.gs_top_heap_bytes /. 1048576.0)
+      r.gs_matches_implicit;
+    rows := r :: !rows
+  in
+  List.iter
+    (fun n ->
+      let reps = if n >= 1_000_000 then 1 else 3 in
+      let imp = Implicit.parse (Printf.sprintf "path:%d" n) in
+      let src = Graph_source.of_implicit imp in
+      let t_imp, row =
+        timed ~n ~backend:"implicit:path" ~chunk:(Some chunk) ~reps (fun () ->
+            Core.Simulator.run_source ~chunk p src)
+      in
+      report row;
+      let twin backend mk =
+        let s = mk () in
+        let t2, row =
+          timed ~n ~backend ~chunk:None ~reps (fun () -> Core.Simulator.run_source p s)
+        in
+        let matches = t2.Core.Simulator.message_bits = t_imp.Core.Simulator.message_bits in
+        report { row with gs_matches_implicit = matches };
+        if not matches then
+          failwith (Printf.sprintf "graphsource: %s transcript diverges at n=%d" backend n)
+      in
+      (* CSR holds 2m+n+1 words — fine well past 10^5; the incidence
+         matrix is n^2 bits, so the materialized twin stops at 10^4. *)
+      if n <= 100_000 then twin "csr" (fun () -> Graph_source.of_csr (Graph_source.to_csr src));
+      if n <= 10_000 then
+        twin "materialized" (fun () -> Graph_source.of_graph (Graph_source.materialize src)))
+    [ 1_000; 10_000; 100_000; 1_000_000 ];
+  let rows = List.rev !rows in
+  let peak = top_heap_bytes () in
+  Printf.printf "  peak heap across the campaign: %.1f MB (budget %d MB)  %s\n"
+    (float_of_int peak /. 1048576.0)
+    (gs_heap_budget / 1048576)
+    (if peak < gs_heap_budget then "O(frontier) ok" else "OVER BUDGET");
+  if peak >= gs_heap_budget then
+    failwith "graphsource: million-node campaign exceeded the peak-heap budget";
+  (rows, peak)
+
+let write_graphsource_json equiv rows peak =
+  let oc = open_out "BENCH_refnet.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"refnet-graphsource\",\n";
+  Printf.fprintf oc "  \"unix_time\": %.0f,\n" (Unix.time ());
+  Printf.fprintf oc "  \"equivalence\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc "    {\"family\": \"%s\", \"n\": %d, \"identical_transcripts\": %b}%s\n"
+        r.ge_family r.ge_n r.ge_identical
+        (if i = List.length equiv - 1 then "" else ","))
+    equiv;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"forest_recognition_scaling\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"n\": %d, \"backend\": \"%s\", \"chunk\": %s, \"seconds\": %.6f, \
+         \"ns_per_node\": %.1f, \"alloc_bytes_per_node\": %.1f, \"top_heap_bytes\": %d, \
+         \"max_bits\": %d, \"transcript_matches_implicit\": %b}%s\n"
+        r.gs_n r.gs_backend
+        (match r.gs_chunk with Some c -> string_of_int c | None -> "null")
+        r.gs_seconds r.gs_ns_per_node r.gs_alloc_bytes_per_node r.gs_top_heap_bytes r.gs_max_bits
+        r.gs_matches_implicit
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"peak_heap_bytes\": %d,\n" peak;
+  Printf.fprintf oc "  \"peak_heap_budget_bytes\": %d\n" gs_heap_budget;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "\nwrote BENCH_refnet.json\n"
+
+let graphsource () =
+  section "G1-G2" "Graph_source: backend equivalence and the million-node frontier run";
+  let equiv = graphsource_equivalence () in
+  let rows, peak = graphsource_scaling () in
+  write_graphsource_json equiv rows peak
+
 let tables () =
   experiment_f1 ();
   experiment_f2 ();
@@ -1183,10 +1369,12 @@ let () =
   | "scaling" -> scaling ()
   | "faults" -> faults ()
   | "metrics" -> metrics_bench ()
+  | "graphsource" -> graphsource ()
   | _ ->
     tables ();
     timing_benches ();
     scaling ();
     faults ();
-    metrics_bench ());
+    metrics_bench ();
+    graphsource ());
   Printf.printf "\n%s\nAll experiments completed.\n" line

@@ -106,6 +106,27 @@ let graph_file_arg =
 let k_arg =
   Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Degeneracy budget.")
 
+let source_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "source" ] ~docv:"SRC"
+        ~doc:
+          "Graph backend: $(b,materialized), $(b,csr) (both wrap the GRAPH file), or \
+           $(b,implicit:<family-spec>) — e.g. implicit:path:100000 or implicit:regular:1000:4:7 \
+           — which needs no file at all.  Engine runs record the backend in their span and \
+           metrics labels as a [src=...] decoration.")
+
+(* Resolves [--source] against an optional graph file: [materialized]
+   and [csr] wrap the file's graph, [implicit:...] stands alone.
+   Without [--source], the file (when given) is the materialized
+   backend. *)
+let resolve_source source g =
+  match (source, g) with
+  | None, Some g -> Some (Graph_source.of_graph g)
+  | None, None -> None
+  | Some spec, g -> Some (Graph_source.parse ?graph:g spec)
+
 (* ---------- generate ---------- *)
 
 let family_conv =
@@ -285,9 +306,10 @@ let count_cmd =
 
 (* ---------- sizes ---------- *)
 
-let sizes n graph trace metrics =
+let sizes n graph source trace metrics =
   let g = Option.map read_graph graph in
-  let n = match g with Some g -> Graph.order g | None -> n in
+  let src = resolve_source source g in
+  let n = match src with Some s -> Graph_source.order s | None -> n in
   Printf.printf "message sizes at n = %d (id width %d bits):\n" n (Core.Bounds.id_bits n);
   Printf.printf "  forest protocol          : %4d bits\n" (Core.Bounds.forest_message_bits n);
   List.iter
@@ -301,26 +323,24 @@ let sizes n graph trace metrics =
       Printf.printf "  bounded-degree (d=%-2d)    : %4d bits\n" d
         (Core.Bounded_degree.message_bits ~max_degree:d n))
     [ 2; 4; 8 ];
-  (* With a concrete graph, confront the closed forms with measured
-     transcripts (and exercise the trace sink on real runs). *)
-  match g with
+  (* With a concrete graph (file or implicit spec), confront the closed
+     forms with measured transcripts (and exercise the trace sink on
+     real runs). *)
+  match src with
   | None -> ()
-  | Some g ->
+  | Some src ->
     with_observability trace metrics (fun sink m ->
-        let is_forest, tf =
-          Core.Simulator.run ~trace:sink ?metrics:m Core.Forest_protocol.recognize g
-        in
-        Printf.printf "measured on %s (n = %d, m = %d):\n"
-          (Option.value ~default:"graph" graph)
-          n (Graph.size g);
+        let run p = Core.Simulator.run_source ~trace:sink ?metrics:m p src in
+        let is_forest, tf = run Core.Forest_protocol.recognize in
+        Printf.printf "measured on %s (n = %d, m = %d, backend %s):\n"
+          (match graph with Some path -> path | None -> Graph_source.describe src)
+          n (Graph_source.size src) (Graph_source.backend src);
         Printf.printf "  forest protocol          : %4d bits/node (is forest: %b)\n"
           tf.Core.Simulator.max_bits is_forest;
-        let k = max 1 (Degeneracy.degeneracy g) in
-        let ok, td =
-          Core.Simulator.run ~trace:sink ?metrics:m
-            (Core.Recognition.degeneracy_at_most k)
-            g
-        in
+        (* The true degeneracy needs the materialized graph; backend-only
+           sources fall back to the recognition threshold k = 2. *)
+        let k = match g with Some g -> max 1 (Degeneracy.degeneracy g) | None -> 2 in
+        let ok, td = run (Core.Recognition.degeneracy_at_most k) in
         Printf.printf "  degeneracy protocol k=%-2d : %4d bits/node (accepted: %b)\n" k
           td.Core.Simulator.max_bits ok)
 
@@ -335,7 +355,7 @@ let sizes_cmd =
   in
   Cmd.v
     (Cmd.info "sizes" ~doc:"Closed-form message-size tables")
-    Term.(const sizes $ n $ graph $ trace_arg $ metrics_arg)
+    Term.(const sizes $ n $ graph $ source_arg $ trace_arg $ metrics_arg)
 
 (* ---------- connectivity ---------- *)
 
@@ -362,9 +382,15 @@ let fault_proto_conv =
       ("sketch", `Sketch); ("connectivity", `Connectivity);
     ]
 
-let faults path proto k parts seed crash truncate flip flip_bits duplicate spoof trace metrics =
-  let g = read_graph path in
-  let n = Graph.order g in
+let faults path proto k parts seed crash truncate flip flip_bits duplicate spoof source trace
+    metrics =
+  let g = Option.map read_graph path in
+  let src =
+    match resolve_source source g with
+    | Some src -> src
+    | None -> invalid_arg "faults: provide a GRAPH file or --source implicit:<family-spec>"
+  in
+  let n = Graph_source.order src in
   let plan = Core.Faults.random ~seed ~n ~crash ~truncate ~flip ~flip_bits ~duplicate ~spoof () in
   Format.printf "fault plan: %a@." Core.Faults.pp plan;
   let report pp_payload (verdict, t) =
@@ -377,7 +403,7 @@ let faults path proto k parts seed crash truncate flip flip_bits duplicate spoof
     | None -> Format.pp_print_string fmt "rejected"
   in
   with_observability trace metrics (fun sink m ->
-      let run p = Core.Simulator.run_faulty ~faults:plan ~trace:sink ?metrics:m p g in
+      let run p = Core.Simulator.run_faulty_source ~faults:plan ~trace:sink ?metrics:m p src in
       match proto with
       | `Forest -> report pp_graph (run Core.Forest_protocol.hardened)
       | `Degeneracy -> report pp_graph (run (Core.Degeneracy_protocol.hardened ~k ()))
@@ -386,8 +412,8 @@ let faults path proto k parts seed crash truncate flip flip_bits duplicate spoof
       | `Connectivity ->
         let partition = Core.Coalition.partition_by_ranges ~n ~parts in
         report Format.pp_print_bool
-          (Core.Coalition.run_faulty ~faults:plan ~trace:sink ?metrics:m
-             Core.Connectivity_parts.hardened g ~parts:partition))
+          (Core.Coalition.run_faulty_source ~faults:plan ~trace:sink ?metrics:m
+             Core.Connectivity_parts.hardened src ~parts:partition))
 
 let faults_cmd =
   let proto =
@@ -409,37 +435,96 @@ let faults_cmd =
   in
   let duplicate = rate "duplicate" "Per-node duplicate-delivery probability." in
   let spoof = rate "spoof" "Per-node sender-spoofing probability." in
+  let graph =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"GRAPH"
+          ~doc:"Graph file (edge list or graph6); optional when --source is implicit.")
+  in
   Cmd.v
     (Cmd.info "faults" ~doc:"Run a hardened protocol under a seeded fault-injection campaign")
     Term.(
-      const faults $ graph_file_arg $ proto $ k_arg $ parts $ seed_arg $ crash $ truncate $ flip
-      $ flip_bits $ duplicate $ spoof $ trace_arg $ metrics_arg)
+      const faults $ graph $ proto $ k_arg $ parts $ seed_arg $ crash $ truncate $ flip
+      $ flip_bits $ duplicate $ spoof $ source_arg $ trace_arg $ metrics_arg)
 
 (* ---------- sweep ---------- *)
 
 (* One traced run of every flagship protocol per size: the trace feeds
    [refnet report]'s bound audit, the metrics file a live snapshot.
-   Graphs are seeded per (seed, n), so a sweep is reproducible. *)
-let sweep sizes seed k parts trace metrics =
+   Graphs are seeded per (seed, n), so a sweep is reproducible.
+
+   [--source materialized|csr] routes the same generated graphs through
+   the chosen backend (transcripts are bit-identical; only the [src=]
+   label differs).  [--source implicit:<family>] takes a size-free
+   family spec instead — the family is instantiated at each sweep size
+   without ever materializing, so sizes beyond the incidence-matrix
+   wall (n = 10^6+) are in reach; reconstruction protocols need a known
+   graph class, so the implicit sweep runs the recognition ones. *)
+let sweep sizes seed k parts source chunk trace metrics =
   with_observability trace metrics (fun sink m ->
+      let implicit_family =
+        match source with
+        | Some spec when spec <> "materialized" && spec <> "csr" ->
+          Some (fun n -> Implicit.parse_family spec n)
+        | _ -> None
+      in
       List.iter
         (fun n ->
-          let rng = Random.State.make [| seed; n |] in
-          let run p g = ignore (Core.Simulator.run ~trace:sink ?metrics:m p g) in
-          run Core.Forest_protocol.reconstruct (Generators.random_tree rng n);
-          run
-            (Core.Degeneracy_protocol.reconstruct ~k ())
-            (Generators.random_k_degenerate rng n ~k);
-          let side = max 2 (int_of_float (sqrt (float_of_int n))) in
-          run (Core.Bounded_degree.reconstruct ~max_degree:4) (Generators.grid side side);
-          let connected = Generators.random_connected rng n 0.15 in
-          let partition = Core.Coalition.partition_by_ranges ~n ~parts:(min parts n) in
-          ignore
-            (Core.Coalition.run ~trace:sink ?metrics:m Core.Connectivity_parts.decide connected
-               ~parts:partition);
-          run (Core.Sketch_connectivity.protocol ~seed ()) connected;
-          Printf.printf "n=%4d: forest, degeneracy-%d, bounded-degree-4, coalition(%d parts), sketch done\n%!"
-            n k (min parts n))
+          match implicit_family with
+          | Some fam ->
+            let src = Graph_source.of_implicit (fam n) in
+            let run p =
+              ignore (Core.Simulator.run_source ?chunk ~trace:sink ?metrics:m p src)
+            in
+            run Core.Forest_protocol.recognize;
+            (* The reconstructing degeneracy referee keeps an n^2-bit
+               matrix and the sketch referee ~log^3 n bits per node:
+               past these sizes only the O(n)-word referees run, which
+               is what makes the million-node sweep fit in memory. *)
+            let degeneracy_ok = n <= 20_000 and sketch_ok = n <= 200_000 in
+            if degeneracy_ok then run (Core.Recognition.degeneracy_at_most k);
+            if sketch_ok then run (Core.Sketch_connectivity.protocol ~seed ());
+            let partition = Core.Coalition.partition_by_ranges ~n ~parts:(min parts n) in
+            ignore
+              (Core.Coalition.run_source ~trace:sink ?metrics:m Core.Connectivity_parts.decide
+                 src ~parts:partition);
+            Printf.printf "n=%7d: forest-recognize%s%s, coalition(%d parts) on %s done\n%!" n
+              (if degeneracy_ok then Printf.sprintf ", degeneracy<=%d" k else "")
+              (if sketch_ok then ", sketch" else "")
+              (min parts n) (Graph_source.describe src)
+          | None ->
+            let rng = Random.State.make [| seed; n |] in
+            let run p g =
+              match source with
+              | None -> ignore (Core.Simulator.run ~trace:sink ?metrics:m p g)
+              | Some spec ->
+                ignore
+                  (Core.Simulator.run_source ?chunk ~trace:sink ?metrics:m p
+                     (Graph_source.parse ~graph:g spec))
+            in
+            run Core.Forest_protocol.reconstruct (Generators.random_tree rng n);
+            run
+              (Core.Degeneracy_protocol.reconstruct ~k ())
+              (Generators.random_k_degenerate rng n ~k);
+            let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+            run (Core.Bounded_degree.reconstruct ~max_degree:4) (Generators.grid side side);
+            let connected = Generators.random_connected rng n 0.15 in
+            let partition = Core.Coalition.partition_by_ranges ~n ~parts:(min parts n) in
+            (match source with
+            | None ->
+              ignore
+                (Core.Coalition.run ~trace:sink ?metrics:m Core.Connectivity_parts.decide
+                   connected ~parts:partition)
+            | Some spec ->
+              ignore
+                (Core.Coalition.run_source ~trace:sink ?metrics:m Core.Connectivity_parts.decide
+                   (Graph_source.parse ~graph:connected spec)
+                   ~parts:partition));
+            run (Core.Sketch_connectivity.protocol ~seed ()) connected;
+            Printf.printf
+              "n=%4d: forest, degeneracy-%d, bounded-degree-4, coalition(%d parts), sketch done\n%!"
+              n k (min parts n))
         sizes)
 
 let sweep_cmd =
@@ -450,12 +535,31 @@ let sweep_cmd =
       & info [ "sizes" ] ~docv:"N,N,..." ~doc:"Comma-separated network sizes to sweep.")
   in
   let parts = Arg.(value & opt int 4 & info [ "parts" ] ~docv:"K" ~doc:"Coalition count.") in
+  let source =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "source" ] ~docv:"SRC"
+          ~doc:
+            "Graph backend for the sweep: $(b,materialized), $(b,csr), or a size-free \
+             $(b,implicit:<family>) spec (implicit:path, implicit:grid, implicit:regular:D, \
+             implicit:degenerate:K, ...) instantiated at each size.")
+  in
+  let chunk =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chunk" ] ~docv:"C"
+          ~doc:
+            "Feed the referee in chunks of $(docv) messages: peak live-message storage drops \
+             from O(n) to O(C) with a bit-identical transcript.")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
          "Run every flagship protocol across a size sweep, recording traces and metrics for \
           offline bound auditing with $(b,refnet report)")
-    Term.(const sweep $ sizes $ seed_arg $ k_arg $ parts $ trace_arg $ metrics_arg)
+    Term.(const sweep $ sizes $ seed_arg $ k_arg $ parts $ source $ chunk $ trace_arg $ metrics_arg)
 
 (* ---------- report ---------- *)
 

@@ -44,6 +44,31 @@ let leading_int s =
     | Some k -> Some (k, String.sub s i (n - i))
     | None -> None
 
+(* ["...[src=<backend>]"]: the engine's *_source entry points append
+   the graph backend outermost — after [parts=] and the
+   +sealed/+hardened suffixes — so it is peeled first.  The token
+   charset is the backend names' ([a-z0-9:.-], possibly empty so
+   sprintf-format instantiation in the lint classifies). *)
+let src_token_ok tok =
+  String.for_all
+    (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = ':' || c = '.' || c = '-')
+    tok
+
+let split_src label =
+  let l = String.length label in
+  if l < 6 || label.[l - 1] <> ']' then None
+  else
+    let rec find i =
+      if i < 0 then None
+      else if String.sub label i 5 = "[src=" then Some i
+      else find (i - 1)
+    in
+    match find (l - 6) with
+    | None -> None
+    | Some i ->
+      let tok = String.sub label (i + 5) (l - 1 - (i + 5)) in
+      if src_token_ok tok then Some (String.sub label 0 i, tok) else None
+
 (* ["...[parts=4]"] -> [Some 4]. *)
 let parts_of label =
   match String.index_opt label '[' with
@@ -76,6 +101,10 @@ let parts_of label =
      plus lower-order terms; 256 absorbs the additive terms from n >= 8.
    - full-information: exactly n bits (an incidence row). *)
 let budget_of_label label =
+  (* Backend decorations never change the budget: the same protocol on
+     the same graph sends the same bits whatever representation the
+     engine reads it from. *)
+  let label = match split_src label with Some (stem, _) -> stem | None -> label in
   if has_substring label "+sealed" || has_substring label "+hardened" then None
   else if label = "forest-reconstruct" || label = "forest-recognize" then
     Some { b_shape = Log_n; c_max = 4.0; n_min = 1 }
@@ -167,8 +196,20 @@ let classify_label label =
   else if String.exists (fun c -> Char.code c < 0x20) label then
     Malformed "label contains control characters"
   else begin
-    (* Peel the coalition decoration first — {!Coalition.labelled}
-       appends it last, outside any +sealed/+hardened suffix. *)
+    (* Peel the backend decoration first — the *_source engines append
+       it outermost.  A label that contains "[src=" but does not end in
+       a well-formed "[src=<token>]" is a near-miss that would dodge
+       both the budget lookup and the [parts=] parse below. *)
+    let label =
+      match split_src label with
+      | Some (stem, _) -> stem
+      | None -> label
+    in
+    if has_substring label "[src=" then
+      Malformed "bad [src=<backend>] decoration (must be outermost, token charset [a-z0-9:.-])"
+    else begin
+    (* Peel the coalition decoration next — {!Coalition.labelled}
+       appends it outside any +sealed/+hardened suffix. *)
     let parts_error = ref None in
     let parts, stem0 =
       match String.index_opt label '[' with
@@ -213,6 +254,7 @@ let classify_label label =
               (match budget_of_label canonical with
               | Some b -> Budgeted b
               | None -> Exempt (* bare coalition-connectivity: parts arrive at run time *))))
+    end
   end
 
 (* ---------- auditing ---------- *)

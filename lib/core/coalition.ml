@@ -23,27 +23,37 @@ let partition_by_ranges ~n ~parts =
 
 (* Shared local phase of [run]/[run_faulty]: validate the partition and
    collect the full message vector, one slot per vertex. *)
-let collect (p : 'a t) g ~parts =
-  let n = Graph.order g in
-  let seen = Array.make n false in
-  List.iter
-    (List.iter (fun v ->
-         if v < 1 || v > n || seen.(v - 1) then
-           invalid_arg "Coalition.run: parts do not partition the vertices";
-         seen.(v - 1) <- true))
+let collect (p : 'a t) src ~parts =
+  let n = Graph_source.order src in
+  (* [owner.(v-1)] is the 1-based index of the coalition holding [v]:
+     one array is both the partition check and the O(1) membership test
+     below (a [List.mem] here is quadratic in coalition size, which at
+     n = 10^6 with a handful of parts dominates the whole run). *)
+  let owner = Array.make n 0 in
+  List.iteri
+    (fun ci members ->
+      List.iter
+        (fun v ->
+          if v < 1 || v > n || owner.(v - 1) <> 0 then
+            invalid_arg "Coalition.run: parts do not partition the vertices";
+          owner.(v - 1) <- ci + 1)
+        members)
     parts;
-  if Array.exists not seen then invalid_arg "Coalition.run: parts do not cover the vertices";
+  if Array.exists (fun o -> o = 0) owner then
+    invalid_arg "Coalition.run: parts do not cover the vertices";
   let inbox = Array.make n None in
-  List.iter
-    (fun members ->
+  List.iteri
+    (fun ci members ->
       let members = List.sort Stdlib.compare members in
-      let view = { members; neighborhoods = List.map (fun v -> (v, Graph.neighbors g v)) members } in
+      let view =
+        { members; neighborhoods = List.map (fun v -> (v, Graph_source.neighbors src v)) members }
+      in
       let out = p.local ~n view in
       if List.length out <> List.length members then
         invalid_arg "Coalition.run: local function must emit one message per member";
       List.iter
         (fun (id, msg) ->
-          if not (List.mem id members) then
+          if id < 1 || id > n || owner.(id - 1) <> ci + 1 then
             invalid_arg "Coalition.run: message for a non-member";
           match inbox.(id - 1) with
           | Some _ -> invalid_arg "Coalition.run: duplicate message"
@@ -57,6 +67,20 @@ let collect (p : 'a t) g ~parts =
    analysis ({!Bound_audit}, [refnet report]) needs [k] recoverable
    from the trace alone. *)
 let labelled p ~parts = Printf.sprintf "%s[parts=%d]" p.name (List.length parts)
+
+(* The backend decoration sits outside [parts=] — outermost — and is
+   peeled first by {!Bound_audit.classify_label}, so source-tagged
+   coalition runs audit under the same O(k log n) budget. *)
+let labelled_src p ~parts src =
+  Printf.sprintf "%s[parts=%d][src=%s]" p.name (List.length parts) (Graph_source.backend src)
+
+let observe_source metrics src =
+  match metrics with
+  | None -> ()
+  | Some m ->
+    Metrics.Counter.incr
+      (Metrics.Counter.counter m
+         (Metrics.series "refnet_source_runs_total" [ ("backend", Graph_source.backend src) ]))
 
 let observe_local metrics msgs =
   match metrics with
@@ -77,11 +101,10 @@ let observe_transcript metrics (t : Simulator.transcript) =
 let maybe_time metrics name f =
   match metrics with Some m -> Metrics.time m name f | None -> f ()
 
-let run ?(trace = Trace.null) ?metrics (p : 'a t) g ~parts =
-  let n = Graph.order g in
-  let label = labelled p ~parts in
+let run_core ~trace ~metrics ~label (p : 'a t) src ~parts =
+  let n = Graph_source.order src in
   Trace.emit trace (Trace.Span_begin { label; n });
-  let msgs = maybe_time metrics "refnet_local_phase" (fun () -> collect p g ~parts) in
+  let msgs = maybe_time metrics "refnet_local_phase" (fun () -> collect p src ~parts) in
   observe_local metrics msgs;
   let out =
     maybe_time metrics "refnet_referee_phase" (fun () ->
@@ -95,11 +118,17 @@ let run ?(trace = Trace.null) ?metrics (p : 'a t) g ~parts =
   Trace.emit trace (Trace.Span_end { label; n });
   (out, t)
 
-let run_faulty ?(faults = Faults.empty) ?(trace = Trace.null) ?metrics (p : 'a t) g ~parts =
-  let n = Graph.order g in
-  let label = labelled p ~parts in
+let run ?(trace = Trace.null) ?metrics (p : 'a t) g ~parts =
+  run_core ~trace ~metrics ~label:(labelled p ~parts) p (Graph_source.of_graph g) ~parts
+
+let run_source ?(trace = Trace.null) ?metrics (p : 'a t) src ~parts =
+  observe_source metrics src;
+  run_core ~trace ~metrics ~label:(labelled_src p ~parts src) p src ~parts
+
+let run_faulty_core ~faults ~trace ~metrics ~label (p : 'a t) src ~parts =
+  let n = Graph_source.order src in
   Trace.emit trace (Trace.Span_begin { label; n });
-  let msgs = maybe_time metrics "refnet_local_phase" (fun () -> collect p g ~parts) in
+  let msgs = maybe_time metrics "refnet_local_phase" (fun () -> collect p src ~parts) in
   observe_local metrics msgs;
   let deliveries, injected = Faults.apply faults msgs in
   (match metrics with
@@ -125,3 +154,12 @@ let run_faulty ?(faults = Faults.empty) ?(trace = Trace.null) ?metrics (p : 'a t
        { label; n; max_bits = t.Simulator.max_bits; total_bits = t.Simulator.total_bits });
   Trace.emit trace (Trace.Span_end { label; n });
   (out, t)
+
+let run_faulty ?(faults = Faults.empty) ?(trace = Trace.null) ?metrics (p : 'a t) g ~parts =
+  run_faulty_core ~faults ~trace ~metrics ~label:(labelled p ~parts) p (Graph_source.of_graph g)
+    ~parts
+
+let run_faulty_source ?(faults = Faults.empty) ?(trace = Trace.null) ?metrics (p : 'a t) src
+    ~parts =
+  observe_source metrics src;
+  run_faulty_core ~faults ~trace ~metrics ~label:(labelled_src p ~parts src) p src ~parts

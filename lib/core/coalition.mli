@@ -50,6 +50,21 @@ val run :
   parts:int list list ->
   'a * Simulator.transcript
 
+(** [run_source p src ~parts] is {!run} over any {!Graph_source}
+    backend.  The label gains the outermost [\[src=<backend>\]]
+    decoration (["name[parts=k][src=csr]"]) — peeled first by
+    {!Bound_audit.classify_label}, so backend-tagged coalition runs
+    audit under the same O(k·log n) budget — and counter
+    [refnet_source_runs_total\{backend="..."\}] is bumped when metrics
+    are on. *)
+val run_source :
+  ?trace:Trace.sink ->
+  ?metrics:Metrics.t ->
+  'a t ->
+  Refnet_graph.Graph_source.t ->
+  parts:int list list ->
+  'a * Simulator.transcript
+
 (** [run_faulty ?faults ?trace ?metrics p g ~parts] is {!run} with a fault plan
     applied between the pooled local phase and the referee, exactly as
     in {!Simulator.run_faulty}: per-member messages are computed
@@ -63,5 +78,16 @@ val run_faulty :
   ?metrics:Metrics.t ->
   'a t ->
   Refnet_graph.Graph.t ->
+  parts:int list list ->
+  'a * Simulator.transcript
+
+(** [run_faulty_source] is {!run_faulty} over any backend, with the
+    [\[src=...\]] label decoration of {!run_source}. *)
+val run_faulty_source :
+  ?faults:Faults.plan ->
+  ?trace:Trace.sink ->
+  ?metrics:Metrics.t ->
+  'a t ->
+  Refnet_graph.Graph_source.t ->
   parts:int list list ->
   'a * Simulator.transcript

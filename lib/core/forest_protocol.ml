@@ -34,48 +34,68 @@ let absorb ~n st ~id msg =
    with Malformed | Bit_reader.Exhausted -> st.bad <- true);
   st
 
-(* Leaf-prune over complete (degree, sum) tables; mutates them. *)
-let decode_tables ~n deg sum =
-  begin
-    let removed = Array.make n false in
-    let b = Graph.Builder.create n in
-    (* Queue of candidate prune points; stale entries are skipped. *)
-    let queue = Queue.create () in
-    for v = 1 to n do
-      if deg.(v - 1) <= 1 then Queue.add v queue
-    done;
-    let processed = ref 0 in
-    let ok = ref true in
-    while !ok && not (Queue.is_empty queue) do
-      let v = Queue.pop queue in
-      if not removed.(v - 1) then begin
-        if deg.(v - 1) = 1 then begin
-          let u = sum.(v - 1) in
-          if u < 1 || u > n || u = v || removed.(u - 1) || deg.(u - 1) = 0 then ok := false
-          else begin
-            Graph.Builder.add_edge b v u;
-            deg.(u - 1) <- deg.(u - 1) - 1;
-            sum.(u - 1) <- sum.(u - 1) - v;
-            if deg.(u - 1) <= 1 then Queue.add u queue
-          end
-        end
-        else if deg.(v - 1) <> 0 || sum.(v - 1) <> 0 then ok := false;
-        if !ok then begin
-          removed.(v - 1) <- true;
-          incr processed
+(* Leaf-prune over complete (degree, sum) tables; mutates them.  Each
+   recovered edge is reported through [on_edge]; returns whether the
+   tables were a consistent forest.  Memory beyond the tables is O(n)
+   bits + the queue — in particular no [Graph.Builder] (whose n^2-bit
+   incidence matrix is what caps reconstruction at moderate n; the
+   recognizer below skips it and runs at n = 10^6+). *)
+let prune_tables ~n ~on_edge deg sum =
+  let removed = Array.make n false in
+  (* Queue of candidate prune points; stale entries are skipped. *)
+  let queue = Queue.create () in
+  for v = 1 to n do
+    if deg.(v - 1) <= 1 then Queue.add v queue
+  done;
+  let processed = ref 0 in
+  let ok = ref true in
+  while !ok && not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    if not removed.(v - 1) then begin
+      if deg.(v - 1) = 1 then begin
+        let u = sum.(v - 1) in
+        if u < 1 || u > n || u = v || removed.(u - 1) || deg.(u - 1) = 0 then ok := false
+        else begin
+          on_edge v u;
+          deg.(u - 1) <- deg.(u - 1) - 1;
+          sum.(u - 1) <- sum.(u - 1) - v;
+          if deg.(u - 1) <= 1 then Queue.add u queue
         end
       end
-    done;
-    if !ok && !processed = n then Some (Graph.Builder.build b) else None
-  end
+      else if deg.(v - 1) <> 0 || sum.(v - 1) <> 0 then ok := false;
+      if !ok then begin
+        removed.(v - 1) <- true;
+        incr processed
+      end
+    end
+  done;
+  !ok && !processed = n
+
+let decode_tables ~n deg sum =
+  let b = Graph.Builder.create n in
+  if prune_tables ~n ~on_edge:(fun v u -> Graph.Builder.add_edge b v u) deg sum then
+    Some (Graph.Builder.build b)
+  else None
 
 let finish ~n { deg; sum; bad } = if bad then None else decode_tables ~n deg sum
 
 let reconstruct : Graph.t option Protocol.t =
   { name = "forest-reconstruct"; local; referee = Protocol.streaming ~init ~absorb ~finish }
 
+(* Same messages, same prune, no reconstruction: the recognizer's
+   referee never allocates an incidence matrix, so its peak memory is
+   the two int tables — O(n) words at any n.  Output is exactly
+   [Option.is_some] of {!reconstruct}'s by construction ([prune_tables]
+   is the shared decision procedure). *)
 let recognize : bool Protocol.t =
-  Protocol.rename "forest-recognize" (Protocol.map_output Option.is_some reconstruct)
+  {
+    name = "forest-recognize";
+    local;
+    referee =
+      Protocol.streaming ~init ~absorb
+        ~finish:(fun ~n { deg; sum; bad } ->
+          (not bad) && prune_tables ~n ~on_edge:(fun _ _ -> ()) deg sum);
+  }
 
 (* ---------- crash/corruption-tolerant variant ---------- *)
 

@@ -18,6 +18,15 @@ let transcript_of_messages msgs =
     faulted_ids = [];
   }
 
+let transcript_of_bits message_bits =
+  {
+    n = Array.length message_bits;
+    message_bits;
+    max_bits = Array.fold_left max 0 message_bits;
+    total_bits = Array.fold_left ( + ) 0 message_bits;
+    faulted_ids = [];
+  }
+
 let emit_node_events trace views msgs =
   Array.iteri
     (fun i msg ->
@@ -48,54 +57,149 @@ let observe_transcript metrics t =
     Metrics.Histogram.observe (Metrics.Histogram.histogram m "refnet_run_max_bits") t.max_bits;
     Metrics.Counter.add (Metrics.Counter.counter m "refnet_run_bits_total") t.total_bits
 
-let local_phase ?domains ?(trace = Trace.null) ?metrics (p : 'a Protocol.t) g =
+(* The engine-side view constructor: one view record per node, backed
+   directly by the source's neighbour slice — zero per-node copies for
+   materialized/CSR backends, one fresh run for implicit ones. *)
+let view_of src ~n i =
+  let nbrs, off, len = Graph_source.neighbors_slice src (i + 1) in
+  View.of_slice ~n ~id:(i + 1) nbrs ~off ~len
+
+let local_phase_source ?domains ?(trace = Trace.null) ?metrics (p : 'a Protocol.t) src =
   (* The model makes this phase embarrassingly parallel: each node's
      message depends only on its view.  The engine is the only place
      views of real nodes are built; messages land in their slot by
      identifier, so the vector — and hence the transcript — is
-     bit-identical to a sequential run at any domain count. *)
-  let n = Graph.order g in
+     bit-identical to a sequential run at any domain count and over any
+     backend presenting the same labelled graph. *)
+  let n = Graph_source.order src in
   if Trace.is_null trace && metrics = None then
-    Parallel.init ?domains n (fun i ->
-        p.local (View.make ~n ~id:(i + 1) ~neighbors:(Graph.neighbors g (i + 1))))
+    Parallel.init ?domains n (fun i -> p.local (view_of src ~n i))
   else begin
     (* Prebuild the views so their audit tallies survive the parallel
        section; events and metrics are recorded from the submitting
        domain only, after the batch completes, in identifier order. *)
-    let views =
-      Array.init n (fun i -> View.make ~n ~id:(i + 1) ~neighbors:(Graph.neighbors g (i + 1)))
-    in
+    let views = Array.init n (fun i -> view_of src ~n i) in
     let msgs = Parallel.init ?domains ?metrics n (fun i -> p.local views.(i)) in
     if not (Trace.is_null trace) then emit_node_events trace views msgs;
     observe_local metrics views msgs;
     msgs
   end
 
-let run ?domains ?(trace = Trace.null) ?metrics (p : 'a Protocol.t) g =
-  let n = Graph.order g in
-  Trace.emit trace (Trace.Span_begin { label = p.name; n });
-  let msgs = maybe_time metrics "refnet_local_phase" (fun () -> local_phase ?domains ~trace ?metrics p g) in
-  let out =
-    maybe_time metrics "refnet_referee_phase" (fun () ->
-        Protocol.run_referee ~trace ?metrics p.referee ~n msgs)
+let local_phase ?domains ?trace ?metrics p g =
+  local_phase_source ?domains ?trace ?metrics p (Graph_source.of_graph g)
+
+(* Blocked schedule: compute [chunk] messages in parallel, feed them to
+   the streaming referee, release them, repeat.  Live message storage is
+   O(chunk) instead of O(n) — the transcript keeps every length in an
+   int array.  Absorbs happen in identifier order exactly as in the
+   full-vector schedule, so output and transcript are bit-identical for
+   every chunk size; only the interleaving of [Node_local] /
+   [Referee_absorb] trace events (and the per-absorb latency sampling,
+   skipped here) differs. *)
+let run_chunked ?domains ~chunk ~trace ~metrics (p : 'a Protocol.t) src =
+  let n = Graph_source.order src in
+  let message_bits = Array.make n 0 in
+  let feed = ref (Protocol.start p.referee ~n) in
+  let quiet = Trace.is_null trace && metrics = None in
+  let base = ref 0 in
+  while !base < n do
+    let b = !base in
+    let len = min chunk (n - b) in
+    if quiet then begin
+      let msgs = Parallel.init ?domains len (fun i -> p.local (view_of src ~n (b + i))) in
+      for i = 0 to len - 1 do
+        message_bits.(b + i) <- Message.bits msgs.(i);
+        feed := Protocol.feed !feed ~id:(b + i + 1) msgs.(i)
+      done
+    end
+    else begin
+      let views = Array.init len (fun i -> view_of src ~n (b + i)) in
+      let msgs =
+        maybe_time metrics "refnet_local_phase" (fun () ->
+            Parallel.init ?domains ?metrics len (fun i -> p.local views.(i)))
+      in
+      if not (Trace.is_null trace) then
+        Array.iteri
+          (fun i msg ->
+            Trace.emit trace
+              (Trace.Node_local
+                 { id = b + i + 1; bits = Message.bits msg; queries = View.audit views.(i) }))
+          msgs;
+      observe_local metrics views msgs;
+      maybe_time metrics "refnet_referee_phase" (fun () ->
+          for i = 0 to len - 1 do
+            message_bits.(b + i) <- Message.bits msgs.(i);
+            feed := Protocol.feed !feed ~id:(b + i + 1) msgs.(i);
+            if not (Trace.is_null trace) then
+              Trace.emit trace (Trace.Referee_absorb { id = b + i + 1; bits = message_bits.(b + i) })
+          done);
+      match metrics with
+      | Some m -> Metrics.Counter.add (Metrics.Counter.counter m "refnet_absorbs_total") len
+      | None -> ()
+    end;
+    base := b + len
+  done;
+  (Protocol.finish !feed, transcript_of_bits message_bits)
+
+let run_core ?domains ?chunk ~trace ~metrics ~label (p : 'a Protocol.t) src =
+  let n = Graph_source.order src in
+  Trace.emit trace (Trace.Span_begin { label; n });
+  let out, t =
+    match chunk with
+    | Some c when c >= 1 && c < n -> run_chunked ?domains ~chunk:c ~trace ~metrics p src
+    | _ ->
+      let msgs =
+        maybe_time metrics "refnet_local_phase" (fun () ->
+            local_phase_source ?domains ~trace ?metrics p src)
+      in
+      let out =
+        maybe_time metrics "refnet_referee_phase" (fun () ->
+            Protocol.run_referee ~trace ?metrics p.referee ~n msgs)
+      in
+      (out, transcript_of_messages msgs)
   in
-  let t = transcript_of_messages msgs in
   observe_transcript metrics t;
   Trace.emit trace
-    (Trace.Referee_done { label = p.name; n; max_bits = t.max_bits; total_bits = t.total_bits });
-  Trace.emit trace (Trace.Span_end { label = p.name; n });
+    (Trace.Referee_done { label; n; max_bits = t.max_bits; total_bits = t.total_bits });
+  Trace.emit trace (Trace.Span_end { label; n });
   (out, t)
 
-let run_faulty ?(faults = Faults.empty) ?domains ?(trace = Trace.null) ?metrics (p : 'a Protocol.t) g
-    =
-  (* Identical to [run] up to and including the local phase; the fault
-     plan then rewrites the delivery schedule.  Message {e production}
-     is untouched — the transcript keeps measuring what nodes sent, so
-     an empty plan is bit-identical to [run] (output, transcript and
-     event stream) at any domain count. *)
-  let n = Graph.order g in
-  Trace.emit trace (Trace.Span_begin { label = p.name; n });
-  let msgs = maybe_time metrics "refnet_local_phase" (fun () -> local_phase ?domains ~trace ?metrics p g) in
+(* [src=<backend>] is appended outermost — outside [parts=] and the
+   +sealed/+hardened suffixes — and peeled first by
+   {!Bound_audit.classify_label}, so backend-tagged runs audit under the
+   same budget as their bare twins while staying distinguishable in
+   [refnet report]. *)
+let source_label (p : 'a Protocol.t) src = Printf.sprintf "%s[src=%s]" p.name (Graph_source.backend src)
+
+let observe_source metrics src =
+  match metrics with
+  | None -> ()
+  | Some m ->
+    Metrics.Counter.incr
+      (Metrics.Counter.counter m
+         (Metrics.series "refnet_source_runs_total" [ ("backend", Graph_source.backend src) ]))
+
+let run ?domains ?(trace = Trace.null) ?metrics (p : 'a Protocol.t) g =
+  run_core ?domains ~trace ~metrics ~label:p.name p (Graph_source.of_graph g)
+
+let run_source ?domains ?chunk ?(trace = Trace.null) ?metrics (p : 'a Protocol.t) src =
+  observe_source metrics src;
+  run_core ?domains ?chunk ~trace ~metrics ~label:(source_label p src) p src
+
+let run_faulty_core ?domains ~faults ~trace ~metrics ~label (p : 'a Protocol.t) src =
+  (* Identical to [run_core]'s full-vector schedule up to and including
+     the local phase; the fault plan then rewrites the delivery
+     schedule.  Message {e production} is untouched — the transcript
+     keeps measuring what nodes sent, so an empty plan is bit-identical
+     to [run] (output, transcript and event stream) at any domain
+     count.  Fault plans address the full vector, so this entry point
+     does not chunk. *)
+  let n = Graph_source.order src in
+  Trace.emit trace (Trace.Span_begin { label; n });
+  let msgs =
+    maybe_time metrics "refnet_local_phase" (fun () ->
+        local_phase_source ?domains ~trace ?metrics p src)
+  in
   let deliveries, injected = Faults.apply faults msgs in
   (match metrics with
   | Some m when injected <> [] ->
@@ -112,9 +216,18 @@ let run_faulty ?(faults = Faults.empty) ?domains ?(trace = Trace.null) ?metrics 
   let t = { (transcript_of_messages msgs) with faulted_ids = List.map fst injected } in
   observe_transcript metrics t;
   Trace.emit trace
-    (Trace.Referee_done { label = p.name; n; max_bits = t.max_bits; total_bits = t.total_bits });
-  Trace.emit trace (Trace.Span_end { label = p.name; n });
+    (Trace.Referee_done { label; n; max_bits = t.max_bits; total_bits = t.total_bits });
+  Trace.emit trace (Trace.Span_end { label; n });
   (out, t)
+
+let run_faulty ?(faults = Faults.empty) ?domains ?(trace = Trace.null) ?metrics
+    (p : 'a Protocol.t) g =
+  run_faulty_core ?domains ~faults ~trace ~metrics ~label:p.name p (Graph_source.of_graph g)
+
+let run_faulty_source ?(faults = Faults.empty) ?domains ?(trace = Trace.null) ?metrics
+    (p : 'a Protocol.t) src =
+  observe_source metrics src;
+  run_faulty_core ?domains ~faults ~trace ~metrics ~label:(source_label p src) p src
 
 let shuffle rng a =
   let n = Array.length a in
@@ -125,10 +238,10 @@ let shuffle rng a =
     a.(j) <- t
   done
 
-let run_async ?rng ?domains ?(trace = Trace.null) ?metrics (p : 'a Protocol.t) g =
+let run_async_core ?rng ?domains ~trace ~metrics ~label (p : 'a Protocol.t) src =
   let rng = match rng with Some r -> r | None -> Random.State.make [| 0x5eed |] in
-  let n = Graph.order g in
-  Trace.emit trace (Trace.Span_begin { label = p.name; n });
+  let n = Graph_source.order src in
+  Trace.emit trace (Trace.Span_begin { label; n });
   let order = Array.init n (fun i -> i + 1) in
   shuffle rng order;
   (* Compute in scheduling order (now also interleaved across domains),
@@ -140,7 +253,7 @@ let run_async ?rng ?domains ?(trace = Trace.null) ?metrics (p : 'a Protocol.t) g
   maybe_time metrics "refnet_local_phase" (fun () ->
       Parallel.iter_range ?domains ?metrics n (fun i ->
           let id = order.(i) in
-          let v = View.make ~n ~id ~neighbors:(Graph.neighbors g id) in
+          let v = view_of src ~n (id - 1) in
           views.(id - 1) <- Some v;
           inbox.(id - 1) <- Some (p.local v)));
   let msgs = Array.map (function Some m -> m | None -> assert false) inbox in (* lint: allow referee-totality -- every slot was filled by the local phase above *)
@@ -157,9 +270,16 @@ let run_async ?rng ?domains ?(trace = Trace.null) ?metrics (p : 'a Protocol.t) g
   let t = transcript_of_messages msgs in
   observe_transcript metrics t;
   Trace.emit trace
-    (Trace.Referee_done { label = p.name; n; max_bits = t.max_bits; total_bits = t.total_bits });
-  Trace.emit trace (Trace.Span_end { label = p.name; n });
+    (Trace.Referee_done { label; n; max_bits = t.max_bits; total_bits = t.total_bits });
+  Trace.emit trace (Trace.Span_end { label; n });
   (out, t)
+
+let run_async ?rng ?domains ?(trace = Trace.null) ?metrics (p : 'a Protocol.t) g =
+  run_async_core ?rng ?domains ~trace ~metrics ~label:p.name p (Graph_source.of_graph g)
+
+let run_async_source ?rng ?domains ?(trace = Trace.null) ?metrics (p : 'a Protocol.t) src =
+  observe_source metrics src;
+  run_async_core ?rng ?domains ~trace ~metrics ~label:(source_label p src) p src
 
 let ceil_log2 n =
   let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in

@@ -42,13 +42,27 @@ type transcript = {
     message is written into its slot by identifier, so the resulting
     vector is bit-identical to a sequential run at any width.  With a
     live [trace], one [Node_local] event per node is emitted (in
-    identifier order, after the parallel section). *)
+    identifier order, after the parallel section).  Views are built on
+    the allocation-lean slice path ({!View.of_slice}) — no per-node
+    neighbour list is materialized. *)
 val local_phase :
   ?domains:int ->
   ?trace:Trace.sink ->
   ?metrics:Metrics.t ->
   'a Protocol.t ->
   Refnet_graph.Graph.t ->
+  Message.t array
+
+(** [local_phase_source] is {!local_phase} over any {!Graph_source}
+    backend.  All backends present identical neighbour runs for the
+    same labelled graph, so the message vector is bit-identical across
+    them. *)
+val local_phase_source :
+  ?domains:int ->
+  ?trace:Trace.sink ->
+  ?metrics:Metrics.t ->
+  'a Protocol.t ->
+  Refnet_graph.Graph_source.t ->
   Message.t array
 
 (** [run ?domains ?trace p g] executes both phases; returns the
@@ -62,6 +76,32 @@ val run :
   ?metrics:Metrics.t ->
   'a Protocol.t ->
   Refnet_graph.Graph.t ->
+  'a * transcript
+
+(** [run_source ?chunk p src] is {!run} over any {!Graph_source}
+    backend.  The span/done labels gain a [\[src=<backend>\]]
+    decoration (peeled by {!Bound_audit.classify_label} before budget
+    lookup, so backend-tagged runs audit under the bare label's
+    theorem), and counter
+    [refnet_source_runs_total\{backend="..."\}] is bumped when metrics
+    are on.
+
+    [?chunk] bounds live message storage: with [chunk = c < n] the
+    engine alternates computing [c] messages in parallel with feeding
+    them to the streaming referee in identifier order, so peak memory
+    is O(c) messages + O(n) ints (the transcript) + the referee state —
+    the schedule that lets a million-node implicit source run in a
+    frontier-sized footprint.  Output and transcript are bit-identical
+    for every chunk size; only trace-event interleaving and the
+    per-absorb latency sampling (skipped when chunked) differ.  Default:
+    unchunked (the historical two-phase schedule). *)
+val run_source :
+  ?domains:int ->
+  ?chunk:int ->
+  ?trace:Trace.sink ->
+  ?metrics:Metrics.t ->
+  'a Protocol.t ->
+  Refnet_graph.Graph_source.t ->
   'a * transcript
 
 (** [run_faulty ?faults ?domains ?trace p g] is [run] with a
@@ -82,6 +122,19 @@ val run_faulty :
   Refnet_graph.Graph.t ->
   'a * transcript
 
+(** [run_faulty_source] is {!run_faulty} over any backend, with the
+    [\[src=...\]] label decoration of {!run_source}.  Fault plans
+    address the full message vector, so this entry point never
+    chunks. *)
+val run_faulty_source :
+  ?faults:Faults.plan ->
+  ?domains:int ->
+  ?trace:Trace.sink ->
+  ?metrics:Metrics.t ->
+  'a Protocol.t ->
+  Refnet_graph.Graph_source.t ->
+  'a * transcript
+
 (** [run_async ?rng ?domains ?trace p g] is [run] but evaluates local
     functions in a random order and delivers messages to the streaming
     referee in {e another} random arrival order — a check that nothing
@@ -95,6 +148,17 @@ val run_async :
   ?metrics:Metrics.t ->
   'a Protocol.t ->
   Refnet_graph.Graph.t ->
+  'a * transcript
+
+(** [run_async_source] is {!run_async} over any backend, with the
+    [\[src=...\]] label decoration of {!run_source}. *)
+val run_async_source :
+  ?rng:Random.State.t ->
+  ?domains:int ->
+  ?trace:Trace.sink ->
+  ?metrics:Metrics.t ->
+  'a Protocol.t ->
+  Refnet_graph.Graph_source.t ->
   'a * transcript
 
 (** [transcript_of_messages msgs] summarizes an externally-built message

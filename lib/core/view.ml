@@ -15,18 +15,27 @@ type tally = {
   mutable t_nbr : int;
 }
 
-type t = { size : int; ident : int; nbrs : int list; degree : int; tally : tally }
+(* The neighbour set is a slice [off, off + len) of an int array the
+   view does not own: for materialized/CSR sources that is shared graph
+   storage (zero copies per node), for implicit sources a fresh
+   per-node array.  Accessors never let the array escape, so sharing is
+   invisible to local functions. *)
+type t = { size : int; ident : int; nbrs : int array; off : int; len : int; tally : tally }
+
+let fresh_tally () = { t_id = 0; t_n = 0; t_deg = 0; t_nbr = 0 }
+
+let of_slice ~n ~id nbrs ~off ~len =
+  if n < 1 then invalid_arg "View.of_slice: n must be positive";
+  if id < 1 || id > n then invalid_arg "View.of_slice: id out of range";
+  if off < 0 || len < 0 || off + len > Array.length nbrs then
+    invalid_arg "View.of_slice: slice out of bounds";
+  { size = n; ident = id; nbrs; off; len; tally = fresh_tally () }
 
 let make ~n ~id ~neighbors =
   if n < 1 then invalid_arg "View.make: n must be positive";
   if id < 1 || id > n then invalid_arg "View.make: id out of range";
-  {
-    size = n;
-    ident = id;
-    nbrs = neighbors;
-    degree = List.length neighbors;
-    tally = { t_id = 0; t_n = 0; t_deg = 0; t_nbr = 0 };
-  }
+  let nbrs = Array.of_list neighbors in
+  { size = n; ident = id; nbrs; off = 0; len = Array.length nbrs; tally = fresh_tally () }
 
 let id v =
   v.tally.t_id <- v.tally.t_id + 1;
@@ -38,19 +47,25 @@ let n v =
 
 let deg v =
   v.tally.t_deg <- v.tally.t_deg + 1;
-  v.degree
+  v.len
 
 let neighbors v =
   v.tally.t_nbr <- v.tally.t_nbr + 1;
-  v.nbrs
+  List.init v.len (fun i -> v.nbrs.(v.off + i))
 
 let fold_neighbors v init f =
   v.tally.t_nbr <- v.tally.t_nbr + 1;
-  List.fold_left f init v.nbrs
+  let acc = ref init in
+  for i = v.off to v.off + v.len - 1 do
+    acc := f !acc v.nbrs.(i)
+  done;
+  !acc
 
 let iter_neighbors v f =
   v.tally.t_nbr <- v.tally.t_nbr + 1;
-  List.iter f v.nbrs
+  for i = v.off to v.off + v.len - 1 do
+    f v.nbrs.(i)
+  done
 
 let audit v =
   {

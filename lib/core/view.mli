@@ -31,6 +31,18 @@ type t
     @raise Invalid_argument if [n < 1] or [id] is out of [1..n]. *)
 val make : n:int -> id:int -> neighbors:int list -> t
 
+(** [of_slice ~n ~id nbrs ~off ~len] is {!make} over the array slice
+    [nbrs.(off) .. nbrs.(off + len - 1)] without copying it — the
+    allocation-lean path the engine feeds from {!Graph_source} slices
+    (one view record per node, zero per-node neighbour copies for
+    materialized/CSR backends).  The view never lets the array escape
+    and never mutates it; the caller must not mutate it either while
+    the view is live.  Subject to the same [view-boundary] lint rule as
+    {!make}.
+    @raise Invalid_argument if [n < 1], [id] is out of [1..n], or the
+    slice is out of bounds. *)
+val of_slice : n:int -> id:int -> int array -> off:int -> len:int -> t
+
 (** [id v] is the node's identifier. *)
 val id : t -> int
 

@@ -83,6 +83,10 @@ let neighbors g v =
   check g v "neighbors";
   Array.to_list g.nbrs.(v - 1)
 
+let neighbors_row g v =
+  check g v "neighbors_row";
+  g.nbrs.(v - 1)
+
 let iter_neighbors g v f =
   check g v "iter_neighbors";
   let row = g.nbrs.(v - 1) in

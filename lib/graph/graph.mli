@@ -64,6 +64,12 @@ val degree : t -> int -> int
     the local knowledge [{ID(y) | y in N(v)}] a node holds in the model. *)
 val neighbors : t -> int -> int list
 
+(** [neighbors_row g v] is the precomputed increasing neighbour array of
+    [v], shared with the graph — callers must not mutate it.  This is
+    the zero-copy slice {!Graph_source} hands the engine's view
+    builder. *)
+val neighbors_row : t -> int -> int array
+
 (** [iter_neighbors g v f] applies [f] to each neighbour of [v] in
     increasing order, iterating the precomputed adjacency array directly —
     no list is allocated.  Preferred over {!neighbors} on hot paths. *)

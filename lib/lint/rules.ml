@@ -39,17 +39,30 @@ let check_ident st loc lid =
   match last_two path with
   | None -> ()
   | Some ((m, f) as mf) ->
-    (* view-boundary (a): View.make outside the engine/reductions *)
-    if mf = ("View", "make") && not (Policy.matches st.file Policy.view_builders) then
-      emit st Finding.View_boundary loc
-        "View.make outside the engine/reduction modules listed in view.mli: only the execution \
-         engine and referee-side oracle simulations may construct views";
-    (* view-boundary (b): Graph accessors inside a protocol local function *)
-    if st.in_local > 0 && List.exists (fun c -> c = "Graph") path && m <> "" then
+    (* view-boundary (a): view constructors outside the engine/reductions *)
+    if
+      (mf = ("View", "make") || mf = ("View", "of_slice"))
+      && not (Policy.matches st.file Policy.view_builders)
+    then
       emit st Finding.View_boundary loc
         (Printf.sprintf
-           "Graph access %s inside a protocol local function: locals may only read their View.t \
-            (Definition 1)"
+           "View.%s outside the engine/reduction modules listed in view.mli: only the execution \
+            engine and referee-side oracle simulations may construct views"
+           f);
+    (* view-boundary (b): graph-representation accessors inside a
+       protocol local function — any backend, not just the materialized
+       one *)
+    if
+      st.in_local > 0
+      && List.exists
+           (fun c -> c = "Graph" || c = "Graph_source" || c = "Csr" || c = "Implicit")
+           path
+      && m <> ""
+    then
+      emit st Finding.View_boundary loc
+        (Printf.sprintf
+           "graph access %s inside a protocol local function: locals may only read their View.t \
+            (Definition 1), whichever Graph_source backend built it"
            (String.concat "." path));
     (* determinism: the global PRNG *)
     if m = "Random" then

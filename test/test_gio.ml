@@ -82,6 +82,77 @@ let prop_graph6_length =
       let header = if n <= 62 then 1 else 4 in
       String.length (Gio.to_graph6 g) = header + ((n * (n - 1) / 2) + 5) / 6)
 
+(* ---------- streaming edge-list files ---------- *)
+
+let with_temp_file contents f =
+  let path = Filename.temp_file "refnet_gio" ".edges" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (match contents with
+      | Some s ->
+        let oc = open_out path in
+        output_string oc s;
+        close_out oc
+      | None -> ());
+      f path)
+
+let expect_invalid_with ~needle f =
+  match f () with
+  | _ -> Alcotest.failf "expected Invalid_argument carrying %S" needle
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "message %S carries %S" msg needle)
+      true (contains ~needle msg)
+
+let test_file_roundtrip () =
+  List.iter
+    (fun g ->
+      with_temp_file None (fun path ->
+          Gio.to_edge_list_file path g;
+          Alcotest.check graph "graph_of_file" g (Gio.graph_of_file path);
+          Alcotest.check graph "csr_of_file" g (Csr.to_graph (Gio.csr_of_file path))))
+    [ Generators.grid 5 7; Generators.petersen (); Graph.empty 4 ]
+
+let test_file_blank_lines () =
+  with_temp_file (Some "3 2\n\n1 2\n   \n2 3\n") (fun path ->
+      Alcotest.check graph "blank lines skipped"
+        (Graph.of_edges 3 [ (1, 2); (2, 3) ])
+        (Gio.graph_of_file path))
+
+(* Parse and consumer errors carry the offending file:line. *)
+let test_file_errors_carry_line_numbers () =
+  let cases =
+    [
+      ("3 1\n1 2\nx y\n", ":3: expected two integers");
+      ("3 1\n1 2 3\n", ":2: expected two fields");
+      ("-1 0\n", ":1: negative order or size in header");
+      ("3 2\n1 2\n", "edge count mismatch (header says 2, found 1)");
+      ("3 1\n1 9\n", ":2: ");
+      ("3 1\n2 2\n", ":2: ");
+      ("", "empty input");
+      (" \n\n", "empty input");
+    ]
+  in
+  List.iter
+    (fun (contents, needle) ->
+      with_temp_file (Some contents) (fun path ->
+          (* Both streaming consumers surface the same diagnostics. *)
+          expect_invalid_with ~needle (fun () -> ignore (Gio.graph_of_file path));
+          expect_invalid_with ~needle (fun () -> ignore (Gio.csr_of_file path))))
+    cases
+
+let test_file_csr_streaming_agrees () =
+  (* The two streaming loaders and the in-memory parser agree on a
+     random graph's file. *)
+  let g = Generators.gnp (Random.State.make [| 3; 14 |]) 60 0.1 in
+  with_temp_file None (fun path ->
+      Gio.to_edge_list_file path g;
+      let via_string = Gio.of_edge_list (Gio.to_edge_list g) in
+      Alcotest.check graph "string vs file" via_string (Gio.graph_of_file path);
+      Alcotest.check graph "file vs csr file" (Gio.graph_of_file path)
+        (Csr.to_graph (Gio.csr_of_file path)))
+
 let () =
   Alcotest.run "gio"
     [
@@ -97,6 +168,14 @@ let () =
           Alcotest.test_case "family roundtrips" `Quick test_graph6_roundtrip_families;
           Alcotest.test_case "large n header" `Quick test_graph6_large_n_header;
           Alcotest.test_case "invalid input" `Quick test_graph6_invalid;
+        ] );
+      ( "streaming files",
+        [
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "blank lines" `Quick test_file_blank_lines;
+          Alcotest.test_case "errors carry line numbers" `Quick
+            test_file_errors_carry_line_numbers;
+          Alcotest.test_case "csr loader agreement" `Quick test_file_csr_streaming_agrees;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
