@@ -17,7 +17,11 @@
                          equivalence at n = 512, then forest recognition on
                          an implicit path at n = 10^3..10^6 with a chunked
                          referee feed, peak-heap gated, written to
-                         BENCH_refnet.json *)
+                         BENCH_refnet.json
+     main.exe bcc        broadcast congested clique: connectivity rounds-vs-bits
+                         sweep over the implicit families with oracle-checked
+                         verdicts, one-round anchors, and engine transcript
+                         equivalence, written to BENCH_refnet.json *)
 
 open Refnet_graph
 
@@ -298,9 +302,9 @@ let experiment_t11 () =
       let degrees =
         Array.of_list (List.map (Graph.degree g) (Graph.vertices g))
       in
-      let k_hat = Core.Multi_round.Adaptive_degeneracy.degree_bound degrees in
-      let out, t = Core.Multi_round.run (Core.Multi_round.Adaptive_degeneracy.protocol ()) g in
-      let r2 = match t.Core.Multi_round.per_round_max_bits with [ _; x ] -> x | _ -> -1 in
+      let k_hat = Core.Bcc.Adaptive_degeneracy.degree_bound degrees in
+      let out, t = Core.Bcc.run (Core.Bcc.Adaptive_degeneracy.protocol ()) g in
+      let r2 = t.Core.Bcc.per_round_max_bits.(1) in
       Printf.printf "%-22s %6d %8d %8d %12d %12s\n" name (Graph.order g)
         (Degeneracy.degeneracy g) k_hat r2
         (if out = Some g then "yes" else "NO"))
@@ -1341,6 +1345,192 @@ let graphsource () =
   let rows, peak = graphsource_scaling () in
   write_graphsource_json equiv rows peak
 
+(* ------------------------------------------------------------------ *)
+(* B1-B3: broadcast congested clique — rounds vs bits                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's one-round model needs Theta(n / log n)-bit messages for
+   connectivity (Theorem 6 regime); the BCC campaign measures the
+   escape route the closing question points at: a constant number of
+   rounds at c * id_bits n bits per round decides it outright.  Every
+   verdict is checked against the materialized oracle. *)
+
+type bcc_row = {
+  bc_family : string;
+  bc_n : int;
+  bc_bandwidth : int;
+  bc_rounds_budget : int;
+  bc_rounds_used : int;
+  bc_bits_limit : int;
+  bc_max_bits : int;
+  bc_total_bits : int;
+  bc_connected : bool;
+  bc_ok : bool;
+}
+
+(* The deciding round: the last one that carried uplink bits — every
+   later round is free-wheeling after the referee's resolved flag. *)
+let bcc_rounds_used (t : Core.Bcc.transcript) =
+  let last = ref 1 in
+  Array.iteri (fun i b -> if b > 0 then last := i + 1) t.Core.Bcc.per_round_total_bits;
+  !last
+
+let bcc_sweep () =
+  Printf.printf
+    "\nB1: connectivity rounds-vs-bits sweep — implicit families x n x bandwidth c,\n\
+    \    budget c * id_bits n per message, verdicts checked against the oracle\n\n";
+  Printf.printf "  %-14s %6s %3s %7s %6s %10s %9s %11s %3s\n" "family" "n" "c" "budget"
+    "rounds" "used" "max-bits" "total-bits" "ok";
+  let rows = ref [] in
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun n ->
+          let fam = Implicit.parse_family spec n in
+          let src = Graph_source.of_implicit fam in
+          let oracle = Connectivity.is_connected (Implicit.materialize fam) in
+          let max_degree = ref 0 in
+          for v = 1 to n do
+            max_degree := max !max_degree (Graph_source.degree src v)
+          done;
+          List.iter
+            (fun bandwidth ->
+              let rounds = Core.Bcc_connectivity.rounds_for ~bandwidth ~max_degree:!max_degree in
+              let verdict, t =
+                Core.Bcc.run_source ~chunk:4096
+                  (Core.Bcc_connectivity.protocol ~rounds ~bandwidth ())
+                  src
+              in
+              let ok = verdict = Some oracle in
+              let row =
+                {
+                  bc_family = spec;
+                  bc_n = n;
+                  bc_bandwidth = bandwidth;
+                  bc_rounds_budget = rounds;
+                  bc_rounds_used = bcc_rounds_used t;
+                  bc_bits_limit = t.Core.Bcc.bits_limit;
+                  bc_max_bits = t.Core.Bcc.max_bits;
+                  bc_total_bits = t.Core.Bcc.total_bits;
+                  bc_connected = oracle;
+                  bc_ok = ok;
+                }
+              in
+              Printf.printf "  %-14s %6d %3d %7d %6d %10d %9d %11d %3b\n" spec n bandwidth
+                t.Core.Bcc.bits_limit rounds row.bc_rounds_used row.bc_max_bits row.bc_total_bits
+                ok;
+              if not ok then
+                failwith
+                  (Printf.sprintf "bcc: wrong verdict on %s n=%d bandwidth=%d" spec n bandwidth);
+              rows := row :: !rows)
+            [ 1; 2; 4; 8 ])
+        [ 512; 2048; 8192 ])
+    [ "path"; "cycle"; "star"; "grid"; "hypercube"; "regular:4:7"; "degenerate:3:5" ];
+  List.rev !rows
+
+(* One-round anchors for the same decision problem: the deliberately
+   non-frugal full-information protocol (n-bit rows) and the
+   O(log^3 n)-bit sketch — the BCC rows above sit far under both. *)
+let bcc_anchors () =
+  Printf.printf
+    "\nB2: one-round anchors — the message sizes the multi-round budget competes with\n\n";
+  Printf.printf "  %-22s %6s %10s\n" "protocol" "n" "max-bits";
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let g = Implicit.materialize (Implicit.parse_family "cycle" n) in
+      let anchor label out_bits =
+        Printf.printf "  %-22s %6d %10d\n" label n out_bits;
+        rows := (label, n, out_bits) :: !rows
+      in
+      let h, t_full = Core.Simulator.run Core.Bounded_degree.full_information g in
+      if not (Connectivity.is_connected h) then failwith "bcc: full-information oracle diverged";
+      anchor "full-information" t_full.Core.Simulator.max_bits;
+      (* The sketch is one-sided Monte Carlo — its verdict may miss; it
+         anchors message size only. *)
+      let _, t_sketch = Core.Simulator.run (Core.Sketch_connectivity.protocol ~seed:7 ()) g in
+      anchor "sketch-connectivity" t_sketch.Core.Simulator.max_bits;
+      let verdict, t_bcc =
+        Core.Bcc.run (Core.Bcc_connectivity.protocol ~rounds:3 ~bandwidth:2 ()) g
+      in
+      if verdict <> Some true then failwith "bcc: connectivity missed a connected cycle";
+      anchor "bcc-connectivity-2" t_bcc.Core.Bcc.max_bits)
+    [ 512; 2048; 8192 ];
+  List.rev !rows
+
+(* Transcript equivalence of the engine itself: same labelled graph
+   through all three backends, chunked and unchunked, one and four
+   domains — byte-for-byte equal transcripts. *)
+let bcc_equivalence () =
+  Printf.printf
+    "\nB3: engine equivalence — connectivity transcripts across backends, chunks, widths\n\n";
+  List.map
+    (fun spec ->
+      let imp = Implicit.parse spec in
+      let g = Implicit.materialize imp in
+      let n = Graph.order g in
+      let p = Core.Bcc_connectivity.protocol ~rounds:4 ~bandwidth:2 () in
+      let reference = Core.Bcc.run p g in
+      let identical = ref true in
+      let check run = if run () <> reference then identical := false in
+      List.iter
+        (fun src ->
+          check (fun () -> Core.Bcc.run_source p src);
+          List.iter (fun chunk -> check (fun () -> Core.Bcc.run_source ~chunk p src)) [ 1; 7; n ];
+          check (fun () -> Core.Bcc.run_source ~domains:4 p src))
+        [
+          Graph_source.of_graph g;
+          Graph_source.of_csr (Csr.of_graph g);
+          Graph_source.of_implicit imp;
+        ];
+      Printf.printf "  %-22s n=%4d  transcripts identical: %b\n" spec n !identical;
+      if not !identical then failwith ("bcc: backend divergence on " ^ spec);
+      (spec, n, !identical))
+    [ "path:512"; "cycle:512"; "grid:16x32"; "regular:512:4:7"; "degenerate:512:3:5" ]
+
+let write_bcc_json sweep anchors equiv =
+  let oc = open_out "BENCH_refnet.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"refnet-bcc\",\n";
+  Printf.fprintf oc "  \"unix_time\": %.0f,\n" (Unix.time ());
+  Printf.fprintf oc "  \"connectivity_sweep\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"family\": \"%s\", \"n\": %d, \"bandwidth\": %d, \"bits_per_round\": %d, \
+         \"rounds_budget\": %d, \"rounds_used\": %d, \"max_bits\": %d, \"total_bits\": %d, \
+         \"connected\": %b, \"verdict_ok\": %b}%s\n"
+        r.bc_family r.bc_n r.bc_bandwidth r.bc_bits_limit r.bc_rounds_budget r.bc_rounds_used
+        r.bc_max_bits r.bc_total_bits r.bc_connected r.bc_ok
+        (if i = List.length sweep - 1 then "" else ","))
+    sweep;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"one_round_anchors\": [\n";
+  List.iteri
+    (fun i (label, n, bits) ->
+      Printf.fprintf oc "    {\"protocol\": \"%s\", \"n\": %d, \"max_bits\": %d}%s\n" label n bits
+        (if i = List.length anchors - 1 then "" else ","))
+    anchors;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"equivalence\": [\n";
+  List.iteri
+    (fun i (spec, n, same) ->
+      Printf.fprintf oc "    {\"family\": \"%s\", \"n\": %d, \"identical_transcripts\": %b}%s\n"
+        spec n same
+        (if i = List.length equiv - 1 then "" else ","))
+    equiv;
+  Printf.fprintf oc "  ]\n";
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "\nwrote BENCH_refnet.json\n"
+
+let bcc_bench () =
+  section "B1-B3" "Broadcast congested clique: rounds-vs-bits sweep and engine equivalence";
+  let sweep = bcc_sweep () in
+  let anchors = bcc_anchors () in
+  let equiv = bcc_equivalence () in
+  write_bcc_json sweep anchors equiv
+
 let tables () =
   experiment_f1 ();
   experiment_f2 ();
@@ -1370,11 +1560,13 @@ let () =
   | "faults" -> faults ()
   | "metrics" -> metrics_bench ()
   | "graphsource" -> graphsource ()
+  | "bcc" -> bcc_bench ()
   | _ ->
     tables ();
     timing_benches ();
     scaling ();
     faults ();
     metrics_bench ();
-    graphsource ());
+    graphsource ();
+    bcc_bench ());
   Printf.printf "\n%s\nAll experiments completed.\n" line

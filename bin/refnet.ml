@@ -448,6 +448,159 @@ let faults_cmd =
       const faults $ graph $ proto $ k_arg $ parts $ seed_arg $ crash $ truncate $ flip
       $ flip_bits $ duplicate $ spoof $ source_arg $ trace_arg $ metrics_arg)
 
+(* ---------- bcc ---------- *)
+
+(* Multi-round runs over the broadcast congested clique engine.  The
+   default protocol is the deterministic connectivity of
+   Bcc_connectivity (O(1) rounds, O(log n) bits per round — the regime
+   the one-round model cannot reach); [--adaptive] runs the two-round
+   adaptive degeneracy reconstruction instead.  A size-free implicit
+   spec ([--source implicit:cycle]) is instantiated at [-n]. *)
+
+let pp_bcc_transcript src (t : Core.Bcc.transcript) =
+  Printf.printf "source: %s   n=%d\n" (Graph_source.describe src) (Graph_source.order src);
+  Printf.printf "rounds: %d   budget: %s bits per message\n" t.Core.Bcc.rounds
+    (if t.Core.Bcc.bits_limit = max_int then "unbounded"
+     else string_of_int t.Core.Bcc.bits_limit);
+  Array.iteri
+    (fun i mx ->
+      let bcast =
+        if i < Array.length t.Core.Bcc.broadcast_bits then
+          Printf.sprintf "   broadcast %d bits" t.Core.Bcc.broadcast_bits.(i)
+        else ""
+      in
+      Printf.printf "  round %d: max %d bits   total %d bits%s\n" (i + 1) mx
+        t.Core.Bcc.per_round_total_bits.(i) bcast)
+    t.Core.Bcc.per_round_max_bits;
+  Printf.printf "total: %d bits uplink, max message %d bits\n" t.Core.Bcc.total_bits
+    t.Core.Bcc.max_bits
+
+let bcc path source n_default rounds bandwidth adaptive chunk crash truncate seed trace metrics =
+  let g = Option.map read_graph path in
+  let src =
+    match (source, g) with
+    | None, None -> invalid_arg "bcc: provide a GRAPH file or --source implicit:<family-spec>"
+    | None, Some g -> Graph_source.of_graph g
+    | Some spec, g -> (
+      try Graph_source.parse ?graph:g spec
+      with Invalid_argument _ when g = None ->
+        (* A size-free family spec: instantiate it at the requested n. *)
+        Graph_source.of_implicit (Implicit.parse_family spec n_default))
+  in
+  let n = Graph_source.order src in
+  let rounds =
+    match rounds with
+    | Some r -> r
+    | None ->
+      let max_degree = ref 0 in
+      for v = 1 to n do
+        max_degree := max !max_degree (Graph_source.degree src v)
+      done;
+      Core.Bcc_connectivity.rounds_for ~bandwidth ~max_degree:!max_degree
+  in
+  with_observability trace metrics (fun sink m ->
+      if adaptive then begin
+        let h, t =
+          Core.Bcc.run_source ?chunk ~trace:sink ?metrics:m
+            (Core.Bcc.Adaptive_degeneracy.protocol ())
+            src
+        in
+        pp_bcc_transcript src t;
+        match h with
+        | Some h ->
+          Printf.printf "reconstructed: n=%d m=%d\n" (Graph.order h) (Graph.size h);
+          exit 0
+        | None ->
+          print_endline "reconstructed: rejected";
+          exit 1
+      end
+      else if crash = 0. && truncate = 0. then begin
+        let verdict, t =
+          Core.Bcc.run_source ?chunk ~trace:sink ?metrics:m
+            (Core.Bcc_connectivity.protocol ~rounds ~bandwidth ())
+            src
+        in
+        pp_bcc_transcript src t;
+        match verdict with
+        | Some true ->
+          print_endline "connectivity: connected";
+          exit 0
+        | Some false ->
+          print_endline "connectivity: disconnected";
+          exit 1
+        | None ->
+          Printf.printf "connectivity: undecided after %d rounds (raise --rounds)\n" rounds;
+          exit 1
+      end
+      else begin
+        let plan = Core.Faults.random ~seed ~n ~crash ~truncate () in
+        Format.printf "fault plan: %a@." Core.Faults.pp plan;
+        let verdict, t =
+          Core.Bcc.run_faulty_source ~faults:plan ~trace:sink ?metrics:m
+            (Core.Bcc_connectivity.hardened ~rounds ~bandwidth ())
+            src
+        in
+        pp_bcc_transcript src t;
+        Format.printf "verdict: %a@."
+          (Core.Verdict.pp (fun fmt v ->
+               Format.pp_print_string fmt
+                 (match v with
+                 | Some true -> "connected"
+                 | Some false -> "disconnected"
+                 | None -> "undecided")))
+          verdict;
+        exit (match verdict with Core.Verdict.Inconclusive _ -> 1 | _ -> 0)
+      end)
+
+let bcc_cmd =
+  let graph =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"GRAPH"
+          ~doc:"Graph file (edge list or graph6); optional when --source is implicit.")
+  in
+  let n =
+    Arg.(
+      value
+      & opt int 512
+      & info [ "n" ] ~docv:"N" ~doc:"Size used to instantiate a size-free implicit family spec.")
+  in
+  let rounds =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rounds" ] ~docv:"R"
+          ~doc:"Round budget (default: enough to decide either way at the given bandwidth).")
+  in
+  let bandwidth =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "bandwidth" ] ~docv:"C" ~doc:"Per-round budget in units of id_bits n.")
+  in
+  let adaptive =
+    Arg.(
+      value
+      & flag
+      & info [ "adaptive" ]
+          ~doc:"Run the two-round adaptive degeneracy reconstruction instead of connectivity.")
+  in
+  let chunk =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chunk" ] ~docv:"K" ~doc:"Stream the referee feed in chunks of $(docv) messages.")
+  in
+  let rate doc_name doc = Arg.(value & opt float 0. & info [ doc_name ] ~docv:"P" ~doc) in
+  let crash = rate "crash" "Per-node crash probability (switches to the hardened protocol)." in
+  let truncate = rate "truncate" "Per-node truncation probability (hardened protocol)." in
+  Cmd.v
+    (Cmd.info "bcc" ~doc:"Run a broadcast-congested-clique protocol under a round/bit budget")
+    Term.(
+      const bcc $ graph $ source_arg $ n $ rounds $ bandwidth $ adaptive $ chunk $ crash
+      $ truncate $ seed_arg $ trace_arg $ metrics_arg)
+
 (* ---------- sweep ---------- *)
 
 (* One traced run of every flagship protocol per size: the trace feeds
@@ -734,7 +887,7 @@ let () =
       (Cmd.group info
          [
            generate_cmd; reconstruct_cmd; recognize_cmd; gadget_cmd; count_cmd; sizes_cmd; stats_cmd; search_cmd;
-           connectivity_cmd; faults_cmd; sweep_cmd; report_cmd; lint_cmd;
+           connectivity_cmd; faults_cmd; bcc_cmd; sweep_cmd; report_cmd; lint_cmd;
          ])
   with
   | code -> exit code

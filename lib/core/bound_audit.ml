@@ -69,6 +69,29 @@ let split_src label =
       let tok = String.sub label (i + 5) (l - 1 - (i + 5)) in
       if src_token_ok tok then Some (String.sub label 0 i, tok) else None
 
+(* ["...[round=<r>]"]: {!Bcc} labels each round's span with the round
+   index, inside the [src=] decoration — peeled second, right after
+   [src=].  Rounds are 1-based, so [r >= 1]; budgets are
+   round-transparent (the per-round cap is the same every round). *)
+let split_round label =
+  let l = String.length label in
+  if l < 9 || label.[l - 1] <> ']' then None
+  else
+    let rec find i =
+      if i < 0 then None
+      else if String.sub label i 7 = "[round=" then Some i
+      else find (i - 1)
+    in
+    match find (l - 9) with
+    | None -> None
+    | Some i ->
+      let tok = String.sub label (i + 7) (l - 1 - (i + 7)) in
+      if tok <> "" && String.for_all (fun c -> c >= '0' && c <= '9') tok then
+        match int_of_string_opt tok with
+        | Some r when r >= 1 -> Some (String.sub label 0 i, r)
+        | _ -> None
+      else None
+
 (* ["...[parts=4]"] -> [Some 4]. *)
 let parts_of label =
   match String.index_opt label '[' with
@@ -105,11 +128,23 @@ let budget_of_label label =
      the same graph sends the same bits whatever representation the
      engine reads it from. *)
   let label = match split_src label with Some (stem, _) -> stem | None -> label in
+  (* The round index is budget-transparent too: the BCC cap applies to
+     every round alike, so [p[round=r]] audits under [p]'s budget. *)
+  let label = match split_round label with Some (stem, _) -> stem | None -> label in
   if has_substring label "+sealed" || has_substring label "+hardened" then None
   else if label = "forest-reconstruct" || label = "forest-recognize" then
     Some { b_shape = Log_n; c_max = 4.0; n_min = 1 }
   else if label = "full-information" then Some { b_shape = Linear; c_max = 1.0; n_min = 1 }
   else
+    match prefixed ~prefix:"bcc-connectivity-" label with
+    | Some rest -> (
+      (* Every message is at most bandwidth * id_bits n bits — enforced
+         at send time by {!Bcc.check_budget} — so the fitted constant
+         is exactly 1. *)
+      match leading_int rest with
+      | Some (c, "") when c >= 1 -> Some { b_shape = K_log_n c; c_max = 1.0; n_min = 1 }
+      | _ -> None)
+    | None -> (
     match prefixed ~prefix:"degeneracy-" label with
     | Some rest -> (
       match leading_int rest with
@@ -135,7 +170,7 @@ let budget_of_label label =
             | None -> None
           else if prefixed ~prefix:"sketch-connectivity" label <> None then
             Some { b_shape = Log_sq; c_max = 256.0; n_min = 8 }
-          else None))
+          else None)))
 
 (* ---------- grammar classification ---------- *)
 
@@ -189,7 +224,20 @@ let check_stem stem =
             | None -> (
               match prefixed ~prefix:"forest-" stem with
               | Some _ -> Error "unknown forest- label (forest-reconstruct / forest-recognize)"
-              | None -> Ok false)))))
+              | None -> (
+                match prefixed ~prefix:"bcc-connectivity-" stem with
+                | Some rest -> (
+                  match leading_int rest with
+                  | Some (c, "") when c >= 1 -> Ok true
+                  | _ -> Error "must read bcc-connectivity-<c> with c >= 1")
+                | None ->
+                  if stem = "bcc-adaptive-degeneracy" then Ok true
+                  else (
+                    match prefixed ~prefix:"bcc-" stem with
+                    | Some _ ->
+                      Error
+                        "unknown bcc- label (bcc-connectivity-<c> / bcc-adaptive-degeneracy)"
+                    | None -> Ok false)))))))
 
 let classify_label label =
   if label = "" then Malformed "empty label"
@@ -207,6 +255,17 @@ let classify_label label =
     in
     if has_substring label "[src=" then
       Malformed "bad [src=<backend>] decoration (must be outermost, token charset [a-z0-9:.-])"
+    else begin
+    (* Peel the round index next — {!Bcc} appends it just inside the
+       backend decoration.  A leftover "[round=" is a near-miss (wrong
+       placement, or a round below 1). *)
+    let label =
+      match split_round label with
+      | Some (stem, _) -> stem
+      | None -> label
+    in
+    if has_substring label "[round=" then
+      Malformed "bad [round=<r>] decoration (must sit just inside [src=], with r >= 1)"
     else begin
     (* Peel the coalition decoration next — {!Coalition.labelled}
        appends it outside any +sealed/+hardened suffix. *)
@@ -254,6 +313,7 @@ let classify_label label =
               (match budget_of_label canonical with
               | Some b -> Budgeted b
               | None -> Exempt (* bare coalition-connectivity: parts arrive at run time *))))
+    end
     end
   end
 

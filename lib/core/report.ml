@@ -123,6 +123,8 @@ type proto = {
   mutable bits_max : int;
   bits_buckets : int array; (* log2 buckets over Node_local bits *)
   mutable queries_sum : int;
+  mutable broadcasts : int; (* Bcc referee broadcasts *)
+  mutable bcast_bits : int; (* summed broadcast payload bits *)
   faults : (string, int) Hashtbl.t; (* fault kind -> count *)
   mutable total_bits : int; (* summed over Referee_done events *)
   mutable obs : Bound_audit.observation list; (* reversed *)
@@ -154,6 +156,8 @@ let proto t label =
         bits_max = 0;
         bits_buckets = Array.make 64 0;
         queries_sum = 0;
+        broadcasts = 0;
+        bcast_bits = 0;
         faults = Hashtbl.create 4;
         total_bits = 0;
         obs = [];
@@ -192,6 +196,13 @@ let ingest_fields t fields =
     ignore (int_ fields "id");
     ignore (int_ fields "bits");
     p.absorbs <- p.absorbs + 1
+  | "broadcast" ->
+    (* Emitted inside the round span, so it lands on the [round=r]
+       label — the budget the broadcast is held to is per-round too. *)
+    let p = proto t (current_label t) in
+    ignore (int_ fields "round");
+    p.broadcasts <- p.broadcasts + 1;
+    p.bcast_bits <- p.bcast_bits + int_ fields "bits"
   | "fault" ->
     let p = proto t (current_label t) in
     let kind = fault_kind (str fields "fault") in
@@ -298,7 +309,9 @@ let to_json t =
           end)
         p.bits_buckets;
       Buffer.add_string b
-        (Printf.sprintf "},\"bits_max\":%d,\"bits_sum\":%d,\"faults\":{" p.bits_max p.bits_sum);
+        (Printf.sprintf
+           "},\"bits_max\":%d,\"bits_sum\":%d,\"broadcast_bits\":%d,\"broadcasts\":%d,\"faults\":{"
+           p.bits_max p.bits_sum p.bcast_bits p.broadcasts);
       List.iteri
         (fun j (k, v) ->
           if j > 0 then Buffer.add_char b ',';
@@ -327,6 +340,8 @@ let pp fmt t =
         Format.fprintf fmt "  locals: %d  bits max=%d sum=%d  view queries=%d@." p.locals
           p.bits_max p.bits_sum p.queries_sum;
       if p.absorbs > 0 then Format.fprintf fmt "  absorbs: %d@." p.absorbs;
+      if p.broadcasts > 0 then
+        Format.fprintf fmt "  broadcasts: %d  bits sum=%d@." p.broadcasts p.bcast_bits;
       if p.total_bits > 0 then Format.fprintf fmt "  total bits over runs: %d@." p.total_bits;
       Array.iteri
         (fun idx c ->

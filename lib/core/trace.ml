@@ -4,6 +4,7 @@ type event =
   | Node_local of { id : int; bits : int; queries : View.counts }
   | Referee_absorb of { id : int; bits : int }
   | Fault_injected of { id : int; fault : Faults.fault }
+  | Referee_broadcast of { round : int; bits : int }
   | Referee_done of { label : string; n : int; max_bits : int; total_bits : int }
 
 type sink = Null | Emit of (event -> unit)
@@ -22,6 +23,8 @@ let pp_event fmt = function
   | Referee_absorb { id; bits } -> Format.fprintf fmt "absorb node=%d bits=%d" id bits
   | Fault_injected { id; fault } ->
     Format.fprintf fmt "fault node=%d %s" id (Faults.fault_to_string fault)
+  | Referee_broadcast { round; bits } ->
+    Format.fprintf fmt "bcast round=%d bits=%d" round bits
   | Referee_done { label; n; max_bits; total_bits } ->
     Format.fprintf fmt "done  %-12s n=%d max=%d bits total=%d bits" label n max_bits total_bits
 
@@ -59,6 +62,8 @@ let json_of_event = function
   | Fault_injected { id; fault } ->
     Printf.sprintf {|{"event":"fault","id":%d,"fault":%s}|} id
       (json_string (Faults.fault_to_string fault))
+  | Referee_broadcast { round; bits } ->
+    Printf.sprintf {|{"event":"broadcast","round":%d,"bits":%d}|} round bits
   | Referee_done { label; n; max_bits; total_bits } ->
     Printf.sprintf {|{"event":"done","label":%s,"n":%d,"max_bits":%d,"total_bits":%d}|}
       (json_string label) n max_bits total_bits

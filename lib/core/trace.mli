@@ -27,7 +27,12 @@ type event =
   | Fault_injected of { id : int; fault : Faults.fault }
       (** the channel hit node [id]'s message ({!Simulator.run_faulty} /
           {!Coalition.run_faulty}); emitted once per in-scope plan
-          entry, after the local phase and before any absorb *)
+          entry, after the local phase and before any absorb — under
+          {!Bcc.run_faulty}, once per plan entry {e per round} *)
+  | Referee_broadcast of { round : int; bits : int }
+      (** the {!Bcc} referee closed round [round] with a [bits]-bit
+          broadcast heard by every node (absent after the final round,
+          which ends in the decision instead) *)
   | Referee_done of { label : string; n : int; max_bits : int; total_bits : int }
 
 type sink = Null | Emit of (event -> unit)

@@ -24,7 +24,7 @@ let view_builders =
   [
     "lib/core/simulator.ml" (* engine: one view per real node *);
     "lib/core/coalition.ml" (* engine: coalition runs *);
-    "lib/core/multi_round.ml" (* engine: per-round views *);
+    "lib/core/bcc.ml" (* engine: multi-round views *);
     "lib/core/reduction.ml" (* referee-side gadget-vertex probes *);
     "lib/core/bipartite_reduction.ml" (* referee-side gadget-vertex probes *);
     "lib/core/fooling.ml" (* lower-bound harness: evaluates locals on candidate views *);

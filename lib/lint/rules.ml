@@ -210,14 +210,19 @@ let check ~file ast =
       List.iter
         (fun ({ Location.txt; _ }, value) ->
           match last_component txt with
-          | Some "local" -> in_local_scope (fun () -> it.expr it value)
+          (* [local] is the one-round node function; [send]/[receive]
+             are the Bcc per-round node functions — all three run on a
+             node and may only read their View.t.  The referee-side
+             fields ([init], [r_*]) are not scoped: referee oracles
+             legitimately probe graph representations. *)
+          | Some ("local" | "send" | "receive") -> in_local_scope (fun () -> it.expr it value)
           | _ -> it.expr it value)
         fields
     | _ -> iter.expr it e
   in
   let value_binding it vb =
     match vb.pvb_pat.ppat_desc with
-    | Ppat_var { txt = "local"; _ } ->
+    | Ppat_var { txt = "local" | "send" | "receive"; _ } ->
       it.pat it vb.pvb_pat;
       in_local_scope (fun () -> it.expr it vb.pvb_expr)
     | Ppat_var { txt = "name" | "label"; _ } ->

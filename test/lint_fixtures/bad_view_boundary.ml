@@ -1,7 +1,22 @@
-(* Lint fixture: must trip [view-boundary] (twice) and no other rule.
-   Parsed, never compiled — the free identifiers are deliberate. *)
+(* Lint fixture: must trip [view-boundary] (four times) and no other
+   rule.  Parsed, never compiled — the free identifiers are
+   deliberate. *)
 
 let smuggled_view ~n = View.make ~n ~id:1 ~neighbors:[ 2; 3 ]
 
 let cheating_protocol g referee =
   { name = "forest-reconstruct"; local = (fun _view -> Graph.neighbors g 1); referee }
+
+(* The Bcc per-round node functions are node-local too. *)
+let cheating_bcc g budget init referee =
+  {
+    name = "bcc-connectivity-1";
+    budget;
+    init;
+    send = (fun ~round:_ s -> (Message.of_int (Graph.order g), s));
+    receive =
+      (fun ~round:_ ~broadcast:_ s ->
+        ignore (Graph_source.order g);
+        s);
+    referee;
+  }

@@ -6,3 +6,16 @@ let well_behaved referee =
     local = (fun view -> Message.of_int (View.id view + View.n view));
     referee
   }
+
+(* Bcc node functions reading only their view are fine; the
+   referee-side fields are not node-local and may probe graph
+   representations. *)
+let well_behaved_bcc budget init referee =
+  {
+    name = "bcc-connectivity-1";
+    budget;
+    init;
+    send = (fun ~round:_ s -> (Message.of_int (View.deg (state_view s)), s));
+    receive = (fun ~round:_ ~broadcast s -> push_extra s broadcast);
+    referee;
+  }

@@ -111,6 +111,10 @@ let label_grammar () =
       "coalition-connectivity[parts=2]";
       "sketch-connectivity(seed=7)";
       "full-information";
+      "bcc-connectivity-4";
+      "bcc-connectivity-4[round=2]";
+      "bcc-connectivity-4[round=3][src=implicit:cycle]";
+      "forest-reconstruct[round=1]";
     ];
   List.iter exempt
     [
@@ -118,6 +122,8 @@ let label_grammar () =
       "forest-reconstruct+hardened";
       "bounded-degree-3+sealed";
       "coalition-connectivity";
+      "bcc-adaptive-degeneracy";
+      "bcc-connectivity-2+hardened[round=2]";
     ];
   List.iter malformed
     [
@@ -128,6 +134,11 @@ let label_grammar () =
       "coalition-connectivity[parts=0]";
       "forest-reconstruct[parts=2]";
       "degeneracy-3-reconstruct+glittered";
+      "bcc-connectivity-";
+      "bcc-frontier";
+      "[round=0]";
+      "bcc-connectivity-4[round=0]";
+      "bcc-connectivity-4[src=csr][round=2]";
     ]
 
 let () =
@@ -136,7 +147,7 @@ let () =
       ( "fixtures",
         [
           Alcotest.test_case "bad view-boundary" `Quick
-            (bad "bad_view_boundary.ml" "view-boundary" 2);
+            (bad "bad_view_boundary.ml" "view-boundary" 4);
           Alcotest.test_case "good view-boundary" `Quick (good "good_view_boundary.ml");
           Alcotest.test_case "bad determinism" `Quick (bad "bad_determinism.ml" "determinism" 4);
           Alcotest.test_case "good determinism" `Quick (good "good_determinism.ml");
