@@ -21,7 +21,11 @@
      main.exe bcc        broadcast congested clique: connectivity rounds-vs-bits
                          sweep over the implicit families with oracle-checked
                          verdicts, one-round anchors, and engine transcript
-                         equivalence, written to BENCH_refnet.json *)
+                         equivalence, written to BENCH_refnet.json
+     main.exe serve      referee daemon campaign (D1): clean session
+                         throughput, then a chaos sweep with rising faulty
+                         fractions gated on zero lies / zero quarantine
+                         escapes, written to BENCH_refnet.json *)
 
 open Refnet_graph
 
@@ -1551,6 +1555,81 @@ let tables () =
   experiment_t18 ();
   experiment_t19 ()
 
+(* ---------- D1: the serve daemon under load and chaos ---------- *)
+
+(* The whole campaign runs through the in-process selftest: the same
+   byte path a socket client exercises, minus the kernel, so rates are
+   engine rates, not loopback rates.  Each run re-checks the robustness
+   gates (no wrong Decided, no quarantine escapes, no unterminated
+   sessions); a violated gate aborts the bench loudly. *)
+let serve_run ~sessions ~faulty =
+  let cfg =
+    { Serve.Selftest.default_cfg with sessions; conns = 64; faulty }
+  in
+  let o = Serve.Selftest.run cfg in
+  (match Serve.Selftest.passed o with
+  | Ok () -> ()
+  | Error e -> failwith (Printf.sprintf "D1: selftest gate violated: %s" e));
+  o
+
+let serve_clean () =
+  Printf.printf "\n-- D1a: clean throughput (protocol=count, n=8) --\n%!";
+  let o = serve_run ~sessions:20_000 ~faulty:0.0 in
+  Printf.printf "  %d sessions in %.2fs  ->  %.0f sessions/s (all decided: %b)\n"
+    o.Serve.Selftest.o_sessions o.Serve.Selftest.o_wall_s o.Serve.Selftest.o_rate
+    (o.Serve.Selftest.o_decided = o.Serve.Selftest.o_sessions);
+  o
+
+let serve_chaos_sweep () =
+  Printf.printf "\n-- D1b: chaos sweep (rising faulty fraction) --\n%!";
+  List.map
+    (fun faulty ->
+      let o = serve_run ~sessions:8_000 ~faulty in
+      Printf.printf
+        "  faulty=%.2f  decided=%d degraded=%d inconclusive=%d aborted=%d  \
+         quarantines=%d timeouts=%d+%d  %.0f/s\n%!"
+        faulty o.Serve.Selftest.o_decided o.Serve.Selftest.o_degraded
+        o.Serve.Selftest.o_inconclusive o.Serve.Selftest.o_aborted
+        o.Serve.Selftest.o_quarantines o.Serve.Selftest.o_timeouts_idle
+        o.Serve.Selftest.o_timeouts_deadline o.Serve.Selftest.o_rate;
+      (faulty, o))
+    [ 0.0; 0.05; 0.1; 0.2; 0.3 ]
+
+let write_serve_json clean sweep =
+  let oc = open_out "BENCH_refnet.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"refnet-serve\",\n";
+  Printf.fprintf oc "  \"unix_time\": %.0f,\n" (Unix.time ());
+  Printf.fprintf oc "  \"clean_throughput\": {\"protocol\": \"%s\", \"n\": %d, \"sessions\": %d, \"wall_s\": %.3f, \"sessions_per_s\": %.0f},\n"
+    clean.Serve.Selftest.o_protocol clean.Serve.Selftest.o_n
+    clean.Serve.Selftest.o_sessions clean.Serve.Selftest.o_wall_s
+    clean.Serve.Selftest.o_rate;
+  Printf.fprintf oc "  \"chaos_sweep\": [\n";
+  List.iteri
+    (fun i (faulty, o) ->
+      Printf.fprintf oc
+        "    {\"faulty\": %.2f, \"sessions\": %d, \"decided\": %d, \"degraded\": %d, \
+         \"inconclusive\": %d, \"aborted\": %d, \"quarantines\": %d, \
+         \"quarantine_escapes\": %d, \"timeouts_idle\": %d, \"timeouts_deadline\": %d, \
+         \"wrong_decided\": %d, \"sessions_per_s\": %.0f}%s\n"
+        faulty o.Serve.Selftest.o_sessions o.Serve.Selftest.o_decided
+        o.Serve.Selftest.o_degraded o.Serve.Selftest.o_inconclusive
+        o.Serve.Selftest.o_aborted o.Serve.Selftest.o_quarantines
+        o.Serve.Selftest.o_escapes o.Serve.Selftest.o_timeouts_idle
+        o.Serve.Selftest.o_timeouts_deadline o.Serve.Selftest.o_wrong_decided
+        o.Serve.Selftest.o_rate
+        (if i = List.length sweep - 1 then "" else ","))
+    sweep;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote BENCH_refnet.json\n"
+
+let serve_bench () =
+  section "D1" "Referee daemon: session throughput and chaos degradation";
+  let clean = serve_clean () in
+  let sweep = serve_chaos_sweep () in
+  write_serve_json clean sweep
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   (match mode with
@@ -1561,6 +1640,7 @@ let () =
   | "metrics" -> metrics_bench ()
   | "graphsource" -> graphsource ()
   | "bcc" -> bcc_bench ()
+  | "serve" -> serve_bench ()
   | _ ->
     tables ();
     timing_benches ();

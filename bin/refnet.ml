@@ -9,7 +9,8 @@
      sizes         message-size tables for the protocols
      stats         structural parameters of a graph
      search        exhaustive protocol-existence search at tiny n
-     connectivity  coalition connectivity audit *)
+     connectivity  coalition connectivity audit
+     serve         always-on referee daemon (sessions over TCP/Unix sockets) *)
 
 open Cmdliner
 open Refnet_graph
@@ -868,6 +869,224 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Structural parameters of a graph (degeneracy, treewidth, ...)")
     Term.(const stats $ graph_file_arg)
 
+(* ---------- serve ---------- *)
+
+let serve_probe addr =
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
+  let result =
+    let* listen = Serve.Daemon.parse_listen addr in
+    let* c = Serve.Client.connect listen in
+    Fun.protect
+      ~finally:(fun () -> Serve.Client.close c)
+      (fun () ->
+        let* () = Serve.Client.handshake c in
+        let n = 4 in
+        match Serve.Registry.lookup ~spec:"count" ~n with
+        | Error e -> Error e
+        | Ok (Serve.Registry.Entry { protocol = p; _ }) ->
+          let msgs =
+            Core.Simulator.local_phase p (Generators.path n)
+            |> Array.to_list
+            |> List.mapi (fun i m -> (i + 1, m))
+          in
+          Serve.Client.run_session c ~protocol:"count" ~n msgs)
+  in
+  match result with
+  | Ok v ->
+    let status =
+      match v.Serve.Client.status with
+      | Serve.Frame.Decided -> "decided"
+      | Serve.Frame.Degraded -> "degraded"
+      | Serve.Frame.Inconclusive -> "inconclusive"
+    in
+    Printf.printf "probe ok: %s %s\n" status v.Serve.Client.payload;
+    exit (match v.Serve.Client.status with Serve.Frame.Decided -> 0 | _ -> 1)
+  | Error msg ->
+    Printf.eprintf "probe failed: %s\n" msg;
+    exit 1
+
+let serve listen metrics_listen selftest probe sessions conns nodes protocol chaos seed min_rate
+    json deadline idle_timeout max_sessions credit domains max_run trace metrics_file =
+  match probe with
+  | Some addr -> serve_probe addr
+  | None ->
+    if selftest then
+      with_observability trace metrics_file (fun sink m ->
+          let cfg =
+            {
+              Serve.Selftest.default_cfg with
+              Serve.Selftest.sessions;
+              conns;
+              n = nodes;
+              protocol;
+              faulty = chaos;
+              seed;
+            }
+          in
+          let engine_cfg =
+            {
+              Serve.Selftest.default_engine_cfg with
+              Serve.Engine.max_sessions;
+              session_credit = credit;
+              domains;
+            }
+          in
+          let outcome = Serve.Selftest.run ~trace:sink ?metrics:m ~engine_cfg cfg in
+          if json then print_endline (Serve.Selftest.to_json outcome)
+          else Format.printf "%a@." Serve.Selftest.pp outcome;
+          match Serve.Selftest.passed ?min_rate outcome with
+          | Ok () -> exit 0
+          | Error msg ->
+            Printf.eprintf "selftest failed: %s\n" msg;
+            exit 1)
+    else begin
+      match Serve.Daemon.parse_listen listen with
+      | Error msg ->
+        Printf.eprintf "refnet serve: %s\n" msg;
+        exit 1
+      | Ok listen_spec ->
+        let metrics_listen_spec =
+          match metrics_listen with
+          | None -> None
+          | Some s -> (
+            match Serve.Daemon.parse_listen s with
+            | Ok l -> Some l
+            | Error msg ->
+              Printf.eprintf "refnet serve: %s\n" msg;
+              exit 1)
+        in
+        with_trace trace (fun sink ->
+            (* the daemon keeps a registry whenever anything consumes it:
+               a scrape endpoint or a shutdown snapshot file *)
+            let m =
+              if metrics_listen_spec <> None || metrics_file <> None then
+                Some (Core.Metrics.create ())
+              else None
+            in
+            let opts =
+              {
+                (Serve.Daemon.default_opts ~listen:listen_spec) with
+                Serve.Daemon.metrics_listen = metrics_listen_spec;
+                metrics_file;
+                engine_cfg =
+                  {
+                    Serve.Engine.default_config with
+                    Serve.Engine.deadline_s = deadline;
+                    idle_timeout_s = idle_timeout;
+                    max_sessions;
+                    session_credit = credit;
+                    domains;
+                  };
+                trace = sink;
+                metrics = m;
+                max_run_s = max_run;
+              }
+            in
+            exit (Serve.Daemon.run opts))
+    end
+
+let serve_cmd =
+  let listen =
+    Arg.(
+      value
+      & opt string "tcp:127.0.0.1:7477"
+      & info [ "listen" ] ~docv:"ADDR" ~doc:"Listen address: tcp:HOST:PORT, tcp:PORT or unix:PATH.")
+  in
+  let metrics_listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-listen" ] ~docv:"ADDR"
+          ~doc:"Serve a Prometheus text snapshot to HTTP scrapes on $(docv).")
+  in
+  let selftest =
+    Arg.(
+      value & flag
+      & info [ "selftest" ]
+          ~doc:
+            "Run the in-process load generator against the engine instead of listening; exits 0 \
+             only if every robustness invariant held.")
+  in
+  let probe =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "probe" ] ~docv:"ADDR"
+          ~doc:"Connect to a running daemon, run one tiny session, and exit 0 on a Decided verdict.")
+  in
+  let sessions =
+    Arg.(value & opt int 20_000 & info [ "sessions" ] ~docv:"N" ~doc:"Selftest: sessions to run.")
+  in
+  let conns =
+    Arg.(value & opt int 64 & info [ "conns" ] ~docv:"N" ~doc:"Selftest: concurrent client workers.")
+  in
+  let nodes =
+    Arg.(value & opt int 8 & info [ "nodes" ] ~docv:"N" ~doc:"Selftest: nodes per session.")
+  in
+  let protocol =
+    Arg.(
+      value & opt string "count"
+      & info [ "protocol" ] ~docv:"SPEC"
+          ~doc:"Session protocol: count, forest, degeneracy:K, bounded:D or sketch:SEED.")
+  in
+  let chaos =
+    Arg.(
+      value & opt float 0.0
+      & info [ "chaos" ] ~docv:"FRAC"
+          ~doc:
+            "Selftest: fraction of sessions given a hostile behaviour (channel faults, crashes, \
+             truncated frames, corrupt bytes, stalls).")
+  in
+  let min_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-rate" ] ~docv:"RATE" ~doc:"Selftest: fail below $(docv) sessions/second.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Selftest: print the outcome as JSON.") in
+  let deadline =
+    Arg.(
+      value & opt float 30.
+      & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Per-session wall-clock budget before a forced verdict.")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 10.
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Max quiet gap on a session before a forced verdict.")
+  in
+  let max_sessions =
+    Arg.(
+      value & opt int 4096
+      & info [ "max-sessions" ] ~docv:"N" ~doc:"Admission cap: shed load above this many live sessions.")
+  in
+  let credit =
+    Arg.(
+      value & opt int 256
+      & info [ "credit" ] ~docv:"N" ~doc:"Per-session ingress window (Msg frames in flight).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"W" ~doc:"Parallel pool width for session folding.")
+  in
+  let max_run =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-run" ] ~docv:"SECONDS" ~doc:"Stop (as if SIGTERM) after $(docv); for smoke tests.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Always-on referee daemon: clients open sessions over a length-framed binary protocol, \
+          stream node messages, and receive a sound Verdict; degrades under faults instead of dying")
+    Term.(
+      const serve $ listen $ metrics_listen $ selftest $ probe $ sessions $ conns $ nodes
+      $ protocol $ chaos $ seed_arg $ min_rate $ json $ deadline $ idle_timeout $ max_sessions
+      $ credit $ domains $ max_run $ trace_arg $ metrics_arg)
+
 let connectivity_cmd =
   let parts = Arg.(value & opt int 4 & info [ "parts" ] ~docv:"K" ~doc:"Coalition count.") in
   Cmd.v
@@ -887,7 +1106,7 @@ let () =
       (Cmd.group info
          [
            generate_cmd; reconstruct_cmd; recognize_cmd; gadget_cmd; count_cmd; sizes_cmd; stats_cmd; search_cmd;
-           connectivity_cmd; faults_cmd; bcc_cmd; sweep_cmd; report_cmd; lint_cmd;
+           connectivity_cmd; faults_cmd; bcc_cmd; sweep_cmd; report_cmd; lint_cmd; serve_cmd;
          ])
   with
   | code -> exit code

@@ -3,6 +3,29 @@ open Refnet_graph
 
 type budget = { rounds : int; bits_per_round : int -> int }
 
+let budget ~rounds ~bits_per_round =
+  if rounds < 1 then
+    invalid_arg
+      (Printf.sprintf "Bcc.budget: field rounds is %d, must be at least 1" rounds);
+  { rounds; bits_per_round }
+
+(* The cap function can only be checked once [n] is known; entry points
+   validate [bits_per_round n] so a nonsensical cap surfaces as
+   [Invalid_argument] naming the field instead of a confusing
+   [Budget_exceeded] at send time. *)
+let check_budget_fields ~entry b ~n =
+  if b.rounds < 1 then
+    invalid_arg
+      (Printf.sprintf "%s: budget field rounds is %d, must be at least 1" entry
+         b.rounds);
+  let limit = b.bits_per_round n in
+  if limit < 1 then
+    invalid_arg
+      (Printf.sprintf
+         "%s: budget field bits_per_round yields %d at n = %d, must be at least 1"
+         entry limit n);
+  limit
+
 let unbounded _ = max_int
 
 let log_budget ~c n =
@@ -157,10 +180,9 @@ let broadcast_phase ~trace ~metrics ~round ~limit ~bcast ~(states : node_state a
   done
 
 let run_core ?domains ?chunk ~trace ~metrics ~src (p : 'a t) source =
-  if p.budget.rounds < 1 then invalid_arg "Bcc.run: need at least one round";
   let n = Graph_source.order source in
+  let limit = check_budget_fields ~entry:"Bcc.run" p.budget ~n in
   let rounds = p.budget.rounds in
-  let limit = p.budget.bits_per_round n in
   let quiet = Trace.is_null trace && metrics = None in
   let outer = decorated p.name ~round:None ~src in
   Trace.emit trace (Trace.Span_begin { label = outer; n });
@@ -246,10 +268,9 @@ let run_faulty_core ?domains ~faults ~trace ~metrics ~src (p : 'a t) source =
      output and transcript.  A crashed id stays crashed: the plan is
      re-applied every round.  Plans address the full vector, so this
      entry point does not chunk. *)
-  if p.budget.rounds < 1 then invalid_arg "Bcc.run_faulty: need at least one round";
   let n = Graph_source.order source in
+  let limit = check_budget_fields ~entry:"Bcc.run_faulty" p.budget ~n in
   let rounds = p.budget.rounds in
-  let limit = p.budget.bits_per_round n in
   let quiet = Trace.is_null trace && metrics = None in
   let outer = decorated p.name ~round:None ~src in
   Trace.emit trace (Trace.Span_begin { label = outer; n });

@@ -34,6 +34,15 @@ open Refnet_graph
     to the same cap). *)
 type budget = { rounds : int; bits_per_round : int -> int }
 
+(** [budget ~rounds ~bits_per_round] — the checked constructor.
+    Prefer it over a record literal: a nonsensical contract is rejected
+    here, at construction, rather than surfacing later.
+    @raise Invalid_argument if [rounds < 1], naming the field.  The cap
+    function can only be validated once [n] is known; {!run} and
+    {!run_faulty} reject [bits_per_round n < 1] at entry, before any
+    message is produced. *)
+val budget : rounds:int -> bits_per_round:(int -> int) -> budget
+
 (** [unbounded] — no per-round cap ([fun _ -> max_int]); for lifted
     one-round protocols and adaptive protocols whose message sizes are
     data-dependent. *)
@@ -106,7 +115,10 @@ type transcript = {
 }
 
 (** [run p g] executes the rounds over the materialized graph.
-    @raise Invalid_argument if [p.budget.rounds < 1].
+    @raise Invalid_argument if [p.budget.rounds < 1] or
+    [p.budget.bits_per_round n < 1], naming the offending field —
+    checked before any message is produced, never reported as a
+    spurious {!Budget_exceeded}.
     @raise Budget_exceeded when a message breaks the budget. *)
 val run :
   ?domains:int ->

@@ -4,6 +4,26 @@ let to_edge_list g =
   Graph.iter_edges g (fun u v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
   Buffer.contents buf
 
+(* Fields separated by any run of spaces, tabs or stray carriage
+   returns: edge lists written on other platforms (CRLF endings,
+   tab-separated columns, trailing blanks) load identically to native
+   ones instead of failing mid-file. *)
+let fields line =
+  let is_ws c = c = ' ' || c = '\t' || c = '\r' in
+  let len = String.length line in
+  let rec go i acc =
+    if i >= len then List.rev acc
+    else if is_ws line.[i] then go (i + 1) acc
+    else begin
+      let j = ref i in
+      while !j < len && not (is_ws line.[!j]) do
+        incr j
+      done;
+      go !j (String.sub line i (!j - i) :: acc)
+    end
+  in
+  go 0 []
+
 let of_edge_list s =
   let lines =
     String.split_on_char '\n' s
@@ -14,7 +34,7 @@ let of_edge_list s =
   | [] -> invalid_arg "Gio.of_edge_list: empty input"
   | header :: rest ->
     let parse_pair line =
-      match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+      match fields line with
       | [ a; b ] -> (
         match (int_of_string_opt a, int_of_string_opt b) with
         | Some a, Some b -> (a, b)
@@ -38,7 +58,7 @@ let iter_edge_list_file path ~header ~edge =
     (fun () ->
       let lineno = ref 0 in
       let parse_line line =
-        match String.split_on_char ' ' (String.trim line) |> List.filter (fun t -> t <> "") with
+        match fields line with
         | [ a; b ] -> (
           match (int_of_string_opt a, int_of_string_opt b) with
           | Some a, Some b -> Some (a, b)

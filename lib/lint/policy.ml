@@ -32,8 +32,27 @@ let view_builders =
   ]
 
 (* Wall-clock reads: Metrics owns the clock (injected, so tests can fix
-   it); the bench harness stamps its own JSON output. *)
-let clock_ok = [ "lib/core/metrics.ml"; "bench/main.ml" ]
+   it); the bench harness stamps its own JSON output.  The serve layer
+   reads wall time only at its edges — everything inward takes an
+   injected clock so timeout paths stay testable. *)
+let clock_ok =
+  [
+    "lib/core/metrics.ml";
+    "bench/main.ml";
+    "lib/serve/engine.ml" (* the *default* clock only; create ?clock injects *);
+    "lib/serve/daemon.ml" (* select-loop pacing against real sockets *);
+    "lib/serve/selftest.ml" (* throughput measurement; the engine under test runs virtual *);
+  ]
+
+(* Unix socket / file-descriptor syscalls: only the serve transport may
+   talk to the kernel.  The engine is transport-free by construction
+   (bytes in, bytes out), so every syscall lives in these two files and
+   model runs stay kernel-free and reproducible. *)
+let unix_ok =
+  [
+    "lib/serve/daemon.ml" (* listener + select loop: the server-side transport *);
+    "lib/serve/client.ml" (* blocking connector: the client-side transport *);
+  ]
 
 (* Domain.spawn: the deterministic domain pool is the only place new
    domains may be born — everything else goes through Parallel. *)
@@ -60,4 +79,6 @@ let bytes_ok =
     "lib/core/metrics.ml" (* exposition formats *);
     "lib/core/fooling.ml" (* transcript fingerprints, not messages *);
     "lib/lint/" (* the linter's own string rendering *);
+    "lib/serve/" (* transport framing: wire bytes, not message bits — in-frame
+                    payloads still round-trip through Message *);
   ]

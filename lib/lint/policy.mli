@@ -22,6 +22,10 @@ val view_builders : string list
     [Sys.time], ...). *)
 val clock_ok : string list
 
+(** Modules allowed to issue [Unix] socket / file-descriptor syscalls
+    ([Unix.socket], [Unix.select], ...) — the serve transport only. *)
+val unix_ok : string list
+
 (** Modules allowed to call [Domain.spawn]. *)
 val spawn_ok : string list
 

@@ -34,6 +34,18 @@ let last_two path =
 let partial_stdlib = [ ("List", "hd"); ("List", "nth"); ("Option", "get"); ("Array", "unsafe_get") ]
 let clock_reads = [ ("Unix", "gettimeofday"); ("Unix", "time"); ("Unix", "localtime"); ("Unix", "gmtime"); ("Sys", "time") ]
 
+(* Unix syscalls that move bytes or descriptors.  Pure Unix values
+   (sockaddrs, [error_message], errno tests) are deliberately absent:
+   handling a [Unix_error] is fine anywhere, issuing a syscall is not. *)
+let unix_syscalls =
+  [
+    "socket"; "accept"; "bind"; "listen"; "connect"; "shutdown"; "select";
+    "recv"; "send"; "read"; "write"; "write_substring"; "single_write";
+    "close"; "openfile"; "pipe"; "fork"; "set_nonblock"; "clear_nonblock";
+    "setsockopt"; "setsockopt_float"; "setsockopt_int"; "getsockname";
+    "getaddrinfo"; "unlink"; "sleep"; "sleepf";
+  ]
+
 let check_ident st loc lid =
   let path = flatten lid in
   match last_two path with
@@ -79,6 +91,13 @@ let check_ident st loc lid =
       emit st Finding.Determinism loc
         (Printf.sprintf
            "wall-clock read %s.%s outside Metrics' injected clock breaks run reproducibility" m f);
+    (* determinism: socket / descriptor syscalls outside the transport *)
+    if m = "Unix" && List.mem f unix_syscalls && not (Policy.matches st.file Policy.unix_ok) then
+      emit st Finding.Determinism loc
+        (Printf.sprintf
+           "Unix.%s outside the serve transport: socket and descriptor syscalls are confined to \
+            lib/serve's daemon/client so model runs stay kernel-free and reproducible"
+           f);
     (* determinism: raw domains *)
     if mf = ("Domain", "spawn") && not (Policy.matches st.file Policy.spawn_ok) then
       emit st Finding.Determinism loc

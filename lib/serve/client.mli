@@ -1,0 +1,34 @@
+(** A minimal blocking client for the serve protocol — enough for the
+    CI probe ([refnet serve --probe]) and integration tests.  It speaks
+    the handshake, opens one session at a time, respects the credit
+    window, and returns the typed verdict. *)
+
+type t
+
+val connect : Daemon.listen -> (t, string) result
+
+(** [handshake c] sends [Hello] and waits for [Welcome]. *)
+val handshake : t -> (unit, string) result
+
+type verdict = {
+  status : Frame.status;
+  timeout : Frame.timeout_kind;
+  payload : string;
+  missing : int;
+  malformed : int;
+  duplicated : int;
+  undetermined : int;
+}
+
+(** [run_session c ~protocol ~n msgs] opens a session, streams the
+    [(node, message)] list under backpressure, finishes, and waits for
+    the verdict.  Any rejection, server error or transport failure comes
+    back as [Error]. *)
+val run_session :
+  t ->
+  protocol:string ->
+  n:int ->
+  (int * Core.Message.t) list ->
+  (verdict, string) result
+
+val close : t -> unit

@@ -1,0 +1,320 @@
+open Core
+
+type listen = Tcp of string * int | Unix_sock of string
+
+let parse_listen s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "bad listen spec %S (tcp:PORT or unix:PATH)" s)
+  | Some i -> (
+      let scheme = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match scheme with
+      | "unix" ->
+          if rest = "" then Error "unix: listen spec needs a path"
+          else Ok (Unix_sock rest)
+      | "tcp" -> (
+          match String.rindex_opt rest ':' with
+          | None -> (
+              match int_of_string_opt rest with
+              | Some port when port >= 0 && port < 65536 ->
+                  Ok (Tcp ("127.0.0.1", port))
+              | _ -> Error (Printf.sprintf "bad tcp port %S" rest))
+          | Some j -> (
+              let host = String.sub rest 0 j in
+              let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+              match int_of_string_opt port with
+              | Some port when port >= 0 && port < 65536 -> Ok (Tcp (host, port))
+              | _ -> Error (Printf.sprintf "bad tcp port %S" port)))
+      | _ -> Error (Printf.sprintf "unknown listen scheme %S" scheme))
+
+let listen_to_string = function
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+  | Unix_sock p -> "unix:" ^ p
+
+type opts = {
+  listen : listen;
+  metrics_listen : listen option;
+  metrics_file : string option;
+  engine_cfg : Engine.config;
+  trace : Trace.sink;
+  metrics : Metrics.t option;
+  tick_interval_s : float;
+  max_run_s : float option;
+}
+
+let default_opts ~listen =
+  {
+    listen;
+    metrics_listen = None;
+    metrics_file = None;
+    engine_cfg = Engine.default_config;
+    trace = Trace.null;
+    metrics = None;
+    tick_interval_s = 0.02;
+    max_run_s = None;
+  }
+
+let sockaddr_of_listen = function
+  | Tcp (host, port) ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+          | _ -> Unix.inet_addr_loopback)
+      in
+      Unix.ADDR_INET (addr, port)
+  | Unix_sock path -> Unix.ADDR_UNIX path
+
+let open_listener spec =
+  let domain =
+    match spec with Tcp _ -> Unix.PF_INET | Unix_sock _ -> Unix.PF_UNIX
+  in
+  (match spec with
+  | Unix_sock path when Sys.file_exists path -> (
+      (* a stale socket file from a previous crash-only exit *)
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ -> ());
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try
+     (match spec with
+     | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+     | Unix_sock _ -> ());
+     Unix.bind fd (sockaddr_of_listen spec);
+     Unix.listen fd 128;
+     Unix.set_nonblock fd;
+     Ok fd
+   with Unix.Unix_error (err, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     Error
+       (Printf.sprintf "cannot listen on %s: %s" (listen_to_string spec)
+          (Unix.error_message err)))
+
+let write_metrics_file m path =
+  let snap = Metrics.snapshot m in
+  let text =
+    if Filename.check_suffix path ".prom" then Metrics.to_prometheus snap
+    else Metrics.to_json snap
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc text)
+
+(* Answer one Prometheus scrape.  Scrapers send a full GET immediately,
+   so a short blocking read-then-respond on the event loop is fine; the
+   receive timeout bounds the damage a stalled scraper can do. *)
+let answer_scrape metrics fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (try
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.2;
+         let buf = Bytes.create 1024 in
+         ignore (Unix.read fd buf 0 (Bytes.length buf))
+       with Unix.Unix_error _ -> ());
+      let body =
+        match metrics with
+        | Some m -> Metrics.to_prometheus (Metrics.snapshot m)
+        | None -> "# metrics disabled\n"
+      in
+      let resp =
+        Printf.sprintf
+          "HTTP/1.0 200 OK\r\n\
+           Content-Type: text/plain; version=0.0.4\r\n\
+           Content-Length: %d\r\n\
+           Connection: close\r\n\
+           \r\n\
+           %s"
+          (String.length body) body
+      in
+      try ignore (Unix.write_substring fd resp 0 (String.length resp))
+      with Unix.Unix_error _ -> ())
+
+type sconn = {
+  fd : Unix.file_descr;
+  cid : Engine.conn_id;
+  mutable pending : string; (* bytes accepted from the engine, unsent *)
+  mutable sent : int;
+}
+
+let run opts =
+  let drain_requested = ref false in
+  let old_term =
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> drain_requested := true))
+  in
+  let old_int =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> drain_requested := true))
+  in
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let restore () =
+    Sys.set_signal Sys.sigterm old_term;
+    Sys.set_signal Sys.sigint old_int;
+    Sys.set_signal Sys.sigpipe old_pipe
+  in
+  match open_listener opts.listen with
+  | Error msg ->
+      restore ();
+      prerr_endline ("refnet serve: " ^ msg);
+      1
+  | Ok listener -> (
+      let metrics_listener =
+        match opts.metrics_listen with
+        | None -> Ok None
+        | Some spec -> (
+            match open_listener spec with
+            | Ok fd -> Ok (Some fd)
+            | Error msg -> Error msg)
+      in
+      match metrics_listener with
+      | Error msg ->
+          (try Unix.close listener with Unix.Unix_error _ -> ());
+          restore ();
+          prerr_endline ("refnet serve: " ^ msg);
+          1
+      | Ok metrics_listener ->
+          let engine =
+            Engine.create ?metrics:opts.metrics ~trace:opts.trace
+              opts.engine_cfg
+          in
+          let conns : (Unix.file_descr, sconn) Hashtbl.t = Hashtbl.create 64 in
+          let started = Unix.gettimeofday () in
+          let drain_started = ref None in
+          let accepting = ref true in
+          let rbuf = Bytes.create 65536 in
+          let drop sc =
+            Hashtbl.remove conns sc.fd;
+            Engine.close_conn engine sc.cid;
+            try Unix.close sc.fd with Unix.Unix_error _ -> ()
+          in
+          let pump_out sc =
+            let fresh = Engine.take_output engine sc.cid in
+            if fresh <> "" then
+              sc.pending <-
+                (if sc.sent = 0 then sc.pending ^ fresh
+                 else
+                   String.sub sc.pending sc.sent
+                     (String.length sc.pending - sc.sent)
+                   ^ fresh);
+            if fresh <> "" && sc.sent > 0 then sc.sent <- 0;
+            if sc.sent < String.length sc.pending then begin
+              match
+                Unix.write_substring sc.fd sc.pending sc.sent
+                  (String.length sc.pending - sc.sent)
+              with
+              | n -> sc.sent <- sc.sent + n
+              | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+                ->
+                  ()
+              | exception Unix.Unix_error _ -> drop sc
+            end
+          in
+          let flushed sc = sc.sent >= String.length sc.pending in
+          let finished = ref false in
+          let exit_code = ref 0 in
+          while not !finished do
+            let now = Unix.gettimeofday () in
+            (match opts.max_run_s with
+            | Some limit when (not !drain_requested) && now -. started >= limit
+              ->
+                drain_requested := true
+            | _ -> ());
+            if !drain_requested && !drain_started = None then begin
+              drain_started := Some now;
+              Engine.begin_drain engine;
+              accepting := false
+            end;
+            (* a wedged drain still exits: crash-only means we prefer a
+               clean-enough exit over hanging forever *)
+            (match !drain_started with
+            | Some t0
+              when now -. t0
+                   >= opts.engine_cfg.Engine.deadline_s
+                      +. opts.engine_cfg.Engine.idle_timeout_s +. 2.0 ->
+                finished := true
+            | _ -> ());
+            if not !finished then begin
+              let rds =
+                (if !accepting then [ listener ] else [])
+                @ (match metrics_listener with Some fd -> [ fd ] | None -> [])
+                @ Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
+              in
+              let wrs =
+                Hashtbl.fold
+                  (fun fd sc acc -> if flushed sc then acc else fd :: acc)
+                  conns []
+              in
+              let readable, writable, _ =
+                try Unix.select rds wrs [] opts.tick_interval_s
+                with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+              in
+              List.iter
+                (fun fd ->
+                  if fd = listener then begin
+                    match Unix.accept listener with
+                    | client_fd, _ -> (
+                        Unix.set_nonblock client_fd;
+                        match Engine.open_conn engine with
+                        | Ok cid ->
+                            Hashtbl.replace conns client_fd
+                              { fd = client_fd; cid; pending = ""; sent = 0 }
+                        | Error _ -> (
+                            try Unix.close client_fd
+                            with Unix.Unix_error _ -> ()))
+                    | exception
+                        Unix.Unix_error
+                          ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                        ()
+                    | exception Unix.Unix_error _ -> ()
+                  end
+                  else if Some fd = metrics_listener then begin
+                    match Unix.accept fd with
+                    | scrape_fd, _ -> answer_scrape opts.metrics scrape_fd
+                    | exception Unix.Unix_error _ -> ()
+                  end
+                  else
+                    match Hashtbl.find_opt conns fd with
+                    | None -> ()
+                    | Some sc -> (
+                        match Unix.read sc.fd rbuf 0 (Bytes.length rbuf) with
+                        | 0 -> drop sc
+                        | n -> Engine.feed_bytes engine sc.cid rbuf ~off:0 ~len:n
+                        | exception
+                            Unix.Unix_error
+                              ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                            ()
+                        | exception Unix.Unix_error _ -> drop sc))
+                readable;
+              ignore writable;
+              Engine.tick engine;
+              let to_drop = ref [] in
+              Hashtbl.iter
+                (fun _ sc ->
+                  pump_out sc;
+                  if flushed sc && Engine.wants_close engine sc.cid then
+                    to_drop := sc :: !to_drop)
+                conns;
+              List.iter drop !to_drop;
+              if
+                !drain_started <> None
+                && Engine.idle engine
+                && Hashtbl.fold (fun _ sc acc -> acc && flushed sc) conns true
+              then finished := true
+            end
+          done;
+          Hashtbl.iter
+            (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
+            conns;
+          (try Unix.close listener with Unix.Unix_error _ -> ());
+          (match metrics_listener with
+          | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+          | None -> ());
+          (match opts.listen with
+          | Unix_sock path -> (
+              try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+          | Tcp _ -> ());
+          (match (opts.metrics, opts.metrics_file) with
+          | Some m, Some path -> write_metrics_file m path
+          | _ -> ());
+          restore ();
+          !exit_code)

@@ -1,0 +1,41 @@
+(** Socket transport for the serve {!Engine}: accept loop, non-blocking
+    reads/writes, the Prometheus metrics listener, and graceful drain.
+
+    Exit semantics (the [refnet serve] contract):
+    - [0] — clean shutdown: SIGTERM/SIGINT received, admission stopped,
+      in-flight sessions finished or timed out, sinks flushed.
+    - [1] — could not start (address in use, bad listen spec).
+    The daemon never exits for anything a client does. *)
+
+type listen = Tcp of string * int | Unix_sock of string
+
+(** [parse_listen s] accepts ["tcp:HOST:PORT"], ["tcp:PORT"] (binds
+    127.0.0.1) and ["unix:PATH"]. *)
+val parse_listen : string -> (listen, string) result
+
+val listen_to_string : listen -> string
+
+(** [sockaddr_of_listen l] resolves the bind/connect address (used by
+    {!Client}). *)
+val sockaddr_of_listen : listen -> Unix.sockaddr
+
+type opts = {
+  listen : listen;
+  metrics_listen : listen option;
+      (** serve a Prometheus text snapshot to any HTTP GET here *)
+  metrics_file : string option;
+      (** also write a final snapshot on shutdown ([.prom] extension
+          selects Prometheus text, anything else JSON) *)
+  engine_cfg : Engine.config;
+  trace : Core.Trace.sink;
+  metrics : Core.Metrics.t option;
+  tick_interval_s : float;
+  max_run_s : float option;
+      (** stop (as if SIGTERM) after this long — used by CI smoke tests
+          so a wedged daemon cannot hang the job *)
+}
+
+val default_opts : listen:listen -> opts
+
+(** [run opts] blocks until shutdown and returns the exit code. *)
+val run : opts -> int

@@ -1,0 +1,749 @@
+open Core
+
+type config = {
+  max_sessions : int;
+  max_sessions_per_conn : int;
+  max_conns : int;
+  session_credit : int;
+  max_frame_bytes : int;
+  max_output_bytes : int;
+  deadline_s : float;
+  idle_timeout_s : float;
+  retry_after_ms : int;
+  domains : int option;
+  par_threshold : int;
+}
+
+let default_config =
+  {
+    max_sessions = 4096;
+    max_sessions_per_conn = 64;
+    max_conns = 1024;
+    session_credit = 256;
+    max_frame_bytes = 1 lsl 20;
+    max_output_bytes = 4 lsl 20;
+    deadline_s = 30.;
+    idle_timeout_s = 10.;
+    retry_after_ms = 250;
+    domains = None;
+    par_threshold = 4;
+  }
+
+type conn_id = int
+
+(* A session's referee fold, output type hidden behind its renderer. *)
+type sess_state =
+  | Sess : {
+      feed : 'a Core.Verdict.t Core.Protocol.feed;
+      render : 'a -> string;
+    }
+      -> sess_state
+
+type finish_cause = Client_finish | Idle_expire | Deadline_expire
+
+type session = {
+  sid : int;
+  s_conn : conn_id;
+  s_label : string;
+  s_n : int;
+  mutable state : sess_state;
+  mutable pending : (int * Message.t) list; (* reversed arrival order *)
+  mutable pending_count : int;
+  mutable window : int; (* Msg frames the client may still send *)
+  mutable finish_cause : finish_cause option;
+  mutable dirty : bool;
+  mutable absorb_log : (int * int) list; (* (id, bits), reversed; traced *)
+  mutable max_bits : int;
+  mutable total_bits : int;
+  opened_at : float;
+  mutable last_activity : float;
+}
+
+type conn = {
+  cid : conn_id;
+  decoder : Wire.decoder;
+  out : Buffer.t;
+  mutable c_sessions : int list;
+  mutable quarantined : bool;
+  mutable close_after_flush : bool;
+}
+
+type stats = {
+  conns_opened : int;
+  sessions_opened : int;
+  decided : int;
+  degraded : int;
+  inconclusive : int;
+  aborted : int;
+  sheds : int;
+  drain_rejections : int;
+  quarantines : int;
+  quarantine_escapes : int;
+  late_frames : int;
+  timeouts_idle : int;
+  timeouts_deadline : int;
+  frames : int;
+  bytes_in : int;
+  live_sessions : int;
+  queued_msgs : int;
+}
+
+type instruments = {
+  i_sessions : Metrics.Counter.counter;
+  i_decided : Metrics.Counter.counter;
+  i_degraded : Metrics.Counter.counter;
+  i_inconclusive : Metrics.Counter.counter;
+  i_aborts : Metrics.Counter.counter;
+  i_sheds : Metrics.Counter.counter;
+  i_drains : Metrics.Counter.counter;
+  i_quarantines : Metrics.Counter.counter;
+  i_escapes : Metrics.Counter.counter;
+  i_late : Metrics.Counter.counter;
+  i_timeout_idle : Metrics.Counter.counter;
+  i_timeout_deadline : Metrics.Counter.counter;
+  i_frames : Metrics.Counter.counter;
+  i_bytes : Metrics.Counter.counter;
+  i_live : Metrics.Gauge.gauge;
+  i_queue : Metrics.Gauge.gauge;
+}
+
+type t = {
+  cfg : config;
+  clock : unit -> float;
+  trace : Trace.sink;
+  metrics : Metrics.t option;
+  inst : instruments option;
+  conns : (conn_id, conn) Hashtbl.t;
+  sessions : (int, session) Hashtbl.t;
+  mutable next_cid : int;
+  mutable next_sid : int;
+  mutable dirty_sids : int list;
+  mutable live_sessions : int;
+  mutable queued_msgs : int;
+  mutable is_draining : bool;
+  (* counters (also mirrored into [inst] when metrics are attached) *)
+  mutable n_conns_opened : int;
+  mutable n_sessions : int;
+  mutable n_decided : int;
+  mutable n_degraded : int;
+  mutable n_inconclusive : int;
+  mutable n_aborted : int;
+  mutable n_sheds : int;
+  mutable n_drain_rej : int;
+  mutable n_quarantines : int;
+  mutable n_escapes : int;
+  mutable n_late : int;
+  mutable n_timeout_idle : int;
+  mutable n_timeout_deadline : int;
+  mutable n_frames : int;
+  mutable n_bytes : int;
+}
+
+let make_instruments m =
+  let c = Metrics.Counter.counter m in
+  let verdict outcome =
+    c (Metrics.series "refnet_serve_verdicts_total" [ ("outcome", outcome) ])
+  in
+  let timeout kind =
+    c (Metrics.series "refnet_serve_timeouts_total" [ ("kind", kind) ])
+  in
+  {
+    i_sessions = c "refnet_serve_sessions_total";
+    i_decided = verdict "decided";
+    i_degraded = verdict "degraded";
+    i_inconclusive = verdict "inconclusive";
+    i_aborts = c "refnet_serve_aborts_total";
+    i_sheds = c "refnet_serve_sheds_total";
+    i_drains = c "refnet_serve_drain_rejections_total";
+    i_quarantines = c "refnet_serve_quarantines_total";
+    i_escapes = c "refnet_serve_quarantine_escapes_total";
+    i_late = c "refnet_serve_late_frames_total";
+    i_timeout_idle = timeout "idle";
+    i_timeout_deadline = timeout "deadline";
+    i_frames = c "refnet_serve_frames_total";
+    i_bytes = c "refnet_serve_bytes_total";
+    i_live = Metrics.Gauge.gauge m "refnet_serve_sessions_live";
+    i_queue = Metrics.Gauge.gauge m "refnet_serve_queue_depth";
+  }
+
+let create ?clock ?(trace = Trace.null) ?metrics cfg =
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  {
+    cfg;
+    clock;
+    trace;
+    metrics;
+    inst = Option.map make_instruments metrics;
+    conns = Hashtbl.create 64;
+    sessions = Hashtbl.create 256;
+    next_cid = 1;
+    next_sid = 1;
+    dirty_sids = [];
+    live_sessions = 0;
+    queued_msgs = 0;
+    is_draining = false;
+    n_conns_opened = 0;
+    n_sessions = 0;
+    n_decided = 0;
+    n_degraded = 0;
+    n_inconclusive = 0;
+    n_aborted = 0;
+    n_sheds = 0;
+    n_drain_rej = 0;
+    n_quarantines = 0;
+    n_escapes = 0;
+    n_late = 0;
+    n_timeout_idle = 0;
+    n_timeout_deadline = 0;
+    n_frames = 0;
+    n_bytes = 0;
+  }
+
+let bump t f = match t.inst with None -> () | Some i -> Metrics.Counter.incr (f i)
+
+(* ---------- output ---------- *)
+
+let send t conn frame =
+  if not conn.close_after_flush then begin
+    let bytes = Frame.encode_server frame in
+    if Buffer.length conn.out + String.length bytes > t.cfg.max_output_bytes
+    then begin
+      (* slow consumer: the peer is not reading.  Drop the buffered
+         output (it will never be read) and close with a terse error
+         that fits whatever room the transport still has. *)
+      Buffer.clear conn.out;
+      Buffer.add_string conn.out
+        (Frame.encode_server
+           (Frame.Error { code = Frame.Slow_consumer; detail = "egress full" }));
+      conn.quarantined <- true;
+      conn.close_after_flush <- true;
+      t.n_quarantines <- t.n_quarantines + 1;
+      bump t (fun i -> i.i_quarantines)
+    end
+    else Buffer.add_string conn.out bytes
+  end
+
+(* ---------- session teardown ---------- *)
+
+let remove_session t s =
+  if Hashtbl.mem t.sessions s.sid then begin
+    Hashtbl.remove t.sessions s.sid;
+    t.live_sessions <- t.live_sessions - 1;
+    t.queued_msgs <- t.queued_msgs - s.pending_count;
+    s.pending <- [];
+    s.pending_count <- 0;
+    (match Hashtbl.find_opt t.conns s.s_conn with
+    | None -> ()
+    | Some c -> c.c_sessions <- List.filter (fun sid -> sid <> s.sid) c.c_sessions)
+  end
+
+let abort_session t s =
+  remove_session t s;
+  t.n_aborted <- t.n_aborted + 1;
+  bump t (fun i -> i.i_aborts)
+
+let abort_conn_sessions t conn =
+  List.iter
+    (fun sid ->
+      match Hashtbl.find_opt t.sessions sid with
+      | Some s ->
+          Hashtbl.remove t.sessions sid;
+          t.live_sessions <- t.live_sessions - 1;
+          t.queued_msgs <- t.queued_msgs - s.pending_count;
+          t.n_aborted <- t.n_aborted + 1;
+          bump t (fun i -> i.i_aborts)
+      | None -> ())
+    conn.c_sessions;
+  conn.c_sessions <- []
+
+let quarantine t conn code detail =
+  if not conn.quarantined then begin
+    t.n_quarantines <- t.n_quarantines + 1;
+    bump t (fun i -> i.i_quarantines);
+    abort_conn_sessions t conn;
+    send t conn (Frame.Error { code; detail });
+    conn.quarantined <- true;
+    conn.close_after_flush <- true
+  end
+
+(* ---------- connection lifecycle ---------- *)
+
+let open_conn t =
+  if Hashtbl.length t.conns >= t.cfg.max_conns then
+    Error
+      (Printf.sprintf "connection limit %d reached" t.cfg.max_conns)
+  else begin
+    let cid = t.next_cid in
+    t.next_cid <- cid + 1;
+    t.n_conns_opened <- t.n_conns_opened + 1;
+    Hashtbl.replace t.conns cid
+      {
+        cid;
+        decoder = Wire.decoder ~max_frame:t.cfg.max_frame_bytes ();
+        out = Buffer.create 256;
+        c_sessions = [];
+        quarantined = false;
+        close_after_flush = false;
+      };
+    Ok cid
+  end
+
+let close_conn t cid =
+  match Hashtbl.find_opt t.conns cid with
+  | None -> ()
+  | Some conn ->
+      abort_conn_sessions t conn;
+      Hashtbl.remove t.conns cid
+
+let take_output t cid =
+  match Hashtbl.find_opt t.conns cid with
+  | None -> ""
+  | Some conn ->
+      if Buffer.length conn.out = 0 then ""
+      else begin
+        let s = Buffer.contents conn.out in
+        Buffer.clear conn.out;
+        s
+      end
+
+let wants_close t cid =
+  match Hashtbl.find_opt t.conns cid with
+  | None -> true
+  | Some conn -> conn.close_after_flush && Buffer.length conn.out = 0
+
+(* ---------- frame handling ---------- *)
+
+let mark_dirty t s =
+  if not s.dirty then begin
+    s.dirty <- true;
+    t.dirty_sids <- s.sid :: t.dirty_sids
+  end
+
+let reject t conn ~open_id reason =
+  send t conn
+    (Frame.Rejected { open_id; reason; retry_after_ms = t.cfg.retry_after_ms })
+
+let handle_open t conn ~open_id ~protocol ~n =
+  if t.is_draining then begin
+    t.n_drain_rej <- t.n_drain_rej + 1;
+    bump t (fun i -> i.i_drains);
+    reject t conn ~open_id Frame.Draining
+  end
+  else if t.live_sessions >= t.cfg.max_sessions then begin
+    t.n_sheds <- t.n_sheds + 1;
+    bump t (fun i -> i.i_sheds);
+    reject t conn ~open_id Frame.Overloaded
+  end
+  else if List.length conn.c_sessions >= t.cfg.max_sessions_per_conn then
+    reject t conn ~open_id Frame.Session_limit
+  else
+    match Registry.lookup ~spec:protocol ~n with
+    | Error _ ->
+        (* distinguish a malformed spec from a bad size for the reply *)
+        let reason =
+          match Registry.max_n protocol with
+          | Some _ -> Frame.Bad_n
+          | None -> Frame.Unknown_protocol
+        in
+        reject t conn ~open_id reason
+    | Ok (Registry.Entry { protocol = p; render }) ->
+        let sid = t.next_sid in
+        t.next_sid <- sid + 1;
+        let now = t.clock () in
+        let s =
+          {
+            sid;
+            s_conn = conn.cid;
+            s_label = p.Protocol.name;
+            s_n = n;
+            state = Sess { feed = Protocol.start p.Protocol.referee ~n; render };
+            pending = [];
+            pending_count = 0;
+            window = t.cfg.session_credit;
+            finish_cause = None;
+            dirty = false;
+            absorb_log = [];
+            max_bits = 0;
+            total_bits = 0;
+            opened_at = now;
+            last_activity = now;
+          }
+        in
+        Hashtbl.replace t.sessions sid s;
+        conn.c_sessions <- sid :: conn.c_sessions;
+        t.live_sessions <- t.live_sessions + 1;
+        t.n_sessions <- t.n_sessions + 1;
+        bump t (fun i -> i.i_sessions);
+        send t conn
+          (Frame.Opened { open_id; session = sid; credit = t.cfg.session_credit })
+
+let find_session t conn sid =
+  match Hashtbl.find_opt t.sessions sid with
+  | Some s when s.s_conn = conn.cid -> `Mine s
+  | Some _ -> `Foreign
+  | None -> `Gone
+
+let late t =
+  t.n_late <- t.n_late + 1;
+  bump t (fun i -> i.i_late)
+
+let handle_frame t conn frame =
+  match frame with
+  | Frame.Hello { version } ->
+      if version <> Frame.version then
+        quarantine t conn Frame.Protocol_violation
+          (Printf.sprintf "unsupported protocol version %d" version)
+      else send t conn (Frame.Welcome { version = Frame.version })
+  | Frame.Ping { token } -> send t conn (Frame.Pong { token })
+  | Frame.Bye ->
+      (* a graceful goodbye still abandons its open sessions *)
+      abort_conn_sessions t conn;
+      conn.close_after_flush <- true
+  | Frame.Open { open_id; protocol; n } -> handle_open t conn ~open_id ~protocol ~n
+  | Frame.Msg { session; node; payload } -> (
+      match find_session t conn session with
+      | `Gone -> late t (* races with a server-side timeout verdict *)
+      | `Foreign ->
+          quarantine t conn Frame.Protocol_violation
+            (Printf.sprintf "session %d belongs to another connection" session)
+      | `Mine s ->
+          if s.finish_cause <> None then late t
+          else if s.window = 0 then
+            quarantine t conn Frame.Credit_exceeded
+              (Printf.sprintf "session %d exceeded its credit window" session)
+          else begin
+            s.window <- s.window - 1;
+            s.pending <- (node, payload) :: s.pending;
+            s.pending_count <- s.pending_count + 1;
+            t.queued_msgs <- t.queued_msgs + 1;
+            if not (Trace.is_null t.trace) then
+              s.absorb_log <- (node, Message.bits payload) :: s.absorb_log;
+            let b = Message.bits payload in
+            if b > s.max_bits then s.max_bits <- b;
+            s.total_bits <- s.total_bits + b;
+            s.last_activity <- t.clock ();
+            mark_dirty t s
+          end)
+  | Frame.Finish { session } -> (
+      match find_session t conn session with
+      | `Gone -> late t
+      | `Foreign ->
+          quarantine t conn Frame.Protocol_violation
+            (Printf.sprintf "session %d belongs to another connection" session)
+      | `Mine s ->
+          if s.finish_cause = None then begin
+            s.finish_cause <- Some Client_finish;
+            s.last_activity <- t.clock ();
+            mark_dirty t s
+          end
+          else late t)
+  | Frame.Abort { session } -> (
+      match find_session t conn session with
+      | `Gone -> late t
+      | `Foreign ->
+          quarantine t conn Frame.Protocol_violation
+            (Printf.sprintf "session %d belongs to another connection" session)
+      | `Mine s ->
+          send t conn
+            (Frame.Verdict
+               {
+                 session = s.sid;
+                 status = Frame.Inconclusive;
+                 timeout = Frame.No_timeout;
+                 payload = "aborted by client";
+                 missing = 0;
+                 malformed = 0;
+                 duplicated = 0;
+                 undetermined = 0;
+               });
+          abort_session t s)
+
+let feed_bytes t cid b ~off ~len =
+  match Hashtbl.find_opt t.conns cid with
+  | None -> ()
+  | Some conn ->
+      if not conn.quarantined then begin
+        t.n_bytes <- t.n_bytes + len;
+        (match t.inst with
+        | None -> ()
+        | Some i -> Metrics.Counter.add i.i_bytes len);
+        Wire.push conn.decoder b ~off ~len;
+        let continue = ref true in
+        while !continue do
+          match Wire.next conn.decoder with
+          | Wire.Awaiting -> continue := false
+          | Wire.Corrupt detail ->
+              quarantine t conn Frame.Corrupt_frame detail;
+              continue := false
+          | Wire.Frame { kind; payload } -> (
+              t.n_frames <- t.n_frames + 1;
+              bump t (fun i -> i.i_frames);
+              match Frame.decode_client ~kind payload with
+              | Error detail ->
+                  quarantine t conn Frame.Corrupt_frame detail;
+                  continue := false
+              | Ok frame -> (
+                  (* outermost shell: a bug in frame handling must not
+                     kill the daemon — count it and quarantine instead *)
+                  try handle_frame t conn frame
+                  with e ->
+                    t.n_escapes <- t.n_escapes + 1;
+                    bump t (fun i -> i.i_escapes);
+                    quarantine t conn Frame.Internal (Printexc.to_string e)))
+        done;
+        if conn.quarantined || conn.close_after_flush then ()
+      end
+
+(* ---------- tick: timeouts + session work on the pool ---------- *)
+
+type work_item = {
+  w_sid : int;
+  w_state : sess_state;
+  w_msgs : (int * Message.t) array; (* arrival order *)
+  w_finish : finish_cause option;
+}
+
+type work_out =
+  | Advanced of sess_state
+  | Finished of {
+      f_status : Frame.status;
+      f_payload : string;
+      f_missing : int;
+      f_malformed : int;
+      f_duplicated : int;
+      f_undetermined : int;
+    }
+  | Crashed of string
+
+let run_item it =
+  match it.w_state with
+  | Sess { feed; render } -> (
+      try
+        let feed =
+          Array.fold_left
+            (fun f (id, m) -> Protocol.feed f ~id m)
+            feed it.w_msgs
+        in
+        match it.w_finish with
+        | None -> Advanced (Sess { feed; render })
+        | Some _ -> (
+            match Protocol.finish feed with
+            | Verdict.Decided a ->
+                Finished
+                  {
+                    f_status = Frame.Decided;
+                    f_payload = render a;
+                    f_missing = 0;
+                    f_malformed = 0;
+                    f_duplicated = 0;
+                    f_undetermined = 0;
+                  }
+            | Verdict.Degraded (a, r) ->
+                Finished
+                  {
+                    f_status = Frame.Degraded;
+                    f_payload = render a;
+                    f_missing = List.length r.Verdict.missing;
+                    f_malformed = List.length r.Verdict.malformed;
+                    f_duplicated = List.length r.Verdict.duplicated;
+                    f_undetermined = List.length r.Verdict.undetermined;
+                  }
+            | Verdict.Inconclusive reason ->
+                Finished
+                  {
+                    f_status = Frame.Inconclusive;
+                    f_payload = reason;
+                    f_missing = 0;
+                    f_malformed = 0;
+                    f_duplicated = 0;
+                    f_undetermined = 0;
+                  })
+      with e -> Crashed (Printexc.to_string e))
+
+let emit_session_trace t s =
+  if not (Trace.is_null t.trace) then begin
+    (* the whole span is emitted contiguously from the engine thread at
+       verdict time, so concurrent sessions never interleave events and
+       Trace.balanced_spans holds for any serve trace *)
+    Trace.emit t.trace (Trace.Span_begin { label = s.s_label; n = s.s_n });
+    List.iter
+      (fun (id, bits) -> Trace.emit t.trace (Trace.Referee_absorb { id; bits }))
+      (List.rev s.absorb_log);
+    Trace.emit t.trace
+      (Trace.Referee_done
+         {
+           label = s.s_label;
+           n = s.s_n;
+           max_bits = s.max_bits;
+           total_bits = s.total_bits;
+         });
+    Trace.emit t.trace (Trace.Span_end { label = s.s_label; n = s.s_n })
+  end
+
+let finish_session t s (cause : finish_cause) out =
+  (match Hashtbl.find_opt t.conns s.s_conn with
+  | None -> ()
+  | Some conn ->
+      let timeout =
+        match cause with
+        | Client_finish -> Frame.No_timeout
+        | Idle_expire -> Frame.Idle_timeout
+        | Deadline_expire -> Frame.Deadline_timeout
+      in
+      (match out with
+      | Finished f ->
+          send t conn
+            (Frame.Verdict
+               {
+                 session = s.sid;
+                 status = f.f_status;
+                 timeout;
+                 payload = f.f_payload;
+                 missing = f.f_missing;
+                 malformed = f.f_malformed;
+                 duplicated = f.f_duplicated;
+                 undetermined = f.f_undetermined;
+               })
+      | Advanced _ | Crashed _ -> ()));
+  (match out with
+  | Finished { f_status = Frame.Decided; _ } ->
+      t.n_decided <- t.n_decided + 1;
+      bump t (fun i -> i.i_decided)
+  | Finished { f_status = Frame.Degraded; _ } ->
+      t.n_degraded <- t.n_degraded + 1;
+      bump t (fun i -> i.i_degraded)
+  | Finished { f_status = Frame.Inconclusive; _ } ->
+      t.n_inconclusive <- t.n_inconclusive + 1;
+      bump t (fun i -> i.i_inconclusive)
+  | Advanced _ | Crashed _ -> ());
+  (match cause with
+  | Client_finish -> ()
+  | Idle_expire ->
+      t.n_timeout_idle <- t.n_timeout_idle + 1;
+      bump t (fun i -> i.i_timeout_idle)
+  | Deadline_expire ->
+      t.n_timeout_deadline <- t.n_timeout_deadline + 1;
+      bump t (fun i -> i.i_timeout_deadline));
+  emit_session_trace t s;
+  remove_session t s
+
+let tick_body t =
+  let now = t.clock () in
+  (* 1. timeouts: force a finish cause onto expired sessions *)
+  Hashtbl.iter
+    (fun _ s ->
+      if s.finish_cause = None then
+        if now -. s.opened_at >= t.cfg.deadline_s then begin
+          s.finish_cause <- Some Deadline_expire;
+          mark_dirty t s
+        end
+        else if now -. s.last_activity >= t.cfg.idle_timeout_s then begin
+          s.finish_cause <- Some Idle_expire;
+          mark_dirty t s
+        end)
+    t.sessions;
+  (* 2. collect dirty sessions in a deterministic order *)
+  if t.dirty_sids <> [] then begin
+    let sids = List.sort_uniq compare t.dirty_sids in
+    t.dirty_sids <- [];
+    let items =
+      List.filter_map
+        (fun sid ->
+          match Hashtbl.find_opt t.sessions sid with
+          | None -> None
+          | Some s ->
+              s.dirty <- false;
+              let msgs = Array.of_list (List.rev s.pending) in
+              t.queued_msgs <- t.queued_msgs - s.pending_count;
+              s.pending <- [];
+              s.pending_count <- 0;
+              Some
+                ( s,
+                  {
+                    w_sid = sid;
+                    w_state = s.state;
+                    w_msgs = msgs;
+                    w_finish = s.finish_cause;
+                  } ))
+        sids
+    in
+    let arr = Array.of_list (List.map snd items) in
+    (* 3. fold each session's batch as one task: one domain absorbs a
+       session's messages in arrival order, so the transcript is
+       bit-identical to a sequential run at any pool width *)
+    let outs =
+      if Array.length arr < t.cfg.par_threshold then Array.map run_item arr
+      else
+        Parallel.map_array ?domains:t.cfg.domains ?metrics:t.metrics run_item
+          arr
+    in
+    (* 4. apply results in session order on the engine thread *)
+    List.iteri
+      (fun idx (s, item) ->
+        match outs.(idx) with
+        | Advanced st ->
+            s.state <- st;
+            let absorbed = Array.length item.w_msgs in
+            if absorbed > 0 then begin
+              s.window <- s.window + absorbed;
+              match Hashtbl.find_opt t.conns s.s_conn with
+              | None -> ()
+              | Some conn ->
+                  send t conn
+                    (Frame.Credit { session = s.sid; credit = absorbed })
+            end
+        | Finished _ as out -> (
+            match s.finish_cause with
+            | Some cause -> finish_session t s cause out
+            | None -> finish_session t s Client_finish out)
+        | Crashed detail -> (
+            (* a referee exception escaped the hardened combinators:
+               tear the whole connection down as poisoned *)
+            remove_session t s;
+            t.n_aborted <- t.n_aborted + 1;
+            bump t (fun i -> i.i_aborts);
+            match Hashtbl.find_opt t.conns s.s_conn with
+            | None -> ()
+            | Some conn -> quarantine t conn Frame.Internal detail))
+      items
+  end;
+  (* 5. refresh gauges *)
+  match t.inst with
+  | None -> ()
+  | Some i ->
+      Metrics.Gauge.set i.i_live (float_of_int t.live_sessions);
+      Metrics.Gauge.set i.i_queue (float_of_int t.queued_msgs)
+
+let tick t =
+  try tick_body t
+  with e ->
+    (* must never happen: tick is the daemon's heartbeat.  Swallow,
+       count, and let the selftest/CI gate on the counter. *)
+    ignore (Printexc.to_string e);
+    t.n_escapes <- t.n_escapes + 1;
+    bump t (fun i -> i.i_escapes)
+
+let begin_drain t = t.is_draining <- true
+let draining t = t.is_draining
+let idle t = t.live_sessions = 0 && t.queued_msgs = 0
+
+let stats t =
+  {
+    conns_opened = t.n_conns_opened;
+    sessions_opened = t.n_sessions;
+    decided = t.n_decided;
+    degraded = t.n_degraded;
+    inconclusive = t.n_inconclusive;
+    aborted = t.n_aborted;
+    sheds = t.n_sheds;
+    drain_rejections = t.n_drain_rej;
+    quarantines = t.n_quarantines;
+    quarantine_escapes = t.n_escapes;
+    late_frames = t.n_late;
+    timeouts_idle = t.n_timeout_idle;
+    timeouts_deadline = t.n_timeout_deadline;
+    frames = t.n_frames;
+    bytes_in = t.n_bytes;
+    live_sessions = t.live_sessions;
+    queued_msgs = t.queued_msgs;
+  }

@@ -1,0 +1,125 @@
+(** The serve daemon's transport-independent core.
+
+    The engine owns connections, sessions, admission control,
+    backpressure accounting, timeouts and quarantine; a transport
+    ({!Daemon} for real sockets, {!Selftest} in-process) only moves
+    bytes between it and the outside world:
+
+    {v
+      feed_bytes --> [decode] --> sessions --> tick --> take_output
+    v}
+
+    Crash-only discipline: nothing a client sends can raise out of
+    [feed_bytes] or [tick].  Corrupt frames and protocol violations
+    quarantine the offending connection (typed [Error] frame, sessions
+    torn down, counter bumped); a referee exception that escapes the
+    hardened combinators quarantines too.  If an exception ever reaches
+    the engine's own outermost handlers it is swallowed and counted in
+    [quarantine_escapes] — the selftest and CI gate on that counter
+    being zero.
+
+    Sharding: each {!tick} collects the sessions with queued input and
+    folds every session's batch as one task on the {!Core.Parallel}
+    pool.  A session's messages are absorbed by exactly one domain in
+    arrival order, so transcripts are bit-identical to a sequential
+    run; which sessions share a domain never matters. *)
+
+type config = {
+  max_sessions : int;  (** global admission cap on live sessions *)
+  max_sessions_per_conn : int;
+  max_conns : int;
+  session_credit : int;
+      (** ingress window: a client may have at most this many [Msg]
+          frames unacknowledged by [Credit] grants *)
+  max_frame_bytes : int;
+  max_output_bytes : int;
+      (** egress cap per connection; a client that stops reading is
+          quarantined as a slow consumer instead of growing the buffer *)
+  deadline_s : float;  (** wall-clock budget for a whole session *)
+  idle_timeout_s : float;  (** max quiet gap before a forced verdict *)
+  retry_after_ms : int;  (** suggestion carried in [Overloaded] sheds *)
+  domains : int option;  (** [Parallel] pool width override *)
+  par_threshold : int;
+      (** batches smaller than this fold inline instead of on the pool *)
+}
+
+val default_config : config
+
+type t
+
+(** [create ?clock ?trace ?metrics config].  [clock] (default
+    [Unix.gettimeofday]) drives deadlines and idle timeouts; tests and
+    the selftest inject a virtual clock so timeout paths run
+    deterministically. *)
+val create :
+  ?clock:(unit -> float) ->
+  ?trace:Core.Trace.sink ->
+  ?metrics:Core.Metrics.t ->
+  config ->
+  t
+
+type conn_id = int
+
+(** [open_conn t] admits a connection, or explains why not
+    (connection cap). *)
+val open_conn : t -> (conn_id, string) result
+
+(** [feed_bytes t c b ~off ~len] pushes received bytes.  Complete frames
+    are handled immediately (handshake, opens, queueing); session work
+    is deferred to {!tick}.  Never raises on hostile input.  Unknown or
+    already-closed [c] is a no-op. *)
+val feed_bytes : t -> conn_id -> bytes -> off:int -> len:int -> unit
+
+(** [close_conn t c] — the peer vanished: live sessions on [c] are torn
+    down as aborted (no verdict — there is nobody to send it to). *)
+val close_conn : t -> conn_id -> unit
+
+(** [tick t] advances time (timeouts), folds queued session work on the
+    domain pool, grants credit, finishes sessions into verdict frames,
+    and refreshes gauges.  Call it in the transport's event loop. *)
+val tick : t -> unit
+
+(** [take_output t c] drains bytes queued for the peer (empty string if
+    none, or if [c] is unknown). *)
+val take_output : t -> conn_id -> string
+
+(** [wants_close t c] — the engine is done with [c] (quarantined or
+    [Bye]); the transport should flush remaining output, then call
+    {!close_conn} and close the socket. *)
+val wants_close : t -> conn_id -> bool
+
+(** [begin_drain t] stops admission ([Rejected Draining]); in-flight
+    sessions finish normally or by timeout. *)
+val begin_drain : t -> unit
+
+val draining : t -> bool
+
+(** [idle t] — no live sessions and no queued work (drain is complete
+    once this holds and the transport has flushed). *)
+val idle : t -> bool
+
+(** Monotonic counters and live gauges, mirrored into the optional
+    {!Core.Metrics} registry under [refnet_serve_*]. *)
+type stats = {
+  conns_opened : int;
+  sessions_opened : int;
+  decided : int;
+  degraded : int;
+  inconclusive : int;
+  aborted : int;  (** sessions ended without a verdict (peer vanished)
+                      or by explicit client [Abort] *)
+  sheds : int;  (** admission rejections with [Overloaded] *)
+  drain_rejections : int;
+  quarantines : int;
+  quarantine_escapes : int;  (** exceptions caught by the outermost
+                                 shell — must be zero *)
+  late_frames : int;  (** frames for already-finished sessions *)
+  timeouts_idle : int;
+  timeouts_deadline : int;
+  frames : int;
+  bytes_in : int;
+  live_sessions : int;
+  queued_msgs : int;
+}
+
+val stats : t -> stats

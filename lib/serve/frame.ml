@@ -1,0 +1,300 @@
+(* Typed frames over Wire.  Field order in each payload matches the
+   constructor declaration order; see frame.mli for the kind split. *)
+
+let version = 1
+
+type client =
+  | Hello of { version : int }
+  | Open of { open_id : int; protocol : string; n : int }
+  | Msg of { session : int; node : int; payload : Core.Message.t }
+  | Finish of { session : int }
+  | Abort of { session : int }
+  | Ping of { token : int }
+  | Bye
+
+type reject_reason = Overloaded | Draining | Unknown_protocol | Bad_n | Session_limit
+
+type error_code =
+  | Protocol_violation
+  | Corrupt_frame
+  | Credit_exceeded
+  | Slow_consumer
+  | Internal
+
+type status = Decided | Degraded | Inconclusive
+type timeout_kind = No_timeout | Idle_timeout | Deadline_timeout
+
+type server =
+  | Welcome of { version : int }
+  | Opened of { open_id : int; session : int; credit : int }
+  | Credit of { session : int; credit : int }
+  | Verdict of {
+      session : int;
+      status : status;
+      timeout : timeout_kind;
+      payload : string;
+      missing : int;
+      malformed : int;
+      duplicated : int;
+      undetermined : int;
+    }
+  | Rejected of { open_id : int; reason : reject_reason; retry_after_ms : int }
+  | Error of { code : error_code; detail : string }
+  | Pong of { token : int }
+
+(* ---------- kind bytes ---------- *)
+
+let k_hello = 0x01
+let k_open = 0x02
+let k_msg = 0x03
+let k_finish = 0x04
+let k_abort = 0x05
+let k_ping = 0x06
+let k_bye = 0x07
+let k_welcome = 0x81
+let k_opened = 0x82
+let k_credit = 0x83
+let k_verdict = 0x84
+let k_rejected = 0x85
+let k_error = 0x86
+let k_pong = 0x87
+
+(* ---------- enums ---------- *)
+
+let reject_code = function
+  | Overloaded -> 1
+  | Draining -> 2
+  | Unknown_protocol -> 3
+  | Bad_n -> 4
+  | Session_limit -> 5
+
+let reject_of_code = function
+  | 1 -> Ok Overloaded
+  | 2 -> Ok Draining
+  | 3 -> Ok Unknown_protocol
+  | 4 -> Ok Bad_n
+  | 5 -> Ok Session_limit
+  | c -> Error (Printf.sprintf "unknown reject reason %d" c)
+
+let reject_reason_to_string = function
+  | Overloaded -> "overloaded"
+  | Draining -> "draining"
+  | Unknown_protocol -> "unknown-protocol"
+  | Bad_n -> "bad-n"
+  | Session_limit -> "session-limit"
+
+let error_code_int = function
+  | Protocol_violation -> 1
+  | Corrupt_frame -> 2
+  | Credit_exceeded -> 3
+  | Slow_consumer -> 4
+  | Internal -> 5
+
+let error_of_code = function
+  | 1 -> Ok Protocol_violation
+  | 2 -> Ok Corrupt_frame
+  | 3 -> Ok Credit_exceeded
+  | 4 -> Ok Slow_consumer
+  | 5 -> Ok Internal
+  | c -> Error (Printf.sprintf "unknown error code %d" c)
+
+let error_code_to_string = function
+  | Protocol_violation -> "protocol-violation"
+  | Corrupt_frame -> "corrupt-frame"
+  | Credit_exceeded -> "credit-exceeded"
+  | Slow_consumer -> "slow-consumer"
+  | Internal -> "internal"
+
+let status_code = function Decided -> 0 | Degraded -> 1 | Inconclusive -> 2
+
+let status_of_code = function
+  | 0 -> Ok Decided
+  | 1 -> Ok Degraded
+  | 2 -> Ok Inconclusive
+  | c -> Error (Printf.sprintf "unknown verdict status %d" c)
+
+let timeout_code = function
+  | No_timeout -> 0
+  | Idle_timeout -> 1
+  | Deadline_timeout -> 2
+
+let timeout_of_code = function
+  | 0 -> Ok No_timeout
+  | 1 -> Ok Idle_timeout
+  | 2 -> Ok Deadline_timeout
+  | c -> Error (Printf.sprintf "unknown timeout kind %d" c)
+
+(* ---------- encoding ---------- *)
+
+let framed kind fill =
+  let p = Wire.Put.create () in
+  fill p;
+  Wire.encode ~kind (Wire.Put.contents p)
+
+let encode_client = function
+  | Hello { version } -> framed k_hello (fun p -> Wire.Put.u16 p version)
+  | Open { open_id; protocol; n } ->
+      framed k_open (fun p ->
+          Wire.Put.u32 p open_id;
+          Wire.Put.str p protocol;
+          Wire.Put.u32 p n)
+  | Msg { session; node; payload } ->
+      framed k_msg (fun p ->
+          Wire.Put.u32 p session;
+          Wire.Put.u32 p node;
+          Wire.Put.bits p payload)
+  | Finish { session } -> framed k_finish (fun p -> Wire.Put.u32 p session)
+  | Abort { session } -> framed k_abort (fun p -> Wire.Put.u32 p session)
+  | Ping { token } -> framed k_ping (fun p -> Wire.Put.u32 p token)
+  | Bye -> framed k_bye (fun _ -> ())
+
+let encode_server = function
+  | Welcome { version } -> framed k_welcome (fun p -> Wire.Put.u16 p version)
+  | Opened { open_id; session; credit } ->
+      framed k_opened (fun p ->
+          Wire.Put.u32 p open_id;
+          Wire.Put.u32 p session;
+          Wire.Put.u32 p credit)
+  | Credit { session; credit } ->
+      framed k_credit (fun p ->
+          Wire.Put.u32 p session;
+          Wire.Put.u32 p credit)
+  | Verdict
+      { session; status; timeout; payload; missing; malformed; duplicated;
+        undetermined } ->
+      framed k_verdict (fun p ->
+          Wire.Put.u32 p session;
+          Wire.Put.u8 p (status_code status);
+          Wire.Put.u8 p (timeout_code timeout);
+          Wire.Put.str p payload;
+          Wire.Put.u32 p missing;
+          Wire.Put.u32 p malformed;
+          Wire.Put.u32 p duplicated;
+          Wire.Put.u32 p undetermined)
+  | Rejected { open_id; reason; retry_after_ms } ->
+      framed k_rejected (fun p ->
+          Wire.Put.u32 p open_id;
+          Wire.Put.u8 p (reject_code reason);
+          Wire.Put.u32 p retry_after_ms)
+  | Error { code; detail } ->
+      framed k_error (fun p ->
+          Wire.Put.u8 p (error_code_int code);
+          Wire.Put.str p detail)
+  | Pong { token } -> framed k_pong (fun p -> Wire.Put.u32 p token)
+
+(* ---------- decoding ---------- *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let closed g r =
+  let* v = r in
+  if Wire.Get.finished g then Ok v else Error "trailing bytes in frame payload"
+
+let decode_client ~kind payload =
+  let g = Wire.Get.create payload in
+  closed g
+    (if kind = k_hello then
+       let* version = Wire.Get.u16 g in
+       Ok (Hello { version })
+     else if kind = k_open then
+       let* open_id = Wire.Get.u32 g in
+       let* protocol = Wire.Get.str g in
+       let* n = Wire.Get.u32 g in
+       Ok (Open { open_id; protocol; n })
+     else if kind = k_msg then
+       let* session = Wire.Get.u32 g in
+       let* node = Wire.Get.u32 g in
+       let* payload = Wire.Get.bits g in
+       Ok (Msg { session; node; payload })
+     else if kind = k_finish then
+       let* session = Wire.Get.u32 g in
+       Ok (Finish { session })
+     else if kind = k_abort then
+       let* session = Wire.Get.u32 g in
+       Ok (Abort { session })
+     else if kind = k_ping then
+       let* token = Wire.Get.u32 g in
+       Ok (Ping { token })
+     else if kind = k_bye then Ok Bye
+     else Error (Printf.sprintf "unknown client frame kind 0x%02X" kind))
+
+let decode_server ~kind payload =
+  let g = Wire.Get.create payload in
+  closed g
+    (if kind = k_welcome then
+       let* version = Wire.Get.u16 g in
+       Ok (Welcome { version })
+     else if kind = k_opened then
+       let* open_id = Wire.Get.u32 g in
+       let* session = Wire.Get.u32 g in
+       let* credit = Wire.Get.u32 g in
+       Ok (Opened { open_id; session; credit })
+     else if kind = k_credit then
+       let* session = Wire.Get.u32 g in
+       let* credit = Wire.Get.u32 g in
+       Ok (Credit { session; credit })
+     else if kind = k_verdict then
+       let* session = Wire.Get.u32 g in
+       let* s = Wire.Get.u8 g in
+       let* status = status_of_code s in
+       let* t = Wire.Get.u8 g in
+       let* timeout = timeout_of_code t in
+       let* payload = Wire.Get.str g in
+       let* missing = Wire.Get.u32 g in
+       let* malformed = Wire.Get.u32 g in
+       let* duplicated = Wire.Get.u32 g in
+       let* undetermined = Wire.Get.u32 g in
+       Ok
+         (Verdict
+            { session; status; timeout; payload; missing; malformed;
+              duplicated; undetermined })
+     else if kind = k_rejected then
+       let* open_id = Wire.Get.u32 g in
+       let* r = Wire.Get.u8 g in
+       let* reason = reject_of_code r in
+       let* retry_after_ms = Wire.Get.u32 g in
+       Ok (Rejected { open_id; reason; retry_after_ms })
+     else if kind = k_error then
+       let* c = Wire.Get.u8 g in
+       let* code = error_of_code c in
+       let* detail = Wire.Get.str g in
+       Ok (Error { code; detail })
+     else if kind = k_pong then
+       let* token = Wire.Get.u32 g in
+       Ok (Pong { token })
+     else Error (Printf.sprintf "unknown server frame kind 0x%02X" kind))
+
+(* ---------- printers ---------- *)
+
+let pp_client ppf = function
+  | Hello { version } -> Format.fprintf ppf "hello v%d" version
+  | Open { open_id; protocol; n } ->
+      Format.fprintf ppf "open #%d %s n=%d" open_id protocol n
+  | Msg { session; node; payload } ->
+      Format.fprintf ppf "msg s%d node=%d bits=%d" session node
+        (Core.Message.bits payload)
+  | Finish { session } -> Format.fprintf ppf "finish s%d" session
+  | Abort { session } -> Format.fprintf ppf "abort s%d" session
+  | Ping { token } -> Format.fprintf ppf "ping %d" token
+  | Bye -> Format.fprintf ppf "bye"
+
+let pp_server ppf = function
+  | Welcome { version } -> Format.fprintf ppf "welcome v%d" version
+  | Opened { open_id; session; credit } ->
+      Format.fprintf ppf "opened #%d s%d credit=%d" open_id session credit
+  | Credit { session; credit } ->
+      Format.fprintf ppf "credit s%d +%d" session credit
+  | Verdict { session; status; payload; _ } ->
+      Format.fprintf ppf "verdict s%d %s %s" session
+        (match status with
+        | Decided -> "decided"
+        | Degraded -> "degraded"
+        | Inconclusive -> "inconclusive")
+        payload
+  | Rejected { open_id; reason; retry_after_ms } ->
+      Format.fprintf ppf "rejected #%d %s retry=%dms" open_id
+        (reject_reason_to_string reason)
+        retry_after_ms
+  | Error { code; detail } ->
+      Format.fprintf ppf "error %s: %s" (error_code_to_string code) detail
+  | Pong { token } -> Format.fprintf ppf "pong %d" token

@@ -1,0 +1,76 @@
+(** Typed frames of the serve protocol, layered on {!Wire}.
+
+    Client-to-server kinds live in [0x01..0x7F], server-to-client kinds
+    in [0x81..0xFF].  Both directions have encoders and decoders: the
+    daemon decodes client frames, while the selftest load generator and
+    the probe client decode server frames.
+
+    Decoding a structurally valid wire frame can still fail (unknown
+    kind, truncated payload, trailing junk, out-of-range enum); those
+    failures come back as [Error reason] and the daemon treats them
+    exactly like a corrupt frame — quarantine. *)
+
+type client =
+  | Hello of { version : int }
+  | Open of { open_id : int; protocol : string; n : int }
+      (** [open_id] is a client-chosen correlation token echoed in
+          [Opened]/[Rejected], letting a client pipeline opens. *)
+  | Msg of { session : int; node : int; payload : Core.Message.t }
+  | Finish of { session : int }
+  | Abort of { session : int }
+  | Ping of { token : int }
+  | Bye
+
+type reject_reason =
+  | Overloaded  (** admission control shed the session; retry later *)
+  | Draining  (** daemon is shutting down and accepts no new sessions *)
+  | Unknown_protocol
+  | Bad_n
+  | Session_limit  (** per-connection session cap reached *)
+
+type error_code =
+  | Protocol_violation
+  | Corrupt_frame
+  | Credit_exceeded
+  | Slow_consumer
+  | Internal
+
+type status = Decided | Degraded | Inconclusive
+type timeout_kind = No_timeout | Idle_timeout | Deadline_timeout
+
+type server =
+  | Welcome of { version : int }
+  | Opened of { open_id : int; session : int; credit : int }
+  | Credit of { session : int; credit : int }
+      (** grants [credit] further [Msg] frames on the session; the sum
+          of outstanding grants is the client's send window. *)
+  | Verdict of {
+      session : int;
+      status : status;
+      timeout : timeout_kind;
+      payload : string;  (** canonical rendering of the referee output,
+          or the [Inconclusive] reason *)
+      missing : int;
+      malformed : int;
+      duplicated : int;
+      undetermined : int;
+    }
+  | Rejected of { open_id : int; reason : reject_reason; retry_after_ms : int }
+  | Error of { code : error_code; detail : string }
+      (** always followed by the server closing the connection *)
+  | Pong of { token : int }
+
+val version : int
+
+val encode_client : client -> string
+(** Full wire bytes (header + payload). *)
+
+val encode_server : server -> string
+
+val decode_client : kind:int -> string -> (client, string) result
+val decode_server : kind:int -> string -> (server, string) result
+
+val pp_client : Format.formatter -> client -> unit
+val pp_server : Format.formatter -> server -> unit
+val reject_reason_to_string : reject_reason -> string
+val error_code_to_string : error_code -> string

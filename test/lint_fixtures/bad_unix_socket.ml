@@ -1,0 +1,7 @@
+(* Lint fixture: must trip [determinism] (three times) and no other
+   rule.  Socket syscalls outside the serve transport — this fixture's
+   path is not in Policy.unix_ok, so every syscall fires. *)
+
+let fd () = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0
+let serve fd = Unix.listen fd 16
+let poll readers = Unix.select readers [] [] 0.1

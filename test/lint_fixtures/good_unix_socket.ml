@@ -1,0 +1,9 @@
+(* Lint fixture: the [determinism] syscall rule must stay silent here.
+   Pure Unix values — error rendering, address constants — are not
+   syscalls; handling a Unix_error is fine anywhere. *)
+
+let describe = function
+  | Unix.Unix_error (e, _, _) -> Unix.error_message e
+  | _ -> "unknown"
+
+let loopback = Unix.inet_addr_loopback

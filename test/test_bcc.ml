@@ -277,6 +277,70 @@ let test_budget_violation () =
   | exception Core.Bcc.Budget_exceeded { id; _ } ->
     Alcotest.(check int) "referee is id 0" 0 id
 
+(* ---------- budget validation ---------- *)
+
+(* A protocol that sends nothing, parameterized by its budget: the only
+   thing the entry points can object to is the contract itself. *)
+let quiet_with budget : unit Core.Bcc.t =
+  {
+    Core.Bcc.name = "bcc-test-quiet";
+    budget;
+    init = Core.Bcc.make_state;
+    send = (fun ~round:_ s -> (Core.Message.empty, s));
+    receive = (fun ~round:_ ~broadcast:_ s -> s);
+    referee =
+      Core.Bcc.Referee
+        {
+          r_init = (fun ~n:_ -> ());
+          r_absorb = (fun ~n:_ ~round:_ () ~id:_ _ -> ());
+          r_broadcast = (fun ~n:_ ~round:_ () -> ((), Core.Message.empty));
+          r_finish = (fun ~n:_ () -> ());
+        };
+  }
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_invalid name ~naming f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument msg ->
+    if not (contains_sub msg naming) then
+      Alcotest.failf "%s: Invalid_argument %S does not name %S" name msg naming
+  | exception Core.Bcc.Budget_exceeded _ ->
+    Alcotest.failf "%s: surfaced as Budget_exceeded, wanted Invalid_argument" name
+
+let test_budget_constructor () =
+  check_invalid "rounds = 0" ~naming:"rounds" (fun () ->
+      Core.Bcc.budget ~rounds:0 ~bits_per_round:Core.Bcc.unbounded);
+  check_invalid "rounds = -3" ~naming:"rounds" (fun () ->
+      Core.Bcc.budget ~rounds:(-3) ~bits_per_round:Core.Bcc.unbounded);
+  let b = Core.Bcc.budget ~rounds:2 ~bits_per_round:(Core.Bcc.log_budget ~c:1) in
+  Alcotest.(check int) "rounds kept" 2 b.Core.Bcc.rounds;
+  Alcotest.(check int) "cap kept" (Core.Bounds.id_bits 16) (b.Core.Bcc.bits_per_round 16)
+
+let test_budget_validated_at_entry () =
+  let g = Generators.cycle 8 in
+  (* Hand-built records bypass the constructor; the entry points still
+     name the field rather than raising a spurious Budget_exceeded. *)
+  check_invalid "run rounds = 0" ~naming:"rounds" (fun () ->
+      Core.Bcc.run (quiet_with { Core.Bcc.rounds = 0; bits_per_round = Core.Bcc.unbounded }) g);
+  check_invalid "run cap = 0" ~naming:"bits_per_round" (fun () ->
+      Core.Bcc.run (quiet_with { Core.Bcc.rounds = 1; bits_per_round = (fun _ -> 0) }) g);
+  check_invalid "run cap < 0" ~naming:"bits_per_round" (fun () ->
+      Core.Bcc.run (quiet_with { Core.Bcc.rounds = 1; bits_per_round = (fun _ -> -7) }) g);
+  check_invalid "run_faulty rounds = 0" ~naming:"rounds" (fun () ->
+      Core.Bcc.run_faulty (quiet_with { Core.Bcc.rounds = 0; bits_per_round = Core.Bcc.unbounded }) g);
+  check_invalid "run_faulty cap = 0" ~naming:"bits_per_round" (fun () ->
+      Core.Bcc.run_faulty (quiet_with { Core.Bcc.rounds = 1; bits_per_round = (fun _ -> 0) }) g);
+  (* A valid contract through the same quiet protocol still runs. *)
+  let _, t =
+    Core.Bcc.run (quiet_with (Core.Bcc.budget ~rounds:1 ~bits_per_round:(Core.Bcc.log_budget ~c:1))) g
+  in
+  Alcotest.(check int) "valid budget runs" 1 t.Core.Bcc.rounds
+
 (* ---------- transcript determinism ---------- *)
 
 let transcript_eq = Alcotest.testable (fun fmt (_ : Core.Bcc.transcript) -> Format.fprintf fmt "<transcript>") ( = )
@@ -498,6 +562,8 @@ let () =
       ( "engine",
         [
           Alcotest.test_case "budget violation" `Quick test_budget_violation;
+          Alcotest.test_case "budget constructor validates" `Quick test_budget_constructor;
+          Alcotest.test_case "budget validated at entry" `Quick test_budget_validated_at_entry;
           Alcotest.test_case "transcript equality" `Quick test_transcript_equality;
         ] );
       ( "faults",

@@ -120,6 +120,26 @@ let test_file_blank_lines () =
         (Graph.of_edges 3 [ (1, 2); (2, 3) ])
         (Gio.graph_of_file path))
 
+(* Edge lists written on other platforms: CRLF endings, tab separators,
+   runs of spaces and trailing blanks must load identically to native
+   files — both through the streaming loader and the string parser. *)
+let test_file_foreign_whitespace () =
+  let expected = Graph.of_edges 3 [ (1, 2); (2, 3) ] in
+  List.iter
+    (fun (label, contents) ->
+      with_temp_file (Some contents) (fun path ->
+          Alcotest.check graph (label ^ " (file)") expected (Gio.graph_of_file path);
+          Alcotest.check graph (label ^ " (csr)") expected
+            (Csr.to_graph (Gio.csr_of_file path)));
+      Alcotest.check graph (label ^ " (string)") expected (Gio.of_edge_list contents))
+    [
+      ("crlf", "3 2\r\n1 2\r\n2 3\r\n");
+      ("tabs", "3\t2\n1\t2\n2\t3\n");
+      ("trailing blanks", "3 2  \n1 2 \n2 3\t\n");
+      ("mixed runs", "3 \t 2\r\n1  \t2  \r\n2 \t\t3\n");
+      ("no final newline", "3 2\r\n1 2\r\n2 3");
+    ]
+
 (* Parse and consumer errors carry the offending file:line. *)
 let test_file_errors_carry_line_numbers () =
   let cases =
@@ -173,6 +193,7 @@ let () =
         [
           Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
           Alcotest.test_case "blank lines" `Quick test_file_blank_lines;
+          Alcotest.test_case "foreign whitespace" `Quick test_file_foreign_whitespace;
           Alcotest.test_case "errors carry line numbers" `Quick
             test_file_errors_carry_line_numbers;
           Alcotest.test_case "csr loader agreement" `Quick test_file_csr_streaming_agrees;

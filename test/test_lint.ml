@@ -44,6 +44,41 @@ let suppression_is_rule_specific () =
   let findings = Lint.Driver.lint_source ~file:"wrong_rule.ml" source in
   Alcotest.(check (list string)) "still fires" [ "determinism" ] (rule_names findings)
 
+(* ---------- path-gated allowlists ---------- *)
+
+(* The same source fires or stays silent purely by where it claims to
+   live: syscalls and clock reads are policy exceptions for the serve
+   transport, not repo-wide permissions. *)
+let socket_rule_is_path_gated () =
+  let source = "let fd () = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0\n" in
+  Alcotest.(check (list string))
+    "fires outside the transport" [ "determinism" ]
+    (rule_names (Lint.Driver.lint_source ~file:"lib/core/rogue.ml" source));
+  Alcotest.(check (list string))
+    "allowed in the serve daemon" []
+    (rule_names (Lint.Driver.lint_source ~file:"lib/serve/daemon.ml" source));
+  Alcotest.(check (list string))
+    "allowed in the serve client" []
+    (rule_names (Lint.Driver.lint_source ~file:"lib/serve/client.ml" source));
+  (* The serve *engine* may read the (injectable) clock but still may
+     not issue syscalls: transport-free means transport-free. *)
+  Alcotest.(check (list string))
+    "engine may not open sockets" [ "determinism" ]
+    (rule_names (Lint.Driver.lint_source ~file:"lib/serve/engine.ml" source))
+
+let clock_rule_covers_serve_edges () =
+  let source = "let now () = Unix.gettimeofday ()\n" in
+  Alcotest.(check (list string))
+    "fires in core" [ "determinism" ]
+    (rule_names (Lint.Driver.lint_source ~file:"lib/core/rogue.ml" source));
+  List.iter
+    (fun file ->
+      Alcotest.(check (list string))
+        (file ^ " may read the clock")
+        []
+        (rule_names (Lint.Driver.lint_source ~file source)))
+    [ "lib/serve/engine.ml"; "lib/serve/daemon.ml"; "lib/serve/selftest.ml" ]
+
 (* ---------- malformed input ---------- *)
 
 let parse_error_is_a_finding () =
@@ -159,6 +194,13 @@ let () =
           Alcotest.test_case "bad bit-accounting" `Quick
             (bad "bad_bit_accounting.ml" "bit-accounting" 2);
           Alcotest.test_case "good bit-accounting" `Quick (good "good_bit_accounting.ml");
+          Alcotest.test_case "bad unix socket" `Quick (bad "bad_unix_socket.ml" "determinism" 3);
+          Alcotest.test_case "good unix socket" `Quick (good "good_unix_socket.ml");
+        ] );
+      ( "policy gating",
+        [
+          Alcotest.test_case "syscalls confined to transport" `Quick socket_rule_is_path_gated;
+          Alcotest.test_case "clock reads at serve edges" `Quick clock_rule_covers_serve_edges;
         ] );
       ( "suppressions",
         [
