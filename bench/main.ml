@@ -25,7 +25,10 @@
      main.exe serve      referee daemon campaign (D1): clean session
                          throughput, then a chaos sweep with rising faulty
                          fractions gated on zero lies / zero quarantine
-                         escapes, written to BENCH_refnet.json *)
+                         escapes, written to BENCH_refnet.json
+     main.exe flight     flight-recorder overhead (D2): the chaos selftest
+                         with rings on vs off, median-of-ratios overhead
+                         gated under 5%, written to BENCH_refnet.json *)
 
 open Refnet_graph
 
@@ -1630,6 +1633,71 @@ let serve_bench () =
   let sweep = serve_chaos_sweep () in
   write_serve_json clean sweep
 
+(* ---------- D2: flight-recorder overhead ---------- *)
+
+(* Rings on vs rings off under the same chaos mix, timed back-to-back
+   per round.  The gate compares the best-of-rounds times: noise on a
+   shared host only ever makes a run slower, so the minima are the two
+   clean measurements.  The recorder must cost < 5% or operators will
+   switch it off exactly when the evidence matters. *)
+let flight_bench () =
+  section "D2" "Flight recorder: ring cost under chaos must stay under 5%";
+  let sessions = 16_000 and faulty = 0.2 in
+  let cfg = { Serve.Selftest.default_cfg with sessions; conns = 64; faulty } in
+  let fl = Core.Flight.create ~capacity:(1 lsl 16) () in
+  let gate o =
+    match Serve.Selftest.passed o with
+    | Ok () -> o
+    | Error e -> failwith ("D2: selftest gate violated: " ^ e)
+  in
+  let off () = gate (Serve.Selftest.run cfg) in
+  let on () =
+    Core.Flight.reset fl;
+    gate (Serve.Selftest.run ~flight:fl cfg)
+  in
+  (* warm both variants before timing *)
+  ignore (off ());
+  ignore (on ());
+  let rounds = 5 in
+  let off_best = ref infinity and on_best = ref infinity in
+  let last_on = ref None in
+  for round = 0 to rounds - 1 do
+    let o_off = off () in
+    let o_on = on () in
+    last_on := Some o_on;
+    let t_off = o_off.Serve.Selftest.o_wall_s and t_on = o_on.Serve.Selftest.o_wall_s in
+    if t_off < !off_best then off_best := t_off;
+    if t_on < !on_best then on_best := t_on;
+    Printf.printf "  round %d: off %.3fs  on %.3fs  ratio %.3f\n%!" (round + 1) t_off t_on
+      (t_on /. t_off)
+  done;
+  let overhead = !on_best /. !off_best in
+  let o_on = match !last_on with Some o -> o | None -> failwith "D2: no timed run" in
+  let dump_bytes = String.length (Core.Flight.dump fl) in
+  Printf.printf
+    "  sessions=%d faulty=%.2f  best off %.3fs  on %.3fs  best-of overhead %.3fx  \
+     recorded=%d dropped=%d dump=%d B\n"
+    sessions faulty !off_best !on_best overhead o_on.Serve.Selftest.o_flight_recorded
+    o_on.Serve.Selftest.o_flight_dropped dump_bytes;
+  if overhead > 1.05 then failwith "D2: flight recorder overhead exceeds the 5% budget";
+  let oc = open_out "BENCH_refnet.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"refnet-flight\",\n";
+  Printf.fprintf oc "  \"unix_time\": %.0f,\n" (Unix.time ());
+  Printf.fprintf oc "  \"overhead_budget\": 1.05,\n";
+  Printf.fprintf oc "  \"sessions\": %d,\n" sessions;
+  Printf.fprintf oc "  \"faulty\": %.2f,\n" faulty;
+  Printf.fprintf oc "  \"off_best_s\": %.4f,\n" !off_best;
+  Printf.fprintf oc "  \"on_best_s\": %.4f,\n" !on_best;
+  Printf.fprintf oc "  \"best_of_overhead\": %.4f,\n" overhead;
+  Printf.fprintf oc "  \"flight_recorded\": %d,\n" o_on.Serve.Selftest.o_flight_recorded;
+  Printf.fprintf oc "  \"flight_dropped\": %d,\n" o_on.Serve.Selftest.o_flight_dropped;
+  Printf.fprintf oc "  \"flight_findings\": %d,\n" o_on.Serve.Selftest.o_flight_findings;
+  Printf.fprintf oc "  \"dump_bytes\": %d\n" dump_bytes;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "\nwrote BENCH_refnet.json\n"
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   (match mode with
@@ -1641,6 +1709,7 @@ let () =
   | "graphsource" -> graphsource ()
   | "bcc" -> bcc_bench ()
   | "serve" -> serve_bench ()
+  | "flight" -> flight_bench ()
   | _ ->
     tables ();
     timing_benches ();

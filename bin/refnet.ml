@@ -755,6 +755,102 @@ let report_cmd =
           bound-audit verdicts (exit 1 on any violated budget)")
     Term.(const report $ traces $ json_out)
 
+(* ---------- flight ---------- *)
+
+(* Decode crash-dump flight recordings and replay their trace events
+   through the same Report pipeline as live JSONL traces — the audit
+   verdicts must agree with what a live trace of the same sessions
+   would produce.  Decode is total: malformed bytes become findings,
+   which are reported, never raised. *)
+let flight dumps json_out =
+  let r = Core.Report.create () in
+  let recorded = ref 0 and dropped = ref 0 in
+  let findings = ref [] and items = ref 0 and notes = ref 0 in
+  let all_items = ref [] in
+  List.iter
+    (fun path ->
+      match Core.Flight.decode_file path with
+      | Error msg ->
+        Printf.eprintf "refnet flight: %s\n" msg;
+        exit 2
+      | Ok d ->
+        recorded := !recorded + d.Core.Flight.d_recorded;
+        dropped := !dropped + d.Core.Flight.d_dropped;
+        findings :=
+          !findings @ List.map (fun f -> (path, f)) d.Core.Flight.d_findings;
+        all_items := !all_items @ d.Core.Flight.d_items;
+        List.iter
+          (fun it ->
+            incr items;
+            match it.Core.Flight.i_line with
+            | Some line -> Core.Report.ingest_line r line
+            | None -> incr notes)
+          d.Core.Flight.d_items)
+    dumps;
+  let open_sessions = Core.Flight.open_traces !all_items in
+  (match json_out with
+  | true ->
+    let sessions_json =
+      String.concat ", "
+        (List.map
+           (fun (trace, summary) ->
+             Printf.sprintf "{\"trace\": \"%s\", \"summary\": %S}"
+               (Core.Flight.hex_of_trace trace)
+               summary)
+           open_sessions)
+    in
+    Printf.printf
+      "{\"files\": %d, \"flight_recorded\": %d, \"flight_drops_total\": %d, \
+       \"flight_findings\": %d, \"items\": %d, \"notes\": %d, \
+       \"open_sessions\": [%s], \"report\": %s}\n"
+      (List.length dumps) !recorded !dropped
+      (List.length !findings)
+      !items !notes sessions_json
+      (Core.Report.to_json r)
+  | false ->
+    Printf.printf "flight: %d file%s, %d recorded, %d dropped, %d items (%d notes)\n"
+      (List.length dumps)
+      (if List.length dumps = 1 then "" else "s")
+      !recorded !dropped !items !notes;
+    List.iter
+      (fun (path, f) ->
+        Printf.printf "  finding %s@%d: %s\n" path f.Core.Flight.f_offset
+          f.Core.Flight.f_reason)
+      !findings;
+    List.iter
+      (fun (trace, summary) ->
+        Printf.printf "  open session %s: %s\n"
+          (Core.Flight.hex_of_trace trace)
+          summary)
+      open_sessions;
+    Format.printf "%a@?" Core.Report.pp r);
+  match Core.Report.violations r with
+  | [] -> ()
+  | vs ->
+    Printf.eprintf "refnet flight: %d bound audit violation%s\n" (List.length vs)
+      (if List.length vs = 1 then "" else "s");
+    exit 1
+
+let flight_cmd =
+  let dumps =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"DUMP" ~doc:".flight dump file(s).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print a JSON object (decode counters, open sessions, embedded report) instead of \
+             the human-readable rendering.")
+  in
+  Cmd.v
+    (Cmd.info "flight"
+       ~doc:
+         "Decode flight-recorder crash dumps, list sessions found mid-flight, and replay the \
+          recorded events through the $(b,refnet report) bound audit (exit 1 on any violated \
+          budget)")
+    Term.(const flight $ dumps $ json)
+
 (* ---------- search ---------- *)
 
 let goal_conv =
@@ -906,7 +1002,8 @@ let serve_probe addr =
     exit 1
 
 let serve listen metrics_listen selftest probe sessions conns nodes protocol chaos seed min_rate
-    json deadline idle_timeout max_sessions credit domains max_run trace metrics_file =
+    json deadline idle_timeout max_sessions credit domains max_run flight_dir flight_capacity
+    trace metrics_file =
   match probe with
   | Some addr -> serve_probe addr
   | None ->
@@ -931,7 +1028,12 @@ let serve listen metrics_listen selftest probe sessions conns nodes protocol cha
               domains;
             }
           in
-          let outcome = Serve.Selftest.run ~trace:sink ?metrics:m ~engine_cfg cfg in
+          (* the selftest always records flight data: the outcome audits
+             that every verdict left decodable evidence in the rings *)
+          let fl = Core.Flight.create ~capacity:flight_capacity () in
+          let outcome =
+            Serve.Selftest.run ~trace:sink ?metrics:m ~flight:fl ~engine_cfg cfg
+          in
           if json then print_endline (Serve.Selftest.to_json outcome)
           else Format.printf "%a@." Serve.Selftest.pp outcome;
           match Serve.Selftest.passed ?min_rate outcome with
@@ -979,6 +1081,8 @@ let serve listen metrics_listen selftest probe sessions conns nodes protocol cha
                   };
                 trace = sink;
                 metrics = m;
+                flight_dir;
+                flight_capacity = Some flight_capacity;
                 max_run_s = max_run;
               }
             in
@@ -1077,6 +1181,22 @@ let serve_cmd =
       & opt (some float) None
       & info [ "max-run" ] ~docv:"SECONDS" ~doc:"Stop (as if SIGTERM) after $(docv); for smoke tests.")
   in
+  let flight_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-dir" ] ~docv:"DIR"
+          ~doc:
+            "Attach a crash-safe flight recorder: ring dumps land in $(docv) on every anomaly, \
+             on SIGUSR1 and at exit; on boot the directory is scanned and mid-flight sessions \
+             are refused with evidence ($(b,refnet flight) decodes the dumps).")
+  in
+  let flight_capacity =
+    Arg.(
+      value & opt int 65536
+      & info [ "flight-capacity" ] ~docv:"N"
+          ~doc:"Flight recorder ring entries per domain (oldest entries overwrite beyond this).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1085,7 +1205,7 @@ let serve_cmd =
     Term.(
       const serve $ listen $ metrics_listen $ selftest $ probe $ sessions $ conns $ nodes
       $ protocol $ chaos $ seed_arg $ min_rate $ json $ deadline $ idle_timeout $ max_sessions
-      $ credit $ domains $ max_run $ trace_arg $ metrics_arg)
+      $ credit $ domains $ max_run $ flight_dir $ flight_capacity $ trace_arg $ metrics_arg)
 
 let connectivity_cmd =
   let parts = Arg.(value & opt int 4 & info [ "parts" ] ~docv:"K" ~doc:"Coalition count.") in
@@ -1106,7 +1226,7 @@ let () =
       (Cmd.group info
          [
            generate_cmd; reconstruct_cmd; recognize_cmd; gadget_cmd; count_cmd; sizes_cmd; stats_cmd; search_cmd;
-           connectivity_cmd; faults_cmd; bcc_cmd; sweep_cmd; report_cmd; lint_cmd; serve_cmd;
+           connectivity_cmd; faults_cmd; bcc_cmd; sweep_cmd; report_cmd; flight_cmd; lint_cmd; serve_cmd;
          ])
   with
   | code -> exit code

@@ -44,6 +44,28 @@ let leading_int s =
     | Some k -> Some (k, String.sub s i (n - i))
     | None -> None
 
+(* ["...[trace=<16hex>]"]: the serve layer tags every session span with
+   its 64-bit flight-recorder trace id, outside every other decoration —
+   peeled before [src=].  Budget-transparent: the same protocol sends
+   the same bits whoever asked for the run. *)
+let split_trace label =
+  let l = String.length label in
+  if l < 8 || label.[l - 1] <> ']' then None
+  else
+    let rec find i =
+      if i < 0 then None
+      else if String.sub label i 7 = "[trace=" then Some i
+      else find (i - 1)
+    in
+    match find (l - 8) with
+    | None -> None
+    | Some i ->
+      let tok = String.sub label (i + 7) (l - 1 - (i + 7)) in
+      let hex_ok c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') in
+      if String.length tok = 16 && String.for_all hex_ok tok then
+        Some (String.sub label 0 i, tok)
+      else None
+
 (* ["...[src=<backend>]"]: the engine's *_source entry points append
    the graph backend outermost — after [parts=] and the
    +sealed/+hardened suffixes — so it is peeled first.  The token
@@ -124,6 +146,9 @@ let parts_of label =
      plus lower-order terms; 256 absorbs the additive terms from n >= 8.
    - full-information: exactly n bits (an incidence row). *)
 let budget_of_label label =
+  (* The session trace id is peeled outermost: observability tags never
+     change what the protocol sends. *)
+  let label = match split_trace label with Some (stem, _) -> stem | None -> label in
   (* Backend decorations never change the budget: the same protocol on
      the same graph sends the same bits whatever representation the
      engine reads it from. *)
@@ -244,10 +269,22 @@ let classify_label label =
   else if String.exists (fun c -> Char.code c < 0x20) label then
     Malformed "label contains control characters"
   else begin
-    (* Peel the backend decoration first — the *_source engines append
-       it outermost.  A label that contains "[src=" but does not end in
-       a well-formed "[src=<token>]" is a near-miss that would dodge
-       both the budget lookup and the [parts=] parse below. *)
+    (* Peel the session trace id first — the serve layer tags it outside
+       every other decoration.  A leftover "[trace=" is a near-miss
+       (wrong placement, or not 16 lowercase hex digits). *)
+    let label =
+      match split_trace label with
+      | Some (stem, _) -> stem
+      | None -> label
+    in
+    if has_substring label "[trace=" then
+      Malformed "bad [trace=<id>] decoration (must be outermost, id is 16 lowercase hex digits)"
+    else begin
+    (* Peel the backend decoration next — the *_source engines append
+       it outside everything but the trace tag.  A label that contains
+       "[src=" but does not end in a well-formed "[src=<token>]" is a
+       near-miss that would dodge both the budget lookup and the
+       [parts=] parse below. *)
     let label =
       match split_src label with
       | Some (stem, _) -> stem
@@ -313,6 +350,7 @@ let classify_label label =
               (match budget_of_label canonical with
               | Some b -> Budgeted b
               | None -> Exempt (* bare coalition-connectivity: parts arrive at run time *))))
+    end
     end
     end
   end

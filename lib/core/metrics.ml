@@ -138,6 +138,29 @@ module Histogram = struct
       if h.h_buckets.(i) > 0 then out := (i, h.h_buckets.(i)) :: !out
     done;
     !out
+
+  (* The reported quantile is the upper bound of the first bucket whose
+     cumulative count reaches ceil(q·count), clamped to the observed
+     max — exact at the log2 resolution the buckets keep. *)
+  let quantile_of ~count ~max_value bucket_list q =
+    if count = 0 then 0
+    else begin
+      let q = if q < 0. then 0. else if q > 1. then 1. else q in
+      let target = int_of_float (ceil (q *. float_of_int count)) in
+      let target = if target < 1 then 1 else target in
+      let rec go cum = function
+        | [] -> max_value
+        | (i, c) :: rest ->
+          let cum = cum + c in
+          if cum >= target then
+            let _, hi = bucket_range i in
+            min hi max_value
+          else go cum rest
+      in
+      go 0 bucket_list
+    end
+
+  let quantile h q = quantile_of ~count:h.h_count ~max_value:h.h_max (buckets h) q
 end
 
 module Timer = struct
@@ -193,6 +216,9 @@ type histogram_snapshot = {
 }
 
 type timer_snapshot = { t_count : int; t_total : float; t_by_domain : (int * float) list }
+
+let snapshot_quantile (h : histogram_snapshot) q =
+  Histogram.quantile_of ~count:h.h_count ~max_value:h.h_max h.h_buckets q
 
 type snapshot = {
   counters : (string * int) list;
@@ -272,7 +298,10 @@ let to_json s =
   obj
     (fun (name, h) ->
       Buffer.add_string b (json_string name);
-      Buffer.add_string b (Printf.sprintf ":{\"count\":%d,\"sum\":%d,\"max\":%d,\"buckets\":{" h.h_count h.h_sum h.h_max);
+      Buffer.add_string b
+        (Printf.sprintf ":{\"count\":%d,\"sum\":%d,\"max\":%d,\"p50\":%d,\"p90\":%d,\"p99\":%d,\"buckets\":{"
+           h.h_count h.h_sum h.h_max (snapshot_quantile h 0.5) (snapshot_quantile h 0.9)
+           (snapshot_quantile h 0.99));
       List.iteri
         (fun i (idx, c) ->
           if i > 0 then Buffer.add_char b ',';
@@ -361,7 +390,15 @@ let to_prometheus s =
       Buffer.add_string b
         (Printf.sprintf "%s_bucket%s %d\n" base (label_set labels "le=\"+Inf\"") h.h_count);
       Buffer.add_string b (Printf.sprintf "%s_sum%s %d\n" base (label_set labels "") h.h_sum);
-      Buffer.add_string b (Printf.sprintf "%s_count%s %d\n" base (label_set labels "") h.h_count))
+      Buffer.add_string b (Printf.sprintf "%s_count%s %d\n" base (label_set labels "") h.h_count);
+      (* summary-convention quantile lines alongside the histogram *)
+      List.iter
+        (fun (tag, q) ->
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %d\n" base
+               (label_set labels (Printf.sprintf "quantile=\"%s\"" tag))
+               (snapshot_quantile h q)))
+        [ ("0.5", 0.5); ("0.9", 0.9); ("0.99", 0.99) ])
     s.histograms;
   List.iter
     (fun (name, tm) ->
@@ -388,7 +425,9 @@ let pp_snapshot fmt s =
   List.iter (fun (name, v) -> Format.fprintf fmt "gauge     %-48s %g@." name v) s.gauges;
   List.iter
     (fun (name, h) ->
-      Format.fprintf fmt "histogram %-48s count=%d sum=%d max=%d@." name h.h_count h.h_sum h.h_max;
+      Format.fprintf fmt "histogram %-48s count=%d sum=%d max=%d p50=%d p90=%d p99=%d@." name
+        h.h_count h.h_sum h.h_max (snapshot_quantile h 0.5) (snapshot_quantile h 0.9)
+        (snapshot_quantile h 0.99);
       List.iter
         (fun (i, c) ->
           let lo, hi = Histogram.bucket_range i in

@@ -102,6 +102,12 @@ module Histogram : sig
   (** [buckets h] is the non-empty buckets as [(index, count)] pairs in
       increasing index order. *)
   val buckets : histogram -> (int * int) list
+
+  (** [quantile h q] is the value at quantile [q] (clamped to [0..1]):
+      the upper bound of the first bucket whose cumulative count reaches
+      [ceil(q·count)], clamped to {!max_value} — exact at the log₂
+      resolution the buckets keep.  [0] on an empty histogram. *)
+  val quantile : histogram -> float -> int
 end
 
 module Timer : sig
@@ -165,13 +171,18 @@ type snapshot = {
 
 val snapshot : t -> snapshot
 
+(** {!Histogram.quantile} over an already-taken snapshot. *)
+val snapshot_quantile : histogram_snapshot -> float -> int
+
 (** [to_json s] is a single canonical JSON object (sorted keys, no
-    whitespace) — the machine-readable export. *)
+    whitespace) — the machine-readable export.  Histogram objects carry
+    [p50]/[p90]/[p99] fields alongside count/sum/max. *)
 val to_json : snapshot -> string
 
 (** [to_prometheus s] is the Prometheus text exposition format:
     [# TYPE] headers, cumulative [_bucket{le="..."}] lines for
-    histograms (log₂ upper bounds), [_sum]/[_count], and timers as
+    histograms (log₂ upper bounds), [_sum]/[_count] plus
+    summary-convention [{quantile="0.5|0.9|0.99"}] lines, and timers as
     [_seconds_total] / [_spans_total] series with per-domain
     [{domain="i"}] breakdowns. *)
 val to_prometheus : snapshot -> string

@@ -284,6 +284,20 @@ let sorted_faults p =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) p.faults []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* p50/p90/p99 of per-node message bits, straight off the log2 buckets
+   the proto already keeps (same resolution as Metrics histograms). *)
+let bits_quantiles p =
+  let buckets = ref [] in
+  for idx = Array.length p.bits_buckets - 1 downto 0 do
+    if p.bits_buckets.(idx) > 0 then buckets := (idx, p.bits_buckets.(idx)) :: !buckets
+  done;
+  let snap =
+    { Metrics.h_count = p.locals; h_sum = p.bits_sum; h_max = p.bits_max; h_buckets = !buckets }
+  in
+  ( Metrics.snapshot_quantile snap 0.5,
+    Metrics.snapshot_quantile snap 0.9,
+    Metrics.snapshot_quantile snap 0.99 )
+
 let to_json t =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\"audits\":[";
@@ -308,10 +322,11 @@ let to_json t =
             Buffer.add_string b (Printf.sprintf "\"%d\":%d" idx c)
           end)
         p.bits_buckets;
+      let p50, p90, p99 = bits_quantiles p in
       Buffer.add_string b
         (Printf.sprintf
-           "},\"bits_max\":%d,\"bits_sum\":%d,\"broadcast_bits\":%d,\"broadcasts\":%d,\"faults\":{"
-           p.bits_max p.bits_sum p.bcast_bits p.broadcasts);
+           "},\"bits_max\":%d,\"bits_p50\":%d,\"bits_p90\":%d,\"bits_p99\":%d,\"bits_sum\":%d,\"broadcast_bits\":%d,\"broadcasts\":%d,\"faults\":{"
+           p.bits_max p50 p90 p99 p.bits_sum p.bcast_bits p.broadcasts);
       List.iteri
         (fun j (k, v) ->
           if j > 0 then Buffer.add_char b ',';
@@ -336,9 +351,11 @@ let pp fmt t =
         if p.n_lo = p.n_hi then Format.fprintf fmt "  runs: %d (n=%d)@." p.runs p.n_lo
         else Format.fprintf fmt "  runs: %d (n=%d..%d)@." p.runs p.n_lo p.n_hi
       end;
-      if p.locals > 0 then
-        Format.fprintf fmt "  locals: %d  bits max=%d sum=%d  view queries=%d@." p.locals
-          p.bits_max p.bits_sum p.queries_sum;
+      if p.locals > 0 then begin
+        let p50, p90, p99 = bits_quantiles p in
+        Format.fprintf fmt "  locals: %d  bits max=%d sum=%d p50=%d p90=%d p99=%d  view queries=%d@."
+          p.locals p.bits_max p.bits_sum p50 p90 p99 p.queries_sum
+      end;
       if p.absorbs > 0 then Format.fprintf fmt "  absorbs: %d@." p.absorbs;
       if p.broadcasts > 0 then
         Format.fprintf fmt "  broadcasts: %d  bits sum=%d@." p.broadcasts p.bcast_bits;
@@ -357,4 +374,16 @@ let pp fmt t =
   | [] -> Format.fprintf fmt "@.no auditable protocols in this trace@."
   | vs ->
     Format.fprintf fmt "@.bound audit@.";
-    List.iter (fun v -> Format.fprintf fmt "  %a@." Bound_audit.pp_verdict v) vs
+    List.iter
+      (fun v ->
+        (* quantile columns ride along from the label's message-size
+           buckets; a label with no locals shows p50=p90=p99=0 *)
+        let q =
+          match Hashtbl.find_opt t.protocols v.Bound_audit.v_label with
+          | Some p when p.locals > 0 ->
+            let p50, p90, p99 = bits_quantiles p in
+            Printf.sprintf "  p50=%d p90=%d p99=%d" p50 p90 p99
+          | _ -> ""
+        in
+        Format.fprintf fmt "  %a%s@." Bound_audit.pp_verdict v q)
+      vs

@@ -7,12 +7,23 @@ type event =
   | Referee_broadcast of { round : int; bits : int }
   | Referee_done of { label : string; n : int; max_bits : int; total_bits : int }
 
-type sink = Null | Emit of (event -> unit)
+type sink =
+  | Null
+  | Emit of (event -> unit)
+  | Emit_session of (int64 option -> event -> unit)
 
 let null = Null
-let is_null = function Null -> true | Emit _ -> false
+let is_null = function Null -> true | Emit _ | Emit_session _ -> false
 let make f = Emit f
-let emit sink ev = match sink with Null -> () | Emit f -> f ev
+
+let emit sink ev =
+  match sink with Null -> () | Emit f -> f ev | Emit_session f -> f None ev
+
+let emit_session sink ~session ev =
+  match sink with
+  | Null -> ()
+  | Emit f -> f ev
+  | Emit_session f -> f (Some session) ev
 
 let pp_event fmt = function
   | Span_begin { label; n } -> Format.fprintf fmt "begin %-12s n=%d" label n
@@ -48,7 +59,7 @@ let json_string s =
   Buffer.add_char b '"';
   Buffer.contents b
 
-let json_of_event = function
+let json_body = function
   | Span_begin { label; n } ->
     Printf.sprintf {|{"event":"span_begin","label":%s,"n":%d}|} (json_string label) n
   | Span_end { label; n } ->
@@ -68,10 +79,21 @@ let json_of_event = function
     Printf.sprintf {|{"event":"done","label":%s,"n":%d,"max_bits":%d,"total_bits":%d}|}
       (json_string label) n max_bits total_bits
 
+(* The session id rides as an extra leading field: Report's parser
+   tolerates fields it does not know, so tagged and untagged lines feed
+   the same pipeline. *)
+let json_of_event ?session ev =
+  let base = json_body ev in
+  match session with
+  | None -> base
+  | Some id ->
+    Printf.sprintf {|{"session_id":"%016Lx",%s|} id
+      (String.sub base 1 (String.length base - 1))
+
 let jsonl oc =
-  Emit
-    (fun ev ->
-      output_string oc (json_of_event ev);
+  Emit_session
+    (fun session ev ->
+      output_string oc (json_of_event ?session ev);
       output_char oc '\n';
       (* Each Referee_done closes a run; flushing there bounds the loss
          window to the current run even when the process exits through

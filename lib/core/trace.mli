@@ -35,7 +35,13 @@ type event =
           which ends in the decision instead) *)
   | Referee_done of { label : string; n : int; max_bits : int; total_bits : int }
 
-type sink = Null | Emit of (event -> unit)
+type sink =
+  | Null
+  | Emit of (event -> unit)
+  | Emit_session of (int64 option -> event -> unit)
+      (** a sink that also understands 64-bit session trace ids (the
+          serve layer's flight-recorder ids); plain {!emit} delivers
+          [None] *)
 
 (** The disabled sink; emission is a no-op. *)
 val null : sink
@@ -47,6 +53,11 @@ val make : (event -> unit) -> sink
 
 (** [emit sink ev] delivers [ev] (no-op on {!null}). *)
 val emit : sink -> event -> unit
+
+(** [emit_session sink ~session ev] delivers [ev] tagged with a session
+    trace id.  Session-blind sinks ([Emit]) receive the bare event;
+    {!jsonl} renders the id as a leading ["session_id"] field. *)
+val emit_session : sink -> session:int64 -> event -> unit
 
 (** [pretty fmt] renders events human-readably, one line each. *)
 val pretty : Format.formatter -> sink
@@ -73,6 +84,12 @@ val balanced_spans : event list -> bool
 
 val pp_event : Format.formatter -> event -> unit
 
-(** [json_of_event ev] is the single-line JSON rendering used by
-    {!jsonl}. *)
-val json_of_event : event -> string
+(** [json_of_event ?session ev] is the single-line JSON rendering used
+    by {!jsonl}.  With [~session], a ["session_id"] field (16 lowercase
+    hex digits) leads the object — an {e extra} field, so
+    {!Report.ingest_line} accepts tagged and untagged lines alike. *)
+val json_of_event : ?session:int64 -> event -> string
+
+(** Defensive JSON string escaper shared with the decoders
+    ({!Flight}). *)
+val json_string : string -> string

@@ -3,6 +3,7 @@ type t = {
   decoder : Wire.decoder;
   rbuf : Bytes.t;
   mutable next_open_id : int;
+  mutable conn_trace : int64;
 }
 
 type verdict = {
@@ -13,6 +14,7 @@ type verdict = {
   malformed : int;
   duplicated : int;
   undetermined : int;
+  trace : int64;
 }
 
 let connect spec =
@@ -24,7 +26,14 @@ let connect spec =
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
   match Unix.connect fd (Daemon.sockaddr_of_listen spec) with
   | () ->
-      Ok { fd; decoder = Wire.decoder (); rbuf = Bytes.create 65536; next_open_id = 1 }
+      Ok
+        {
+          fd;
+          decoder = Wire.decoder ();
+          rbuf = Bytes.create 65536;
+          next_open_id = 1;
+          conn_trace = 0L;
+        }
   | exception Unix.Unix_error (err, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error
@@ -65,7 +74,9 @@ let handshake c =
   let* () = send_all c (Frame.encode_client (Frame.Hello { version = Frame.version })) in
   let* frame = recv_frame c in
   match frame with
-  | Frame.Welcome _ -> Ok ()
+  | Frame.Welcome { trace; _ } ->
+      c.conn_trace <- trace;
+      Ok ()
   | Frame.Error { code; detail } ->
       Error
         (Printf.sprintf "server error %s: %s"
@@ -73,22 +84,25 @@ let handshake c =
            detail)
   | _ -> Error "expected Welcome"
 
-let run_session c ~protocol ~n msgs =
+let conn_trace c = c.conn_trace
+
+let run_session c ?(trace = 0L) ~protocol ~n msgs =
   let open_id = c.next_open_id in
   c.next_open_id <- open_id + 1;
   let* () =
-    send_all c (Frame.encode_client (Frame.Open { open_id; protocol; n }))
+    send_all c (Frame.encode_client (Frame.Open { open_id; protocol; n; trace }))
   in
   let* opened = recv_frame c in
   let* session, credit =
     match opened with
     | Frame.Opened { open_id = oid; session; credit } when oid = open_id ->
         Ok (session, credit)
-    | Frame.Rejected { reason; retry_after_ms; _ } ->
+    | Frame.Rejected { reason; retry_after_ms; detail; _ } ->
         Error
-          (Printf.sprintf "rejected: %s (retry after %d ms)"
+          (Printf.sprintf "rejected: %s (retry after %d ms)%s"
              (Frame.reject_reason_to_string reason)
-             retry_after_ms)
+             retry_after_ms
+             (if detail = "" then "" else ": " ^ detail))
     | Frame.Error { code; detail } ->
         Error
           (Printf.sprintf "server error %s: %s"
@@ -108,12 +122,12 @@ let run_session c ~protocol ~n msgs =
         Ok None
     | Frame.Verdict
         { session = sid; status; timeout; payload; missing; malformed;
-          duplicated; undetermined }
+          duplicated; undetermined; trace }
       when sid = session ->
         Ok
           (Some
              { status; timeout; payload; missing; malformed; duplicated;
-               undetermined })
+               undetermined; trace })
     | Frame.Error { code; detail } ->
         Error
           (Printf.sprintf "server error %s: %s"

@@ -7,8 +7,12 @@ type t
 
 val connect : Daemon.listen -> (t, string) result
 
-(** [handshake c] sends [Hello] and waits for [Welcome]. *)
+(** [handshake c] sends [Hello] and waits for [Welcome], capturing the
+    session trace id the server minted for this connection. *)
 val handshake : t -> (unit, string) result
+
+(** The trace id from [Welcome]; [0L] before {!handshake}. *)
+val conn_trace : t -> int64
 
 type verdict = {
   status : Frame.status;
@@ -18,14 +22,20 @@ type verdict = {
   malformed : int;
   duplicated : int;
   undetermined : int;
+  trace : int64;  (** the session trace id the verdict ran under *)
 }
 
-(** [run_session c ~protocol ~n msgs] opens a session, streams the
-    [(node, message)] list under backpressure, finishes, and waits for
-    the verdict.  Any rejection, server error or transport failure comes
-    back as [Error]. *)
+(** [run_session c ?trace ~protocol ~n msgs] opens a session, streams
+    the [(node, message)] list under backpressure, finishes, and waits
+    for the verdict.  [trace] (default [0L]) is echoed in the [Open]
+    frame: [0L] adopts the connection's minted id; a non-zero id is a
+    resume attempt, which a restarted daemon holding crash-dump
+    evidence for that id refuses with the evidence summary.  Any
+    rejection, server error or transport failure comes back as
+    [Error]. *)
 val run_session :
   t ->
+  ?trace:int64 ->
   protocol:string ->
   n:int ->
   (int * Core.Message.t) list ->

@@ -38,6 +38,8 @@ type opts = {
   engine_cfg : Engine.config;
   trace : Trace.sink;
   metrics : Metrics.t option;
+  flight_dir : string option;
+  flight_capacity : int option;
   tick_interval_s : float;
   max_run_s : float option;
 }
@@ -50,6 +52,8 @@ let default_opts ~listen =
     engine_cfg = Engine.default_config;
     trace = Trace.null;
     metrics = None;
+    flight_dir = None;
+    flight_capacity = None;
     tick_interval_s = 0.02;
     max_run_s = None;
   }
@@ -138,6 +142,27 @@ type sconn = {
   mutable sent : int;
 }
 
+(* ---------- flight recorder plumbing ---------- *)
+
+let is_flight_file name =
+  String.length name > 7
+  && String.sub name 0 7 = "flight-"
+  && Filename.check_suffix name ".flight"
+
+(* Scan [dir] for dumps left by previous incarnations and list the
+   sessions they show mid-flight.  A dump that fails to read or decode
+   contributes what it can: decode is total, I/O errors skip the file. *)
+let boot_scan dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names |> List.sort compare
+      |> List.filter is_flight_file
+      |> List.concat_map (fun name ->
+             match Flight.decode_file (Filename.concat dir name) with
+             | Ok d -> Flight.open_traces d.Flight.d_items
+             | Error _ -> [])
+
 let run opts =
   let drain_requested = ref false in
   let old_term =
@@ -173,9 +198,109 @@ let run opts =
           prerr_endline ("refnet serve: " ^ msg);
           1
       | Ok metrics_listener ->
+          let flight =
+            match opts.flight_dir with
+            | None -> None
+            | Some dir ->
+                (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+                Some (Flight.create ?capacity:opts.flight_capacity (), dir)
+          in
           let engine =
             Engine.create ?metrics:opts.metrics ~trace:opts.trace
-              opts.engine_cfg
+              ?flight:(Option.map fst flight) opts.engine_cfg
+          in
+          (* refuse-with-evidence: sessions a previous incarnation left
+             mid-flight are answered [Rejected {reason = Evidence}] *)
+          (match flight with
+          | None -> ()
+          | Some (_, dir) -> Engine.load_evidence engine (boot_scan dir));
+          let dump_seq = ref 0 in
+          let write_dump () =
+            match flight with
+            | None -> ()
+            | Some (f, dir) ->
+                incr dump_seq;
+                let path =
+                  Filename.concat dir
+                    (Printf.sprintf "flight-%d-%d.flight" (Unix.getpid ())
+                       !dump_seq)
+                in
+                (match Flight.dump_to_file f path with
+                | Ok () -> ()
+                | Error msg ->
+                    prerr_endline ("refnet serve: flight dump failed: " ^ msg))
+          in
+          let dump_requested = ref false in
+          let old_usr1 =
+            match flight with
+            | None -> None
+            | Some _ ->
+                Some
+                  (Sys.signal Sys.sigusr1
+                     (Sys.Signal_handle (fun _ -> dump_requested := true)))
+          in
+          (* the final flush also fires on the CLI's diagnostic exit
+             paths; idempotent so the normal end-of-run dump wins *)
+          let final_dumped = ref false in
+          let final_dump () =
+            if not !final_dumped then begin
+              final_dumped := true;
+              write_dump ()
+            end
+          in
+          if flight <> None then at_exit final_dump;
+          let last_anomalies = ref 0 in
+          let flight_gauges =
+            match (opts.metrics, flight) with
+            | Some m, Some _ ->
+                Some
+                  ( Metrics.Gauge.gauge m "refnet_flight_recorded_total",
+                    Metrics.Gauge.gauge m "refnet_flight_drops_total",
+                    Metrics.Gauge.gauge m "refnet_flight_occupancy" )
+            | _ -> None
+          in
+          let gc_gauges =
+            match opts.metrics with
+            | None -> None
+            | Some m ->
+                Some
+                  ( Metrics.Gauge.gauge m "refnet_gc_minor_words",
+                    Metrics.Gauge.gauge m "refnet_gc_major_words",
+                    Metrics.Gauge.gauge m "refnet_gc_heap_words" )
+          in
+          let refresh_runtime_gauges () =
+            (match gc_gauges with
+            | None -> ()
+            | Some (g_minor, g_major, g_heap) ->
+                let q = Gc.quick_stat () in
+                Metrics.Gauge.set g_minor q.Gc.minor_words;
+                Metrics.Gauge.set g_major q.Gc.major_words;
+                Metrics.Gauge.set g_heap (float_of_int q.Gc.heap_words));
+            match (flight_gauges, flight) with
+            | Some (g_rec, g_drop, g_occ), Some (f, _) ->
+                Metrics.Gauge.set g_rec (float_of_int (Flight.recorded f));
+                Metrics.Gauge.set g_drop (float_of_int (Flight.dropped f));
+                Metrics.Gauge.set g_occ (float_of_int (Flight.occupancy f))
+            | _ -> ()
+          in
+          (* dump on every anomaly the engine counts — a quarantine
+             (poison frame, credit violation), an inconclusive verdict
+             or an evidence refusal — so the rings reach disk while the
+             story they tell is still fresh *)
+          let flight_heartbeat () =
+            match flight with
+            | None -> ()
+            | Some _ ->
+                let s = Engine.stats engine in
+                let anomalies =
+                  s.Engine.quarantines + s.Engine.inconclusive
+                  + s.Engine.rej_evidence
+                in
+                if !dump_requested || anomalies > !last_anomalies then begin
+                  dump_requested := false;
+                  last_anomalies := anomalies;
+                  write_dump ()
+                end
           in
           let conns : (Unix.file_descr, sconn) Hashtbl.t = Hashtbl.create 64 in
           let started = Unix.gettimeofday () in
@@ -287,6 +412,8 @@ let run opts =
                 readable;
               ignore writable;
               Engine.tick engine;
+              flight_heartbeat ();
+              refresh_runtime_gauges ();
               let to_drop = ref [] in
               Hashtbl.iter
                 (fun _ sc ->
@@ -313,8 +440,12 @@ let run opts =
           | Unix_sock path -> (
               try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
           | Tcp _ -> ());
+          final_dump ();
           (match (opts.metrics, opts.metrics_file) with
           | Some m, Some path -> write_metrics_file m path
           | _ -> ());
+          (match old_usr1 with
+          | Some behaviour -> Sys.set_signal Sys.sigusr1 behaviour
+          | None -> ());
           restore ();
           !exit_code)

@@ -29,6 +29,20 @@ type opts = {
   engine_cfg : Engine.config;
   trace : Core.Trace.sink;
   metrics : Core.Metrics.t option;
+  flight_dir : string option;
+      (** attach a {!Core.Flight} recorder and keep crash evidence in
+          this directory (created if missing).  Dumps are written to
+          [flight-<pid>-<seq>.flight] on every engine anomaly
+          (quarantine, inconclusive verdict, evidence refusal), on
+          SIGUSR1, and once at exit (including the CLI's diagnostic
+          exit paths, via [at_exit]).  On boot the directory is scanned
+          and sessions found mid-flight are loaded as evidence: a
+          client resuming such a trace id gets
+          [Rejected {reason = Evidence}] with the summary.  With
+          metrics attached, [refnet_flight_recorded_total],
+          [refnet_flight_drops_total], [refnet_flight_occupancy] and
+          [refnet_gc_*] gauges refresh every tick. *)
+  flight_capacity : int option;  (** per-domain ring entries *)
   tick_interval_s : float;
   max_run_s : float option;
       (** stop (as if SIGTERM) after this long — used by CI smoke tests

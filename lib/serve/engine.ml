@@ -44,6 +44,7 @@ type finish_cause = Client_finish | Idle_expire | Deadline_expire
 type session = {
   sid : int;
   s_conn : conn_id;
+  s_trace : int64;
   s_label : string;
   s_n : int;
   mutable state : sess_state;
@@ -63,6 +64,7 @@ type conn = {
   cid : conn_id;
   decoder : Wire.decoder;
   out : Buffer.t;
+  mutable c_trace : int64; (* minted at Hello; 0L before the handshake *)
   mutable c_sessions : int list;
   mutable quarantined : bool;
   mutable close_after_flush : bool;
@@ -77,6 +79,10 @@ type stats = {
   aborted : int;
   sheds : int;
   drain_rejections : int;
+  rej_unknown_protocol : int;
+  rej_bad_n : int;
+  rej_session_limit : int;
+  rej_evidence : int;
   quarantines : int;
   quarantine_escapes : int;
   late_frames : int;
@@ -105,6 +111,7 @@ type instruments = {
   i_bytes : Metrics.Counter.counter;
   i_live : Metrics.Gauge.gauge;
   i_queue : Metrics.Gauge.gauge;
+  i_reject : Frame.reject_reason -> Metrics.Counter.counter;
 }
 
 type t = {
@@ -113,8 +120,14 @@ type t = {
   trace : Trace.sink;
   metrics : Metrics.t option;
   inst : instruments option;
+  flight : Flight.t option;
+  evidence : (int64, string) Hashtbl.t;
+      (* trace ids found mid-flight in boot-scanned crash dumps; a
+         client echoing one in [Open.trace] is refused with the summary *)
+  trace_seed : int64;
   conns : (conn_id, conn) Hashtbl.t;
   sessions : (int, session) Hashtbl.t;
+  mutable trace_ctr : int;
   mutable next_cid : int;
   mutable next_sid : int;
   mutable dirty_sids : int list;
@@ -130,6 +143,10 @@ type t = {
   mutable n_aborted : int;
   mutable n_sheds : int;
   mutable n_drain_rej : int;
+  mutable n_rej_unknown : int;
+  mutable n_rej_bad_n : int;
+  mutable n_rej_session_limit : int;
+  mutable n_rej_evidence : int;
   mutable n_quarantines : int;
   mutable n_escapes : int;
   mutable n_late : int;
@@ -147,6 +164,18 @@ let make_instruments m =
   let timeout kind =
     c (Metrics.series "refnet_serve_timeouts_total" [ ("kind", kind) ])
   in
+  let rej reason =
+    c
+      (Metrics.series "refnet_serve_rejects_total"
+         [ ("reason", Frame.reject_reason_to_string reason) ])
+  in
+  (* pre-create all six series so a clean run still exports them at 0 *)
+  let r_overloaded = rej Frame.Overloaded in
+  let r_draining = rej Frame.Draining in
+  let r_unknown = rej Frame.Unknown_protocol in
+  let r_bad_n = rej Frame.Bad_n in
+  let r_session_limit = rej Frame.Session_limit in
+  let r_evidence = rej Frame.Evidence in
   {
     i_sessions = c "refnet_serve_sessions_total";
     i_decided = verdict "decided";
@@ -164,9 +193,25 @@ let make_instruments m =
     i_bytes = c "refnet_serve_bytes_total";
     i_live = Metrics.Gauge.gauge m "refnet_serve_sessions_live";
     i_queue = Metrics.Gauge.gauge m "refnet_serve_queue_depth";
+    i_reject =
+      (function
+      | Frame.Overloaded -> r_overloaded
+      | Frame.Draining -> r_draining
+      | Frame.Unknown_protocol -> r_unknown
+      | Frame.Bad_n -> r_bad_n
+      | Frame.Session_limit -> r_session_limit
+      | Frame.Evidence -> r_evidence);
   }
 
-let create ?clock ?(trace = Trace.null) ?metrics cfg =
+(* splitmix64 finalizer: seeds and advances the trace-id sequence.
+   Deterministic given the clock, so a virtual-clock engine mints the
+   same ids every run. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ?clock ?(trace = Trace.null) ?metrics ?flight cfg =
   let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
   {
     cfg;
@@ -174,8 +219,12 @@ let create ?clock ?(trace = Trace.null) ?metrics cfg =
     trace;
     metrics;
     inst = Option.map make_instruments metrics;
+    flight;
+    evidence = Hashtbl.create 16;
+    trace_seed = mix64 (Int64.of_float (clock () *. 1e6));
     conns = Hashtbl.create 64;
     sessions = Hashtbl.create 256;
+    trace_ctr = 0;
     next_cid = 1;
     next_sid = 1;
     dirty_sids = [];
@@ -190,6 +239,10 @@ let create ?clock ?(trace = Trace.null) ?metrics cfg =
     n_aborted = 0;
     n_sheds = 0;
     n_drain_rej = 0;
+    n_rej_unknown = 0;
+    n_rej_bad_n = 0;
+    n_rej_session_limit = 0;
+    n_rej_evidence = 0;
     n_quarantines = 0;
     n_escapes = 0;
     n_late = 0;
@@ -200,6 +253,41 @@ let create ?clock ?(trace = Trace.null) ?metrics cfg =
   }
 
 let bump t f = match t.inst with None -> () | Some i -> Metrics.Counter.incr (f i)
+
+(* ---------- session tracing + flight recording ---------- *)
+
+let mint_trace t =
+  t.trace_ctr <- t.trace_ctr + 1;
+  let id = mix64 (Int64.add t.trace_seed (Int64.of_int t.trace_ctr)) in
+  if Int64.equal id 0L then 1L else id
+
+let fl_event t ~trace ev =
+  match t.flight with None -> () | Some f -> Flight.record f ~trace ev
+
+let fl_note t ~trace ~code ~detail =
+  match t.flight with None -> () | Some f -> Flight.note f ~trace ~code ~detail
+
+(* Anomalies carry the session trace id as a label so one scrape links
+   a quarantine or evidence refusal to its flight dump.  Only these
+   low-frequency series get the dimension — per-trace labels on the hot
+   counters would explode the registry. *)
+let anomaly t ~kind ~trace =
+  if not (Int64.equal trace 0L) then
+    match t.metrics with
+    | None -> ()
+    | Some m ->
+        Metrics.Counter.incr
+          (Metrics.Counter.counter m
+             (Metrics.series "refnet_serve_anomaly_total"
+                [ ("kind", kind); ("trace_id", Flight.hex_of_trace trace) ]))
+
+let load_evidence t entries =
+  List.iter
+    (fun (trace, summary) ->
+      if not (Int64.equal trace 0L) then Hashtbl.replace t.evidence trace summary)
+    entries
+
+let evidence_count t = Hashtbl.length t.evidence
 
 (* ---------- output ---------- *)
 
@@ -260,6 +348,9 @@ let quarantine t conn code detail =
   if not conn.quarantined then begin
     t.n_quarantines <- t.n_quarantines + 1;
     bump t (fun i -> i.i_quarantines);
+    anomaly t ~kind:"quarantine" ~trace:conn.c_trace;
+    fl_note t ~trace:conn.c_trace ~code:"quarantine"
+      ~detail:(Frame.error_code_to_string code ^ ": " ^ detail);
     abort_conn_sessions t conn;
     send t conn (Frame.Error { code; detail });
     conn.quarantined <- true;
@@ -281,6 +372,7 @@ let open_conn t =
         cid;
         decoder = Wire.decoder ~max_frame:t.cfg.max_frame_bytes ();
         out = Buffer.create 256;
+        c_trace = 0L;
         c_sessions = [];
         quarantined = false;
         close_after_flush = false;
@@ -319,21 +411,49 @@ let mark_dirty t s =
     t.dirty_sids <- s.sid :: t.dirty_sids
   end
 
-let reject t conn ~open_id reason =
+(* Every refusal funnels through here: the per-reason counter, the
+   labelled [refnet_serve_rejects_total] series and the flight note all
+   stay in lockstep with the wire reply. *)
+let reject t conn ~open_id ?(trace = 0L) ?(detail = "") reason =
+  let trace = if Int64.equal trace 0L then conn.c_trace else trace in
+  (match reason with
+  | Frame.Overloaded ->
+      t.n_sheds <- t.n_sheds + 1;
+      bump t (fun i -> i.i_sheds)
+  | Frame.Draining ->
+      t.n_drain_rej <- t.n_drain_rej + 1;
+      bump t (fun i -> i.i_drains)
+  | Frame.Unknown_protocol -> t.n_rej_unknown <- t.n_rej_unknown + 1
+  | Frame.Bad_n -> t.n_rej_bad_n <- t.n_rej_bad_n + 1
+  | Frame.Session_limit -> t.n_rej_session_limit <- t.n_rej_session_limit + 1
+  | Frame.Evidence ->
+      t.n_rej_evidence <- t.n_rej_evidence + 1;
+      anomaly t ~kind:"evidence_reject" ~trace);
+  (match t.inst with
+  | None -> ()
+  | Some i -> Metrics.Counter.incr (i.i_reject reason));
+  let code = match reason with Frame.Evidence -> "evidence" | _ -> "reject" in
+  let note_detail =
+    if detail = "" then Frame.reject_reason_to_string reason else detail
+  in
+  fl_note t ~trace ~code ~detail:note_detail;
   send t conn
-    (Frame.Rejected { open_id; reason; retry_after_ms = t.cfg.retry_after_ms })
+    (Frame.Rejected
+       { open_id; reason; retry_after_ms = t.cfg.retry_after_ms; trace; detail })
 
-let handle_open t conn ~open_id ~protocol ~n =
-  if t.is_draining then begin
-    t.n_drain_rej <- t.n_drain_rej + 1;
-    bump t (fun i -> i.i_drains);
-    reject t conn ~open_id Frame.Draining
-  end
-  else if t.live_sessions >= t.cfg.max_sessions then begin
-    t.n_sheds <- t.n_sheds + 1;
-    bump t (fun i -> i.i_sheds);
+let handle_open t conn ~open_id ~protocol ~n ~trace:req_trace =
+  match
+    if Int64.equal req_trace 0L then None
+    else Hashtbl.find_opt t.evidence req_trace
+  with
+  | Some summary ->
+      (* the id was found mid-flight in a crash dump: refuse to resume
+         and hand the evidence back instead of silently forgetting *)
+      reject t conn ~open_id ~trace:req_trace ~detail:summary Frame.Evidence
+  | None ->
+  if t.is_draining then reject t conn ~open_id Frame.Draining
+  else if t.live_sessions >= t.cfg.max_sessions then
     reject t conn ~open_id Frame.Overloaded
-  end
   else if List.length conn.c_sessions >= t.cfg.max_sessions_per_conn then
     reject t conn ~open_id Frame.Session_limit
   else
@@ -350,10 +470,14 @@ let handle_open t conn ~open_id ~protocol ~n =
         let sid = t.next_sid in
         t.next_sid <- sid + 1;
         let now = t.clock () in
+        let s_trace =
+          if Int64.equal req_trace 0L then conn.c_trace else req_trace
+        in
         let s =
           {
             sid;
             s_conn = conn.cid;
+            s_trace;
             s_label = p.Protocol.name;
             s_n = n;
             state = Sess { feed = Protocol.start p.Protocol.referee ~n; render };
@@ -374,6 +498,9 @@ let handle_open t conn ~open_id ~protocol ~n =
         t.live_sessions <- t.live_sessions + 1;
         t.n_sessions <- t.n_sessions + 1;
         bump t (fun i -> i.i_sessions);
+        fl_note t ~trace:s_trace ~code:"open"
+          ~detail:(Printf.sprintf "%s n=%d sid=%d" s.s_label n sid);
+        fl_event t ~trace:s_trace (Trace.Span_begin { label = s.s_label; n });
         send t conn
           (Frame.Opened { open_id; session = sid; credit = t.cfg.session_credit })
 
@@ -393,13 +520,18 @@ let handle_frame t conn frame =
       if version <> Frame.version then
         quarantine t conn Frame.Protocol_violation
           (Printf.sprintf "unsupported protocol version %d" version)
-      else send t conn (Frame.Welcome { version = Frame.version })
+      else begin
+        let trace = mint_trace t in
+        conn.c_trace <- trace;
+        send t conn (Frame.Welcome { version = Frame.version; trace })
+      end
   | Frame.Ping { token } -> send t conn (Frame.Pong { token })
   | Frame.Bye ->
       (* a graceful goodbye still abandons its open sessions *)
       abort_conn_sessions t conn;
       conn.close_after_flush <- true
-  | Frame.Open { open_id; protocol; n } -> handle_open t conn ~open_id ~protocol ~n
+  | Frame.Open { open_id; protocol; n; trace } ->
+      handle_open t conn ~open_id ~protocol ~n ~trace
   | Frame.Msg { session; node; payload } -> (
       match find_session t conn session with
       | `Gone -> late t (* races with a server-side timeout verdict *)
@@ -408,9 +540,12 @@ let handle_frame t conn frame =
             (Printf.sprintf "session %d belongs to another connection" session)
       | `Mine s ->
           if s.finish_cause <> None then late t
-          else if s.window = 0 then
+          else if s.window = 0 then begin
+            fl_note t ~trace:s.s_trace ~code:"credit"
+              ~detail:(Printf.sprintf "session %d exceeded its credit window" session);
             quarantine t conn Frame.Credit_exceeded
               (Printf.sprintf "session %d exceeded its credit window" session)
+          end
           else begin
             s.window <- s.window - 1;
             s.pending <- (node, payload) :: s.pending;
@@ -418,6 +553,8 @@ let handle_frame t conn frame =
             t.queued_msgs <- t.queued_msgs + 1;
             if not (Trace.is_null t.trace) then
               s.absorb_log <- (node, Message.bits payload) :: s.absorb_log;
+            fl_event t ~trace:s.s_trace
+              (Trace.Referee_absorb { id = node; bits = Message.bits payload });
             let b = Message.bits payload in
             if b > s.max_bits then s.max_bits <- b;
             s.total_bits <- s.total_bits + b;
@@ -455,7 +592,9 @@ let handle_frame t conn frame =
                  malformed = 0;
                  duplicated = 0;
                  undetermined = 0;
+                 trace = s.s_trace;
                });
+          fl_note t ~trace:s.s_trace ~code:"verdict" ~detail:"aborted by client";
           abort_session t s)
 
 let feed_bytes t cid b ~off ~len =
@@ -564,20 +703,31 @@ let emit_session_trace t s =
   if not (Trace.is_null t.trace) then begin
     (* the whole span is emitted contiguously from the engine thread at
        verdict time, so concurrent sessions never interleave events and
-       Trace.balanced_spans holds for any serve trace *)
-    Trace.emit t.trace (Trace.Span_begin { label = s.s_label; n = s.s_n });
+       Trace.balanced_spans holds for any serve trace.  The span label
+       carries the session trace id outermost ([Bound_audit] peels it
+       budget-transparently) and session-aware sinks also get it as a
+       leading "session_id" JSON field. *)
+    let label =
+      if Int64.equal s.s_trace 0L then s.s_label
+      else Printf.sprintf "%s[trace=%s]" s.s_label (Flight.hex_of_trace s.s_trace)
+    in
+    let emit ev =
+      if Int64.equal s.s_trace 0L then Trace.emit t.trace ev
+      else Trace.emit_session t.trace ~session:s.s_trace ev
+    in
+    emit (Trace.Span_begin { label; n = s.s_n });
     List.iter
-      (fun (id, bits) -> Trace.emit t.trace (Trace.Referee_absorb { id; bits }))
+      (fun (id, bits) -> emit (Trace.Referee_absorb { id; bits }))
       (List.rev s.absorb_log);
-    Trace.emit t.trace
+    emit
       (Trace.Referee_done
          {
-           label = s.s_label;
+           label;
            n = s.s_n;
            max_bits = s.max_bits;
            total_bits = s.total_bits;
          });
-    Trace.emit t.trace (Trace.Span_end { label = s.s_label; n = s.s_n })
+    emit (Trace.Span_end { label; n = s.s_n })
   end
 
 let finish_session t s (cause : finish_cause) out =
@@ -603,8 +753,27 @@ let finish_session t s (cause : finish_cause) out =
                  malformed = f.f_malformed;
                  duplicated = f.f_duplicated;
                  undetermined = f.f_undetermined;
+                 trace = s.s_trace;
                })
       | Advanced _ | Crashed _ -> ()));
+  (match out with
+  | Finished f ->
+      fl_event t ~trace:s.s_trace
+        (Trace.Referee_done
+           {
+             label = s.s_label;
+             n = s.s_n;
+             max_bits = s.max_bits;
+             total_bits = s.total_bits;
+           });
+      let status =
+        match f.f_status with
+        | Frame.Decided -> "decided"
+        | Frame.Degraded -> "degraded"
+        | Frame.Inconclusive -> "inconclusive"
+      in
+      fl_note t ~trace:s.s_trace ~code:"verdict" ~detail:status
+  | Advanced _ | Crashed _ -> ());
   (match out with
   | Finished { f_status = Frame.Decided; _ } ->
       t.n_decided <- t.n_decided + 1;
@@ -737,6 +906,10 @@ let stats t =
     aborted = t.n_aborted;
     sheds = t.n_sheds;
     drain_rejections = t.n_drain_rej;
+    rej_unknown_protocol = t.n_rej_unknown;
+    rej_bad_n = t.n_rej_bad_n;
+    rej_session_limit = t.n_rej_session_limit;
+    rej_evidence = t.n_rej_evidence;
     quarantines = t.n_quarantines;
     quarantine_escapes = t.n_escapes;
     late_frames = t.n_late;

@@ -47,16 +47,36 @@ val default_config : config
 
 type t
 
-(** [create ?clock ?trace ?metrics config].  [clock] (default
+(** [create ?clock ?trace ?metrics ?flight config].  [clock] (default
     [Unix.gettimeofday]) drives deadlines and idle timeouts; tests and
     the selftest inject a virtual clock so timeout paths run
-    deterministically. *)
+    deterministically.  It also seeds the session trace-id sequence:
+    each [Hello] mints a fresh 64-bit id (returned in [Welcome]) that
+    tags every span, absorb, credit stall and quarantine the
+    connection's sessions produce — in jsonl traces (as a leading
+    ["session_id"] field and a ["[trace=<16hex>]"] label decoration,
+    both budget-transparent to {!Core.Bound_audit}), in [Verdict] /
+    [Rejected] reply frames, and in the optional {!Core.Flight}
+    recorder.  [flight] receives a real-time record of opens, absorbs
+    and dispositions, so a session interrupted by a crash leaves
+    evidence even though trace sinks only emit at verdict time. *)
 val create :
   ?clock:(unit -> float) ->
   ?trace:Core.Trace.sink ->
   ?metrics:Core.Metrics.t ->
+  ?flight:Core.Flight.t ->
   config ->
   t
+
+(** [load_evidence t entries] registers sessions found mid-flight in
+    boot-scanned crash dumps (see {!Core.Flight.open_traces}).  An
+    [Open] echoing one of these trace ids is answered with
+    [Rejected {reason = Evidence}] carrying the summary in [detail] —
+    the daemon refuses to resume what it cannot remember, with proof.
+    Trace id 0 entries are ignored. *)
+val load_evidence : t -> (int64 * string) list -> unit
+
+val evidence_count : t -> int
 
 type conn_id = int
 
@@ -110,6 +130,14 @@ type stats = {
                       or by explicit client [Abort] *)
   sheds : int;  (** admission rejections with [Overloaded] *)
   drain_rejections : int;
+  rej_unknown_protocol : int;
+  rej_bad_n : int;
+  rej_session_limit : int;
+  rej_evidence : int;
+      (** resume attempts refused with crash-dump evidence.  Together
+          with [sheds] ([Overloaded]) and [drain_rejections]
+          ([Draining]) these mirror the labelled
+          [refnet_serve_rejects_total{reason=...}] series. *)
   quarantines : int;
   quarantine_escapes : int;  (** exceptions caught by the outermost
                                  shell — must be zero *)

@@ -1,18 +1,27 @@
 (* Typed frames over Wire.  Field order in each payload matches the
    constructor declaration order; see frame.mli for the kind split. *)
 
-let version = 1
+(* v2: Open/Welcome/Verdict/Rejected carry a 64-bit session trace id,
+   Rejected carries an evidence detail string, and the Evidence reject
+   reason exists (refuse-with-evidence after a crash). *)
+let version = 2
 
 type client =
   | Hello of { version : int }
-  | Open of { open_id : int; protocol : string; n : int }
+  | Open of { open_id : int; protocol : string; n : int; trace : int64 }
   | Msg of { session : int; node : int; payload : Core.Message.t }
   | Finish of { session : int }
   | Abort of { session : int }
   | Ping of { token : int }
   | Bye
 
-type reject_reason = Overloaded | Draining | Unknown_protocol | Bad_n | Session_limit
+type reject_reason =
+  | Overloaded
+  | Draining
+  | Unknown_protocol
+  | Bad_n
+  | Session_limit
+  | Evidence
 
 type error_code =
   | Protocol_violation
@@ -25,7 +34,7 @@ type status = Decided | Degraded | Inconclusive
 type timeout_kind = No_timeout | Idle_timeout | Deadline_timeout
 
 type server =
-  | Welcome of { version : int }
+  | Welcome of { version : int; trace : int64 }
   | Opened of { open_id : int; session : int; credit : int }
   | Credit of { session : int; credit : int }
   | Verdict of {
@@ -37,8 +46,15 @@ type server =
       malformed : int;
       duplicated : int;
       undetermined : int;
+      trace : int64;
     }
-  | Rejected of { open_id : int; reason : reject_reason; retry_after_ms : int }
+  | Rejected of {
+      open_id : int;
+      reason : reject_reason;
+      retry_after_ms : int;
+      trace : int64;
+      detail : string;
+    }
   | Error of { code : error_code; detail : string }
   | Pong of { token : int }
 
@@ -67,6 +83,7 @@ let reject_code = function
   | Unknown_protocol -> 3
   | Bad_n -> 4
   | Session_limit -> 5
+  | Evidence -> 6
 
 let reject_of_code = function
   | 1 -> Ok Overloaded
@@ -74,6 +91,7 @@ let reject_of_code = function
   | 3 -> Ok Unknown_protocol
   | 4 -> Ok Bad_n
   | 5 -> Ok Session_limit
+  | 6 -> Ok Evidence
   | c -> Error (Printf.sprintf "unknown reject reason %d" c)
 
 let reject_reason_to_string = function
@@ -82,6 +100,7 @@ let reject_reason_to_string = function
   | Unknown_protocol -> "unknown-protocol"
   | Bad_n -> "bad-n"
   | Session_limit -> "session-limit"
+  | Evidence -> "evidence"
 
 let error_code_int = function
   | Protocol_violation -> 1
@@ -133,11 +152,12 @@ let framed kind fill =
 
 let encode_client = function
   | Hello { version } -> framed k_hello (fun p -> Wire.Put.u16 p version)
-  | Open { open_id; protocol; n } ->
+  | Open { open_id; protocol; n; trace } ->
       framed k_open (fun p ->
           Wire.Put.u32 p open_id;
           Wire.Put.str p protocol;
-          Wire.Put.u32 p n)
+          Wire.Put.u32 p n;
+          Wire.Put.u64 p trace)
   | Msg { session; node; payload } ->
       framed k_msg (fun p ->
           Wire.Put.u32 p session;
@@ -149,7 +169,10 @@ let encode_client = function
   | Bye -> framed k_bye (fun _ -> ())
 
 let encode_server = function
-  | Welcome { version } -> framed k_welcome (fun p -> Wire.Put.u16 p version)
+  | Welcome { version; trace } ->
+      framed k_welcome (fun p ->
+          Wire.Put.u16 p version;
+          Wire.Put.u64 p trace)
   | Opened { open_id; session; credit } ->
       framed k_opened (fun p ->
           Wire.Put.u32 p open_id;
@@ -161,7 +184,7 @@ let encode_server = function
           Wire.Put.u32 p credit)
   | Verdict
       { session; status; timeout; payload; missing; malformed; duplicated;
-        undetermined } ->
+        undetermined; trace } ->
       framed k_verdict (fun p ->
           Wire.Put.u32 p session;
           Wire.Put.u8 p (status_code status);
@@ -170,12 +193,15 @@ let encode_server = function
           Wire.Put.u32 p missing;
           Wire.Put.u32 p malformed;
           Wire.Put.u32 p duplicated;
-          Wire.Put.u32 p undetermined)
-  | Rejected { open_id; reason; retry_after_ms } ->
+          Wire.Put.u32 p undetermined;
+          Wire.Put.u64 p trace)
+  | Rejected { open_id; reason; retry_after_ms; trace; detail } ->
       framed k_rejected (fun p ->
           Wire.Put.u32 p open_id;
           Wire.Put.u8 p (reject_code reason);
-          Wire.Put.u32 p retry_after_ms)
+          Wire.Put.u32 p retry_after_ms;
+          Wire.Put.u64 p trace;
+          Wire.Put.str p detail)
   | Error { code; detail } ->
       framed k_error (fun p ->
           Wire.Put.u8 p (error_code_int code);
@@ -200,7 +226,8 @@ let decode_client ~kind payload =
        let* open_id = Wire.Get.u32 g in
        let* protocol = Wire.Get.str g in
        let* n = Wire.Get.u32 g in
-       Ok (Open { open_id; protocol; n })
+       let* trace = Wire.Get.u64 g in
+       Ok (Open { open_id; protocol; n; trace })
      else if kind = k_msg then
        let* session = Wire.Get.u32 g in
        let* node = Wire.Get.u32 g in
@@ -223,7 +250,8 @@ let decode_server ~kind payload =
   closed g
     (if kind = k_welcome then
        let* version = Wire.Get.u16 g in
-       Ok (Welcome { version })
+       let* trace = Wire.Get.u64 g in
+       Ok (Welcome { version; trace })
      else if kind = k_opened then
        let* open_id = Wire.Get.u32 g in
        let* session = Wire.Get.u32 g in
@@ -244,16 +272,19 @@ let decode_server ~kind payload =
        let* malformed = Wire.Get.u32 g in
        let* duplicated = Wire.Get.u32 g in
        let* undetermined = Wire.Get.u32 g in
+       let* trace = Wire.Get.u64 g in
        Ok
          (Verdict
             { session; status; timeout; payload; missing; malformed;
-              duplicated; undetermined })
+              duplicated; undetermined; trace })
      else if kind = k_rejected then
        let* open_id = Wire.Get.u32 g in
        let* r = Wire.Get.u8 g in
        let* reason = reject_of_code r in
        let* retry_after_ms = Wire.Get.u32 g in
-       Ok (Rejected { open_id; reason; retry_after_ms })
+       let* trace = Wire.Get.u64 g in
+       let* detail = Wire.Get.str g in
+       Ok (Rejected { open_id; reason; retry_after_ms; trace; detail })
      else if kind = k_error then
        let* c = Wire.Get.u8 g in
        let* code = error_of_code c in
@@ -268,8 +299,8 @@ let decode_server ~kind payload =
 
 let pp_client ppf = function
   | Hello { version } -> Format.fprintf ppf "hello v%d" version
-  | Open { open_id; protocol; n } ->
-      Format.fprintf ppf "open #%d %s n=%d" open_id protocol n
+  | Open { open_id; protocol; n; trace } ->
+      Format.fprintf ppf "open #%d %s n=%d trace=%016Lx" open_id protocol n trace
   | Msg { session; node; payload } ->
       Format.fprintf ppf "msg s%d node=%d bits=%d" session node
         (Core.Message.bits payload)
@@ -279,7 +310,8 @@ let pp_client ppf = function
   | Bye -> Format.fprintf ppf "bye"
 
 let pp_server ppf = function
-  | Welcome { version } -> Format.fprintf ppf "welcome v%d" version
+  | Welcome { version; trace } ->
+      Format.fprintf ppf "welcome v%d trace=%016Lx" version trace
   | Opened { open_id; session; credit } ->
       Format.fprintf ppf "opened #%d s%d credit=%d" open_id session credit
   | Credit { session; credit } ->
@@ -291,10 +323,11 @@ let pp_server ppf = function
         | Degraded -> "degraded"
         | Inconclusive -> "inconclusive")
         payload
-  | Rejected { open_id; reason; retry_after_ms } ->
-      Format.fprintf ppf "rejected #%d %s retry=%dms" open_id
+  | Rejected { open_id; reason; retry_after_ms; trace; detail } ->
+      Format.fprintf ppf "rejected #%d %s retry=%dms trace=%016Lx%s" open_id
         (reject_reason_to_string reason)
-        retry_after_ms
+        retry_after_ms trace
+        (if detail = "" then "" else " " ^ detail)
   | Error { code; detail } ->
       Format.fprintf ppf "error %s: %s" (error_code_to_string code) detail
   | Pong { token } -> Format.fprintf ppf "pong %d" token

@@ -12,9 +12,14 @@
 
 type client =
   | Hello of { version : int }
-  | Open of { open_id : int; protocol : string; n : int }
+  | Open of { open_id : int; protocol : string; n : int; trace : int64 }
       (** [open_id] is a client-chosen correlation token echoed in
-          [Opened]/[Rejected], letting a client pipeline opens. *)
+          [Opened]/[Rejected], letting a client pipeline opens.
+          [trace] is the session trace id to run under: [0L] adopts the
+          id the server minted at [Hello] (the normal path); a non-zero
+          id resumes a previous session's identity, which a freshly
+          restarted daemon answers with [Rejected {reason = Evidence}]
+          if that id was found mid-flight in a crash dump. *)
   | Msg of { session : int; node : int; payload : Core.Message.t }
   | Finish of { session : int }
   | Abort of { session : int }
@@ -27,6 +32,10 @@ type reject_reason =
   | Unknown_protocol
   | Bad_n
   | Session_limit  (** per-connection session cap reached *)
+  | Evidence
+      (** the trace id was found mid-flight in a crash dump: the
+          daemon refuses to resume and returns the evidence summary in
+          [Rejected.detail] instead of silently forgetting the session *)
 
 type error_code =
   | Protocol_violation
@@ -39,7 +48,11 @@ type status = Decided | Degraded | Inconclusive
 type timeout_kind = No_timeout | Idle_timeout | Deadline_timeout
 
 type server =
-  | Welcome of { version : int }
+  | Welcome of { version : int; trace : int64 }
+      (** [trace] is the 64-bit session trace id minted for this
+          connection — every span, credit stall and quarantine the
+          connection's sessions produce shares it, in jsonl traces,
+          flight dumps and metrics alike. *)
   | Opened of { open_id : int; session : int; credit : int }
   | Credit of { session : int; credit : int }
       (** grants [credit] further [Msg] frames on the session; the sum
@@ -54,8 +67,17 @@ type server =
       malformed : int;
       duplicated : int;
       undetermined : int;
+      trace : int64;
     }
-  | Rejected of { open_id : int; reason : reject_reason; retry_after_ms : int }
+  | Rejected of {
+      open_id : int;
+      reason : reject_reason;
+      retry_after_ms : int;
+      trace : int64;
+      detail : string;
+          (** for [Evidence]: the mid-flight summary decoded from the
+              crash dump; empty for the other reasons *)
+    }
   | Error of { code : error_code; detail : string }
       (** always followed by the server closing the connection *)
   | Pong of { token : int }

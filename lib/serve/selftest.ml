@@ -39,6 +39,10 @@ type outcome = {
   o_wrong_decided : int;
   o_clean_anomalies : int;
   o_unterminated : int;
+  o_flight_recorded : int;
+  o_flight_dropped : int;
+  o_flight_findings : int; (* -1 when no recorder was attached *)
+  o_flight_missing : int; (* verdicts with no flight note (drop-free runs) *)
   o_faulty : float;
   o_wall_s : float;
   o_rate : float;
@@ -219,7 +223,8 @@ let corrupt_frame s =
   Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
   Bytes.to_string b
 
-let run ?(trace = Trace.null) ?metrics ?(engine_cfg = default_engine_cfg) cfg =
+let run ?(trace = Trace.null) ?metrics ?flight ?(engine_cfg = default_engine_cfg)
+    cfg =
   match Registry.lookup ~spec:cfg.protocol ~n:cfg.n with
   | Error msg -> invalid_arg ("Selftest.run: " ^ msg)
   | Ok entry ->
@@ -228,7 +233,7 @@ let run ?(trace = Trace.null) ?metrics ?(engine_cfg = default_engine_cfg) cfg =
       let engine =
         Engine.create
           ~clock:(fun () -> !vnow)
-          ~trace ?metrics engine_cfg
+          ~trace ?metrics ?flight engine_cfg
       in
       let next_job = ref 0 in
       let counters =
@@ -366,6 +371,7 @@ let run ?(trace = Trace.null) ?metrics ?(engine_cfg = default_engine_cfg) cfg =
                             open_id = j.j_index;
                             protocol = cfg.protocol;
                             n = cfg.n;
+                            trace = 0L;
                           }));
                   w.w_phase <- Opening
               | _ -> ()
@@ -448,6 +454,35 @@ let run ?(trace = Trace.null) ?metrics ?(engine_cfg = default_engine_cfg) cfg =
       in
       let s = Engine.stats engine in
       let wall = if wall <= 0. then 1e-9 else wall in
+      (* Flight audit: the in-memory dump must decode finding-free, and
+         on a drop-free run every verdict the engine issued must have
+         left a terminal note in the rings — i.e. every session that
+         reached a disposition left decodable evidence. *)
+      let fl_recorded, fl_dropped, fl_findings, fl_missing =
+        match flight with
+        | None -> (0, 0, -1, 0)
+        | Some f ->
+            let d = Flight.decode (Flight.dump f) in
+            let verdict_notes =
+              List.fold_left
+                (fun acc it ->
+                  match it.Flight.i_note with
+                  | Some ("verdict", _) -> acc + 1
+                  | _ -> acc)
+                0 d.Flight.d_items
+            in
+            let expected =
+              s.Engine.decided + s.Engine.degraded + s.Engine.inconclusive
+            in
+            let missing =
+              if d.Flight.d_dropped = 0 then max 0 (expected - verdict_notes)
+              else 0
+            in
+            ( d.Flight.d_recorded,
+              d.Flight.d_dropped,
+              List.length d.Flight.d_findings,
+              missing )
+      in
       {
         o_protocol = cfg.protocol;
         o_n = cfg.n;
@@ -465,6 +500,10 @@ let run ?(trace = Trace.null) ?metrics ?(engine_cfg = default_engine_cfg) cfg =
         o_wrong_decided = counters.c_wrong;
         o_clean_anomalies = counters.c_clean_anomaly;
         o_unterminated = unterminated;
+        o_flight_recorded = fl_recorded;
+        o_flight_dropped = fl_dropped;
+        o_flight_findings = fl_findings;
+        o_flight_missing = fl_missing;
         o_faulty = cfg.faulty;
         o_wall_s = wall;
         o_rate = float_of_int counters.c_terminal /. wall;
@@ -480,6 +519,10 @@ let passed ?min_rate o =
     fail "%d fault-free sessions did not decide correctly" o.o_clean_anomalies
   else if o.o_unterminated > 0 then
     fail "%d sessions never reached a terminal state" o.o_unterminated
+  else if o.o_flight_findings > 0 then
+    fail "%d findings decoding the flight dump" o.o_flight_findings
+  else if o.o_flight_missing > 0 then
+    fail "%d verdicts left no flight-recorder evidence" o.o_flight_missing
   else
     match min_rate with
     | Some r when o.o_rate < r ->
@@ -493,11 +536,14 @@ let to_json o =
      \"quarantines\": %d, \"quarantine_escapes\": %d, \"sheds\": %d, \
      \"timeouts_idle\": %d, \"timeouts_deadline\": %d, \"late_frames\": %d, \
      \"wrong_decided\": %d, \"clean_anomalies\": %d, \"unterminated\": %d, \
+     \"flight_recorded\": %d, \"flight_dropped\": %d, \
+     \"flight_findings\": %d, \"flight_missing\": %d, \
      \"faulty\": %.3f, \"wall_s\": %.6f, \"rate_per_s\": %.1f}"
     o.o_protocol o.o_n o.o_sessions o.o_decided o.o_degraded o.o_inconclusive
     o.o_aborted o.o_quarantines o.o_escapes o.o_sheds o.o_timeouts_idle
     o.o_timeouts_deadline o.o_late_frames o.o_wrong_decided o.o_clean_anomalies
-    o.o_unterminated o.o_faulty o.o_wall_s o.o_rate
+    o.o_unterminated o.o_flight_recorded o.o_flight_dropped o.o_flight_findings
+    o.o_flight_missing o.o_faulty o.o_wall_s o.o_rate
 
 let pp ppf o =
   Format.fprintf ppf
@@ -506,8 +552,10 @@ let pp ppf o =
      chaos: %.0f%% faulty, %d quarantines, %d sheds, %d idle + %d deadline \
      timeouts, %d late frames@,\
      invariants: %d wrong decided, %d clean anomalies, %d unterminated, %d \
-     escapes@]"
+     escapes@,\
+     flight: %d recorded, %d dropped, %d findings, %d missing@]"
     o.o_protocol o.o_n o.o_sessions o.o_wall_s o.o_rate o.o_decided o.o_degraded
     o.o_inconclusive o.o_aborted (o.o_faulty *. 100.) o.o_quarantines o.o_sheds
     o.o_timeouts_idle o.o_timeouts_deadline o.o_late_frames o.o_wrong_decided
-    o.o_clean_anomalies o.o_unterminated o.o_escapes
+    o.o_clean_anomalies o.o_unterminated o.o_escapes o.o_flight_recorded
+    o.o_flight_dropped o.o_flight_findings o.o_flight_missing

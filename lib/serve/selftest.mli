@@ -61,25 +61,39 @@ type outcome = {
   o_clean_anomalies : int;
       (** fault-free sessions that did not end [Decided]-equal-to-truth *)
   o_unterminated : int;  (** sessions with no verdict and no typed end *)
+  o_flight_recorded : int;  (** flight-recorder lifetime entries *)
+  o_flight_dropped : int;  (** ring overwrites before the post-run dump *)
+  o_flight_findings : int;
+      (** decode findings on the post-run dump — must be zero; [-1]
+          when no recorder was attached *)
+  o_flight_missing : int;
+      (** verdicts the engine issued that left no terminal note in the
+          rings; only checked on drop-free runs, must be zero *)
   o_faulty : float;
   o_wall_s : float;
   o_rate : float;  (** terminal sessions per wall-clock second *)
 }
 
-(** [run ?trace ?metrics ?engine_cfg cfg] executes the campaign.  The
-    engine config defaults to {!Engine.default_config} tightened with
-    short (virtual) timeouts. *)
+(** [run ?trace ?metrics ?flight ?engine_cfg cfg] executes the
+    campaign.  The engine config defaults to {!Engine.default_config}
+    tightened with short (virtual) timeouts.  When [flight] is given
+    the engine records into it and the post-run outcome audits the
+    dump: it must decode without findings, and (drop-free runs) every
+    verdict must have left a terminal note — the refuse-with-evidence
+    path depends on exactly this property. *)
 val run :
   ?trace:Core.Trace.sink ->
   ?metrics:Core.Metrics.t ->
+  ?flight:Core.Flight.t ->
   ?engine_cfg:Engine.config ->
   cfg ->
   outcome
 
 (** [passed ?min_rate o] is [Ok ()] when the robustness invariants held
     (no wrong [Decided], no quarantine escapes, no unterminated
-    sessions, no clean anomalies) and, when [min_rate] is given, the
-    measured rate reached it. *)
+    sessions, no clean anomalies, no flight decode findings or missing
+    evidence) and, when [min_rate] is given, the measured rate reached
+    it. *)
 val passed : ?min_rate:float -> outcome -> (unit, string) result
 
 val to_json : outcome -> string

@@ -141,6 +141,10 @@ module Put = struct
 
   let u32 = put_u32
 
+  let u64 b v =
+    put_u32 b (Int64.to_int (Int64.shift_right_logical v 32) land 0xFFFFFFFF);
+    put_u32 b (Int64.to_int v land 0xFFFFFFFF)
+
   let str b s =
     if String.length s > 0xFFFF then
       invalid_arg "Wire.Put.str: string longer than 65535 bytes";
@@ -200,6 +204,14 @@ module Get = struct
       lor (Char.code g.s.[off + 1] lsl 16)
       lor (Char.code g.s.[off + 2] lsl 8)
       lor Char.code g.s.[off + 3])
+
+  let u64 g =
+    let* hi = u32 g in
+    let* lo = u32 g in
+    Ok
+      (Int64.logor
+         (Int64.shift_left (Int64.of_int hi) 32)
+         (Int64.of_int lo))
 
   let str g =
     let* len = u16 g in

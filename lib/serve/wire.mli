@@ -68,6 +68,10 @@ module Put : sig
   val u16 : t -> int -> unit
   val u32 : t -> int -> unit
 
+  (** [u64 p v] writes all 64 bits big-endian — session trace ids
+      travel whole. *)
+  val u64 : t -> int64 -> unit
+
   (** [str p s] writes a 16-bit length then the bytes.
       @raise Invalid_argument if [String.length s > 65535]. *)
   val str : t -> string -> unit
@@ -90,6 +94,7 @@ module Get : sig
   val u8 : t -> (int, string) result
   val u16 : t -> (int, string) result
   val u32 : t -> (int, string) result
+  val u64 : t -> (int64, string) result
   val str : t -> (string, string) result
   val bits : t -> (Core.Message.t, string) result
 

@@ -305,7 +305,8 @@ let sample_frames =
      in
      [
        Serve.Frame.encode_client (Serve.Frame.Hello { version = Serve.Frame.version });
-       Serve.Frame.encode_client (Serve.Frame.Open { open_id = 7; protocol = "count"; n = 12 });
+       Serve.Frame.encode_client
+         (Serve.Frame.Open { open_id = 7; protocol = "count"; n = 12; trace = 0x7e57abadcafeL });
        Serve.Frame.encode_client (Serve.Frame.Msg { session = 3; node = 5; payload = msg });
        Serve.Frame.encode_client (Serve.Frame.Finish { session = 3 });
        Serve.Frame.encode_server
@@ -319,6 +320,7 @@ let sample_frames =
               malformed = 0;
               duplicated = 0;
               undetermined = 0;
+              trace = 0x1badb002L;
             });
      ])
 

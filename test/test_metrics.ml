@@ -51,6 +51,43 @@ let test_histogram_observe () =
     (Invalid_argument "Metrics.Histogram.observe: negative value") (fun () ->
       Core.Metrics.Histogram.observe h (-1))
 
+let test_histogram_quantiles () =
+  let m = Core.Metrics.create ~clock:(fun () -> 0.) () in
+  let h = Core.Metrics.Histogram.histogram m "h" in
+  Alcotest.(check int) "empty histogram quantile" 0 (Core.Metrics.Histogram.quantile h 0.5);
+  (* 100 observations of value 1..100: the log₂ buckets bound each
+     quantile by its bucket's upper edge, and p100 is the exact max *)
+  for v = 1 to 100 do
+    Core.Metrics.Histogram.observe h v
+  done;
+  let q p = Core.Metrics.Histogram.quantile h p in
+  Alcotest.(check int) "p50 in (32..63] bucket" 63 (q 0.5);
+  Alcotest.(check int) "p90 clamped to observed max" 100 (q 0.9);
+  Alcotest.(check int) "p99 capped at observed max" 100 (q 0.99);
+  Alcotest.(check int) "p0 clamps to smallest bucket edge" 1 (q 0.0);
+  Alcotest.(check int) "q>1 clamps to max" 100 (q 2.0);
+  Alcotest.(check int) "q<0 clamps like q=0" (q 0.0) (q (-1.0));
+  (* monotone in q *)
+  let prev = ref 0 in
+  List.iter
+    (fun p ->
+      let v = q p in
+      if v < !prev then Alcotest.failf "quantile not monotone at %g" p;
+      prev := v)
+    [ 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ];
+  (* snapshot agrees with the live accessor *)
+  let s = Core.Metrics.snapshot m in
+  match List.assoc_opt "h" s.Core.Metrics.histograms with
+  | Some hs ->
+    List.iter
+      (fun p ->
+        Alcotest.(check int)
+          (Printf.sprintf "snapshot quantile %g" p)
+          (q p)
+          (Core.Metrics.snapshot_quantile hs p))
+      [ 0.5; 0.9; 0.99 ]
+  | None -> Alcotest.fail "histogram missing from snapshot"
+
 let test_histogram_sum_saturates () =
   let m = Core.Metrics.create ~clock:(fun () -> 0.) () in
   let h = Core.Metrics.Histogram.histogram m "h" in
@@ -150,6 +187,7 @@ let test_exports_shape () =
   Alcotest.(check string) "canonical json"
     ("{\"counters\":{\"refnet_runs_total\":3},\"gauges\":{\"refnet_n\":24.0},"
     ^ "\"histograms\":{\"refnet_message_bits\":{\"count\":3,\"sum\":5,\"max\":4,"
+    ^ "\"p50\":1,\"p90\":4,\"p99\":4,"
     ^ "\"buckets\":{\"0\":1,\"1\":1,\"3\":1}}},"
     ^ "\"timers\":{\"refnet_local_phase\":{\"count\":1,\"total_seconds\":0.0,\"by_domain\":{}}}}")
     (Core.Metrics.to_json s);
@@ -166,6 +204,9 @@ let test_exports_shape () =
   contains "refnet_message_bits_bucket{le=\"+Inf\"} 3";
   contains "refnet_message_bits_sum 5";
   contains "refnet_message_bits_count 3";
+  contains "refnet_message_bits{quantile=\"0.5\"} 1";
+  contains "refnet_message_bits{quantile=\"0.9\"} 4";
+  contains "refnet_message_bits{quantile=\"0.99\"} 4";
   contains "# TYPE refnet_local_phase_seconds_total counter";
   contains "refnet_local_phase_spans_total 1"
 
@@ -340,6 +381,7 @@ let () =
           Alcotest.test_case "bucket boundaries at powers of two" `Quick test_bucket_boundaries;
           Alcotest.test_case "bucket_range round-trips" `Quick test_bucket_range_roundtrip;
           Alcotest.test_case "observe" `Quick test_histogram_observe;
+          Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
           Alcotest.test_case "sum saturates" `Quick test_histogram_sum_saturates;
         ] );
       ( "counters",

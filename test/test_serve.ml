@@ -50,7 +50,7 @@ let engine_with ?(cfg = Serve.Engine.default_config) clock =
 (* Handshake + open; returns the session id and initial credit. *)
 let open_session engine p ~protocol ~n =
   feed engine p (Serve.Frame.Hello { version = Serve.Frame.version });
-  feed engine p (Serve.Frame.Open { open_id = 1; protocol; n });
+  feed engine p (Serve.Frame.Open { open_id = 1; protocol; n; trace = 0L });
   Serve.Engine.tick engine;
   match recv engine p with
   | [ Serve.Frame.Welcome _; Serve.Frame.Opened { session; credit; _ } ] -> (session, credit)
@@ -129,7 +129,8 @@ let test_frame_roundtrips () =
   List.iter roundtrip_client
     [
       Serve.Frame.Hello { version = Serve.Frame.version };
-      Serve.Frame.Open { open_id = 42; protocol = "degeneracy:3"; n = 100 };
+      Serve.Frame.Open
+        { open_id = 42; protocol = "degeneracy:3"; n = 100; trace = 0x1122334455667788L };
       Serve.Frame.Msg { session = 9; node = 4; payload = msg };
       Serve.Frame.Msg { session = 9; node = 5; payload = Core.Message.empty };
       Serve.Frame.Finish { session = 9 };
@@ -139,7 +140,7 @@ let test_frame_roundtrips () =
     ];
   List.iter roundtrip_server
     [
-      Serve.Frame.Welcome { version = Serve.Frame.version };
+      Serve.Frame.Welcome { version = Serve.Frame.version; trace = 0xfeedfaceL };
       Serve.Frame.Opened { open_id = 42; session = 7; credit = 256 };
       Serve.Frame.Credit { session = 7; credit = 16 };
       Serve.Frame.Verdict
@@ -152,9 +153,24 @@ let test_frame_roundtrips () =
           malformed = 1;
           duplicated = 0;
           undetermined = 2;
+          trace = 0x0123456789abcdefL;
         };
       Serve.Frame.Rejected
-        { open_id = 42; reason = Serve.Frame.Overloaded; retry_after_ms = 250 };
+        {
+          open_id = 42;
+          reason = Serve.Frame.Overloaded;
+          retry_after_ms = 250;
+          trace = 0L;
+          detail = "";
+        };
+      Serve.Frame.Rejected
+        {
+          open_id = 43;
+          reason = Serve.Frame.Evidence;
+          retry_after_ms = 0;
+          trace = 0xabcdefL;
+          detail = "mid-flight: events=3 absorbed=2 last=open seq=9";
+        };
       Serve.Frame.Error { code = Serve.Frame.Slow_consumer; detail = "peer stopped reading" };
       Serve.Frame.Pong { token = 123456 };
     ]
@@ -295,7 +311,7 @@ let test_credit_overrun_quarantines () =
 let rejections_of frames =
   List.filter_map
     (function
-      | Serve.Frame.Rejected { open_id; reason; retry_after_ms } ->
+      | Serve.Frame.Rejected { open_id; reason; retry_after_ms; _ } ->
         Some (open_id, (reason, retry_after_ms))
       | _ -> None)
     frames
@@ -310,7 +326,7 @@ let test_admission_shed () =
   let _session, _ = open_session engine p1 ~protocol:"count" ~n:4 in
   let p2 = connect engine in
   feed engine p2 (Serve.Frame.Hello { version = Serve.Frame.version });
-  feed engine p2 (Serve.Frame.Open { open_id = 5; protocol = "count"; n = 4 });
+  feed engine p2 (Serve.Frame.Open { open_id = 5; protocol = "count"; n = 4; trace = 0L });
   Serve.Engine.tick engine;
   (match List.assoc_opt 5 (rejections_of (recv engine p2)) with
   | Some (Serve.Frame.Overloaded, 99) -> ()
@@ -322,8 +338,9 @@ let test_open_rejections_typed () =
   let engine = engine_with clock in
   let p = connect engine in
   feed engine p (Serve.Frame.Hello { version = Serve.Frame.version });
-  feed engine p (Serve.Frame.Open { open_id = 6; protocol = "nope"; n = 4 });
-  feed engine p (Serve.Frame.Open { open_id = 7; protocol = "degeneracy:2"; n = 1_000_000 });
+  feed engine p (Serve.Frame.Open { open_id = 6; protocol = "nope"; n = 4; trace = 0L });
+  feed engine p
+    (Serve.Frame.Open { open_id = 7; protocol = "degeneracy:2"; n = 1_000_000; trace = 0L });
   Serve.Engine.tick engine;
   let rejects = rejections_of (recv engine p) in
   (match List.assoc_opt 6 rejects with
@@ -334,7 +351,97 @@ let test_open_rejections_typed () =
   | _ -> Alcotest.fail "open 7 must reject Bad_n");
   (* typed rejections are not faults: the connection stays usable *)
   Alcotest.(check bool) "conn survives" false (Serve.Engine.wants_close engine p.c);
-  Alcotest.(check int) "no quarantine" 0 (Serve.Engine.stats engine).Serve.Engine.quarantines
+  Alcotest.(check int) "no quarantine" 0 (Serve.Engine.stats engine).Serve.Engine.quarantines;
+  (* each reject reason lands in its own stats counter *)
+  let s = Serve.Engine.stats engine in
+  Alcotest.(check int) "unknown_protocol counted" 1 s.Serve.Engine.rej_unknown_protocol;
+  Alcotest.(check int) "bad_n counted" 1 s.Serve.Engine.rej_bad_n;
+  Alcotest.(check int) "evidence untouched" 0 s.Serve.Engine.rej_evidence
+
+(* ---------- session tracing ---------- *)
+
+let hello_trace engine p =
+  feed engine p (Serve.Frame.Hello { version = Serve.Frame.version });
+  Serve.Engine.tick engine;
+  match recv engine p with
+  | [ Serve.Frame.Welcome { trace; _ } ] -> trace
+  | fs -> Alcotest.failf "hello got [%s]" (String.concat "; " (List.map pp_server fs))
+
+let test_welcome_mints_distinct_traces () =
+  let clock = ref 1234.5 in
+  let engine = engine_with clock in
+  let t1 = hello_trace engine (connect engine) in
+  let t2 = hello_trace engine (connect engine) in
+  Alcotest.(check bool) "trace ids nonzero" true (t1 <> 0L && t2 <> 0L);
+  Alcotest.(check bool) "trace ids distinct" true (t1 <> t2)
+
+let test_verdict_carries_conn_trace () =
+  let clock = ref 42.0 in
+  let engine = engine_with clock in
+  let p = connect engine in
+  let conn_trace = hello_trace engine p in
+  feed engine p (Serve.Frame.Open { open_id = 1; protocol = "count"; n = 4; trace = 0L });
+  Serve.Engine.tick engine;
+  let session =
+    match recv engine p with
+    | [ Serve.Frame.Opened { session; _ } ] -> session
+    | fs -> Alcotest.failf "open got [%s]" (String.concat "; " (List.map pp_server fs))
+  in
+  let g = Generators.path 4 in
+  let (Serve.Registry.Entry { protocol; _ }) =
+    match Serve.Registry.lookup ~spec:"count" ~n:4 with
+    | Ok e -> e
+    | Error e -> Alcotest.failf "lookup: %s" e
+  in
+  Array.iteri
+    (fun i m -> feed engine p (Serve.Frame.Msg { session; node = i + 1; payload = m }))
+    (count_msgs protocol g);
+  feed engine p (Serve.Frame.Finish { session });
+  let rec go budget =
+    if budget = 0 then Alcotest.fail "no verdict"
+    else begin
+      Serve.Engine.tick engine;
+      match
+        List.find_map
+          (function
+            | Serve.Frame.Verdict { session = s; trace; _ } when s = session -> Some trace
+            | _ -> None)
+          (recv engine p)
+      with
+      | Some t -> t
+      | None -> go (budget - 1)
+    end
+  in
+  let verdict_trace = go 50 in
+  Alcotest.(check bool) "verdict trace = Welcome trace" true (verdict_trace = conn_trace)
+
+let test_evidence_rejection () =
+  let clock = ref 7.0 in
+  let engine = engine_with clock in
+  let doomed = 0x00c0ffee600dcafeL in
+  let summary = "mid-flight: events=5 absorbed=3 last=absorb seq=17" in
+  Serve.Engine.load_evidence engine [ (doomed, summary) ];
+  Alcotest.(check int) "evidence loaded" 1 (Serve.Engine.evidence_count engine);
+  let p = connect engine in
+  let _ = hello_trace engine p in
+  (* resuming the doomed trace id is refused with the crash evidence *)
+  feed engine p
+    (Serve.Frame.Open { open_id = 3; protocol = "count"; n = 4; trace = doomed });
+  Serve.Engine.tick engine;
+  (match recv engine p with
+  | [ Serve.Frame.Rejected { open_id = 3; reason = Serve.Frame.Evidence; trace; detail; _ } ]
+    ->
+    Alcotest.(check bool) "reject echoes resumed trace" true (trace = doomed);
+    Alcotest.(check string) "reject carries the summary" summary detail
+  | fs -> Alcotest.failf "resume got [%s]" (String.concat "; " (List.map pp_server fs)));
+  Alcotest.(check int) "evidence reject counted" 1
+    (Serve.Engine.stats engine).Serve.Engine.rej_evidence;
+  (* a fresh open on the same conn is unaffected *)
+  feed engine p (Serve.Frame.Open { open_id = 4; protocol = "count"; n = 4; trace = 0L });
+  Serve.Engine.tick engine;
+  match recv engine p with
+  | [ Serve.Frame.Opened { open_id = 4; _ } ] -> ()
+  | fs -> Alcotest.failf "fresh open got [%s]" (String.concat "; " (List.map pp_server fs))
 
 let test_idle_timeout_degrades () =
   let clock = ref 0.0 in
@@ -435,7 +542,7 @@ let test_drain_finishes_inflight () =
   let session, _ = open_session engine p ~protocol:"count" ~n:4 in
   Serve.Engine.begin_drain engine;
   Alcotest.(check bool) "draining" true (Serve.Engine.draining engine);
-  feed engine p (Serve.Frame.Open { open_id = 9; protocol = "count"; n = 4 });
+  feed engine p (Serve.Frame.Open { open_id = 9; protocol = "count"; n = 4; trace = 0L });
   Serve.Engine.tick engine;
   (match
      List.find_opt
@@ -543,6 +650,13 @@ let () =
           Alcotest.test_case "ping pong and bye" `Quick test_ping_pong_and_bye;
           Alcotest.test_case "version mismatch quarantines" `Quick
             test_version_mismatch_quarantines;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "welcome mints distinct traces" `Quick
+            test_welcome_mints_distinct_traces;
+          Alcotest.test_case "verdict carries conn trace" `Quick test_verdict_carries_conn_trace;
+          Alcotest.test_case "evidence rejection" `Quick test_evidence_rejection;
         ] );
       ( "selftest",
         [
