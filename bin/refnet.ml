@@ -907,18 +907,54 @@ let search_cmd =
 
 (* Thin wrapper over lib/lint — the same engine as the standalone
    refnet_lint.exe, reachable from the shipped binary. *)
-let lint paths json =
+let lint paths json deep baseline =
   let paths = match paths with [] -> [ "lib"; "bin"; "bench"; "examples" ] | ps -> ps in
-  let files, findings = Lint.Driver.lint_paths paths in
-  if json then print_endline (Lint.Finding.report_json findings)
+  (* lint: allow determinism -- lint wall-time for the report, not a model run *)
+  let t0 = Unix.gettimeofday () in
+  let files, findings, roots =
+    if deep then
+      let d = Lint.Driver.deep_paths paths in
+      ( d.Lint.Driver.deep_files,
+        d.deep_findings,
+        Some (d.deep_roots_proven, d.deep_roots_total) )
+    else
+      let files, findings = Lint.Driver.lint_paths paths in
+      (files, findings, None)
+  in
+  (* lint: allow determinism -- lint wall-time for the report, not a model run *)
+  let wall_ms = int_of_float ((Unix.gettimeofday () -. t0) *. 1000.) in
+  let gating =
+    match baseline with
+    | None -> findings
+    | Some file -> (
+      match Lint.Baseline.load file with
+      | Error msg ->
+        Printf.eprintf "refnet lint: %s\n" msg;
+        exit 2
+      | Ok base -> Lint.Baseline.diff ~baseline:base findings)
+  in
+  if json then
+    print_endline (Lint.Finding.report_json ~wall_ms ~files:(List.length files) findings)
   else begin
     List.iter (fun f -> print_endline (Lint.Finding.to_string f)) findings;
-    Printf.printf "refnet lint: %d finding%s in %d scanned file%s\n" (List.length findings)
+    (match roots with
+    | Some (proven, total) ->
+      Printf.printf
+        "refnet lint: exn-escape proved %d/%d referee roots confined to the malformed class \
+         (%s)\n"
+        proven total
+        (String.concat ", " Lint.Exnflow.allowed)
+    | None -> ());
+    Printf.printf "refnet lint: %d finding%s%s in %d scanned file%s, %d ms\n"
+      (List.length findings)
       (if List.length findings = 1 then "" else "s")
+      (if baseline = None then ""
+       else Printf.sprintf " (%d new vs baseline)" (List.length gating))
       (List.length files)
       (if List.length files = 1 then "" else "s")
+      wall_ms
   end;
-  exit (if findings = [] then 0 else 1)
+  exit (if gating = [] then 0 else 1)
 
 let lint_cmd =
   let paths =
@@ -931,12 +967,32 @@ let lint_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the findings as a canonical JSON report.")
   in
+  let deep =
+    Arg.(
+      value & flag
+      & info [ "deep" ]
+          ~doc:
+            "Also run the whole-repo call-graph passes: exception-escape totality over the \
+             registered referees, Parallel capture races, blocking-call reachability from \
+             the serve loop, and stale-suppression detection.")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Diff findings against a committed schema-v2 JSON report; known findings are \
+             reported but only new ones fail the run (exit 2 if $(docv) is unreadable).")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Statically enforce the model's invariants (view boundary, determinism, referee \
-          totality, span grammar, bit accounting); exit 1 on any finding")
-    Term.(const lint $ paths $ json)
+          totality, span grammar, bit accounting — plus, with $(b,--deep), exception-escape \
+          totality, parallel races and blocking-call reachability over the repo call graph); \
+          exit 1 on any new finding")
+    Term.(const lint $ paths $ json $ deep $ baseline)
 
 (* ---------- stats ---------- *)
 

@@ -2,33 +2,84 @@
    invariant checker (lib/lint).  `refnet lint` exposes the same linter
    from the main CLI; this thin binary is what CI gates on.
 
-     refnet_lint [--json] PATH...
+     refnet_lint [--json] [--deep] [--baseline FILE] PATH...
 
    PATHs are .ml files or directories (recursed, _build and
-   dot-directories skipped; defaults to lib bin bench examples).  Exits
-   1 when any finding survives policy and suppressions, 0 on a clean
-   tree. *)
+   dot-directories skipped; defaults to lib bin bench examples).
 
-let usage = "refnet-lint [--json] PATH...  (default paths: lib bin bench examples)"
+   --deep adds the whole-repo call-graph passes (exception-escape
+   totality over the registered referees, Parallel capture races,
+   blocking-call reachability from the serve loop) and the
+   stale-suppression check.  --baseline FILE diffs the findings against
+   a committed schema-v2 report: known findings are reported but do not
+   fail the run.
+
+   Exits 0 on a clean tree (or all findings baselined), 1 when any new
+   finding survives policy / suppressions / baseline, 2 when the
+   baseline file is unreadable or malformed. *)
+
+let usage =
+  "refnet-lint [--json] [--deep] [--baseline FILE] PATH...  (default paths: lib bin bench \
+   examples)"
 
 let () =
   let json = ref false in
+  let deep = ref false in
+  let baseline = ref "" in
   let paths = ref [] in
   Arg.parse
-    [ ("--json", Arg.Set json, " emit the findings as a canonical JSON report on stdout") ]
+    [
+      ("--json", Arg.Set json, " emit the findings as a canonical JSON report on stdout");
+      ("--deep", Arg.Set deep, " also run the whole-repo call-graph passes");
+      ( "--baseline",
+        Arg.Set_string baseline,
+        "FILE fail only on findings absent from this committed report" );
+    ]
     (fun p -> paths := p :: !paths)
     usage;
   let paths = match List.rev !paths with [] -> [ "lib"; "bin"; "bench"; "examples" ] | ps -> ps in
-  let files, findings = Lint.Driver.lint_paths paths in
-  if !json then print_endline (Lint.Finding.report_json findings)
+  (* lint: allow determinism -- lint wall-time for the report, not a model run *)
+  let t0 = Unix.gettimeofday () in
+  let files, findings, roots =
+    if !deep then
+      let d = Lint.Driver.deep_paths paths in
+      (d.Lint.Driver.deep_files, d.deep_findings, Some (d.deep_roots_proven, d.deep_roots_total))
+    else
+      let files, findings = Lint.Driver.lint_paths paths in
+      (files, findings, None)
+  in
+  (* lint: allow determinism -- lint wall-time for the report, not a model run *)
+  let wall_ms = int_of_float ((Unix.gettimeofday () -. t0) *. 1000.) in
+  let gating =
+    if !baseline = "" then findings
+    else
+      match Lint.Baseline.load !baseline with
+      | Error msg ->
+        Printf.eprintf "refnet-lint: %s\n" msg;
+        exit 2
+      | Ok base -> Lint.Baseline.diff ~baseline:base findings
+  in
+  if !json then
+    print_endline (Lint.Finding.report_json ~wall_ms ~files:(List.length files) findings)
   else begin
     List.iter (fun f -> print_endline (Lint.Finding.to_string f)) findings;
+    (match roots with
+    | Some (proven, total) ->
+      Printf.printf "refnet-lint: exn-escape proved %d/%d referee roots confined to the \
+                     malformed class (%s)\n"
+        proven total
+        (String.concat ", " Lint.Exnflow.allowed)
+    | None -> ());
     if findings = [] then
-      Printf.printf "refnet-lint: clean (%d files)\n" (List.length files)
+      Printf.printf "refnet-lint: clean (%d files, %d ms)\n" (List.length files) wall_ms
     else
-      Printf.printf "refnet-lint: %d finding%s in %d scanned file%s\n" (List.length findings)
+      Printf.printf "refnet-lint: %d finding%s%s in %d scanned file%s, %d ms\n"
+        (List.length findings)
         (if List.length findings = 1 then "" else "s")
+        (if !baseline = "" then ""
+         else Printf.sprintf " (%d new vs baseline)" (List.length gating))
         (List.length files)
         (if List.length files = 1 then "" else "s")
+        wall_ms
   end;
-  exit (if findings = [] then 0 else 1)
+  exit (if gating = [] then 0 else 1)

@@ -12,6 +12,7 @@ let elementary_of_power_sums p_list =
       let term = Bigint.mul e.(m - i) p.(i - 1) in
       acc := if i land 1 = 1 then Bigint.add !acc term else Bigint.sub !acc term
     done;
+    (* lint: allow exn-escape -- divisor is of_int m with m >= 1: structurally nonzero *)
     e.(m) <- Bigint.div_exact !acc (Bigint.of_int m)
   done;
   Array.to_list (Array.sub e 1 d)

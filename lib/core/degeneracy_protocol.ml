@@ -96,7 +96,7 @@ let finish ~(decoder : decoder) ~k ~n st =
     let ok = ref true in
     (try
        while !ok && not (Queue.is_empty queue) do
-         let v = Queue.pop queue in
+         let v = Queue.pop queue in (* lint: allow exn-escape -- pop guarded by is_empty in the loop condition *)
          if not removed.(v - 1) then begin
            (* A queued vertex's degree only decreases; it is still <= k. *)
            let d = deg.(v - 1) in
@@ -208,7 +208,7 @@ let partial_decode ~(decoder : decoder) ~k ~n st =
   done;
   match
     while not (Queue.is_empty queue) do
-      let v = Queue.pop queue in
+      let v = Queue.pop queue in (* lint: allow exn-escape -- pop guarded by is_empty in the loop condition *)
       if not resolved.(v - 1) then begin
         let d = deg.(v - 1) in
         let nbrs =

@@ -50,7 +50,7 @@ let prune_tables ~n ~on_edge deg sum =
   let processed = ref 0 in
   let ok = ref true in
   while !ok && not (Queue.is_empty queue) do
-    let v = Queue.pop queue in
+    let v = Queue.pop queue in (* lint: allow exn-escape -- pop guarded by is_empty in the loop condition *)
     if not removed.(v - 1) then begin
       if deg.(v - 1) = 1 then begin
         let u = sum.(v - 1) in
@@ -161,7 +161,7 @@ let partial_prune ~n ~trusted deg sum =
   done;
   match
     while not (Queue.is_empty queue) do
-      let v = Queue.pop queue in
+      let v = Queue.pop queue in (* lint: allow exn-escape -- pop guarded by is_empty in the loop condition *)
       if not resolved.(v - 1) then begin
         if deg.(v - 1) = 1 then begin
           let u = sum.(v - 1) in

@@ -1,0 +1,150 @@
+(* Blocking-call reachability.
+
+   BFS over the resolved call graph from [Policy.blocking_roots] (the
+   serve daemon's select loop).  Two tiers of [Unix] syscall sites on
+   reachable definitions:
+
+     - tier A, always-blocking (sleeps, [connect], DNS resolution,
+       process waits): a finding wherever reachable — there is no
+       non-blocking mode to appeal to, so each occurrence needs a
+       per-line justification;
+     - tier B, descriptor I/O ([read]/[write]/[accept]/...): blocking
+       unless the definition sits at an allowlisted
+       [Policy.poll_points] entry, where readiness was established by
+       [select] (or the descriptor carries a deliberate short timeout).
+
+   [Unix.select] itself is the scheduler and never flagged.  Each
+   finding anchors at the syscall and carries the BFS call chain from
+   the root, so the reviewer sees *why* the site is reachable. *)
+
+let tier_a =
+  [
+    "sleep"; "sleepf"; "connect"; "getaddrinfo"; "gethostbyname"; "gethostbyaddr";
+    "getprotobyname"; "getservbyname"; "system"; "wait"; "waitpid"; "lockf"; "flock";
+  ]
+
+let tier_b =
+  [
+    "read"; "write"; "write_substring"; "single_write"; "recv"; "send"; "recvfrom";
+    "sendto"; "accept";
+  ]
+
+let at_poll_point (d : Callgraph.def) =
+  List.exists
+    (fun (file, fn) ->
+      Policy.matches d.Callgraph.d_file [ file ]
+      && List.exists (fun c -> c = fn) d.Callgraph.d_path)
+    Policy.poll_points
+
+let check g =
+  let defs = Callgraph.defs g in
+  let root_defs =
+    List.filter
+      (fun d ->
+        List.exists
+          (fun (file, fn) ->
+            Policy.matches d.Callgraph.d_file [ file ] && d.Callgraph.d_path = [ fn ])
+          Policy.blocking_roots)
+      defs
+  in
+  (* BFS with parent pointers for trace reconstruction *)
+  let parent : (string, string * Callgraph.call_site) Hashtbl.t = Hashtbl.create 128 in
+  let visited = Hashtbl.create 128 in
+  let queue = Queue.create () in
+  List.iter
+    (fun d ->
+      Hashtbl.replace visited d.Callgraph.d_id ();
+      Queue.add d.Callgraph.d_id queue)
+    root_defs;
+  while not (Queue.is_empty queue) do
+    let id = Queue.take queue in
+    match Callgraph.find_def g id with
+    | None -> ()
+    | Some d ->
+      List.iter
+        (fun cs ->
+          match cs.Callgraph.cs_resolved with
+          | Some callee when not (Hashtbl.mem visited callee) ->
+            Hashtbl.replace visited callee ();
+            Hashtbl.replace parent callee (id, cs);
+            Queue.add callee queue
+          | _ -> ())
+        d.Callgraph.d_calls
+  done;
+  let chain_to id =
+    let rec go id acc depth =
+      if depth > 32 then acc
+      else
+        match Hashtbl.find_opt parent id with
+        | None -> acc
+        | Some (pid, cs) ->
+          let pfn, pfile =
+            match Callgraph.find_def g pid with
+            | Some p -> (Callgraph.def_display p, p.Callgraph.d_file)
+            | None -> (pid, "")
+          in
+          let this_fn =
+            match Callgraph.find_def g id with
+            | Some d -> Callgraph.def_display d
+            | None -> id
+          in
+          go pid
+            ({
+               Finding.s_file = pfile;
+               s_line = cs.Callgraph.cs_line;
+               s_fn = pfn;
+               s_note = "calls " ^ this_fn;
+             }
+            :: acc)
+            (depth + 1)
+    in
+    go id [] 0
+  in
+  let findings = ref [] in
+  Hashtbl.iter
+    (fun id () ->
+      match Callgraph.find_def g id with
+      | None -> ()
+      | Some d ->
+        let open Callgraph in
+        List.iter
+          (fun us ->
+            let flagged, why =
+              if List.mem us.us_fn tier_a then
+                ( true,
+                  Printf.sprintf
+                    "Unix.%s always blocks (no non-blocking mode applies)" us.us_fn )
+              else if List.mem us.us_fn tier_b && not (at_poll_point d) then
+                ( true,
+                  Printf.sprintf
+                    "Unix.%s is descriptor I/O outside the allowlisted poll points" us.us_fn )
+              else (false, "")
+            in
+            if flagged then
+              findings :=
+                {
+                  Finding.rule = Finding.Blocking_call;
+                  file = d.d_file;
+                  line = us.us_line;
+                  col = us.us_col;
+                  message =
+                    Printf.sprintf
+                      "%s, yet it is reachable from the serve select loop — a slow peer \
+                       would stall every session on the shard; make it non-blocking, move \
+                       it off the loop, or justify it per line"
+                      why;
+                  trace =
+                    chain_to id
+                    @ [
+                        {
+                          Finding.s_file = d.d_file;
+                          s_line = us.us_line;
+                          s_fn = def_display d;
+                          s_note = "Unix." ^ us.us_fn;
+                        };
+                      ];
+                }
+                :: !findings)
+          d.d_unix)
+    visited;
+  List.sort_uniq Finding.compare !findings

@@ -15,12 +15,25 @@ let find_sub s sub from =
   let rec go i = if i + lb > ls then None else if String.sub s i lb = sub then Some i else go (i + 1) in
   go from
 
-(* Scans raw source lines for suppression comments.  Returns the set of
-   [(line, rule)] pairs covered and any findings for comments naming an
-   unknown rule. *)
+(* One suppression comment.  [sp_standalone] comments (alone on their
+   line) also cover the line below; [sp_used] is shared between both
+   covered lines so the stale pass sees one comment, not two. *)
+type supp = {
+  sp_line : int;
+  sp_rule : Finding.rule;
+  sp_standalone : bool;
+  sp_used : bool ref;
+}
+
+let covers supp ~line ~rule =
+  supp.sp_rule = rule
+  && (supp.sp_line = line || (supp.sp_standalone && supp.sp_line + 1 = line))
+
+(* Scans raw source lines for suppression comments.  Returns the
+   suppressions and any findings for comments naming an unknown rule. *)
 let scan_suppressions ~file source =
   let lines = String.split_on_char '\n' source in
-  let covered = Hashtbl.create 8 in
+  let supps = ref [] in
   let errors = ref [] in
   List.iteri
     (fun i line ->
@@ -39,9 +52,14 @@ let scan_suppressions ~file source =
         let name = String.sub rest 0 !stop in
         (match Finding.rule_of_name name with
         | Some rule ->
-          Hashtbl.replace covered (lineno, rule) ();
-          (* A comment alone on its line covers the line below. *)
-          if String.trim (String.sub line 0 at) = "" then Hashtbl.replace covered (lineno + 1, rule) ()
+          supps :=
+            {
+              sp_line = lineno;
+              sp_rule = rule;
+              sp_standalone = String.trim (String.sub line 0 at) = "";
+              sp_used = ref false;
+            }
+            :: !supps
         | None ->
           errors :=
             {
@@ -50,15 +68,16 @@ let scan_suppressions ~file source =
               line = lineno;
               col = at;
               message = Printf.sprintf "suppression names unknown lint rule %S" name;
+              trace = [];
             }
             :: !errors))
     lines;
-  (covered, List.rev !errors)
+  (List.rev !supps, List.rev !errors)
 
 (* ---------- parsing ---------- *)
 
 let parse_error_finding ~file ?(line = 1) ?(col = 0) message =
-  { Finding.rule = Finding.Parse_error; file; line; col; message }
+  { Finding.rule = Finding.Parse_error; file; line; col; message; trace = [] }
 
 let finding_of_loc ~file (loc : Location.t) message =
   let p = loc.Location.loc_start in
@@ -75,17 +94,67 @@ let parse ~file source =
   | exception exn ->
     Error (parse_error_finding ~file (Printf.sprintf "parse failed: %s" (Printexc.to_string exn)))
 
-(* ---------- pipeline ---------- *)
+(* ---------- shared load: parse each file exactly once ---------- *)
 
-let lint_source ~file source =
+type loaded = {
+  ld_file : string;
+  ld_ast : Parsetree.structure option;
+  ld_supps : supp list;
+  ld_pre : Finding.t list;  (* parse-error / unknown-rule findings *)
+}
+
+let load ~file source =
   let file = normalize file in
   match parse ~file source with
-  | Error finding -> [ finding ]
+  | Error finding -> { ld_file = file; ld_ast = None; ld_supps = []; ld_pre = [ finding ] }
   | Ok ast ->
-    let covered, comment_errors = scan_suppressions ~file source in
-    let raw = Rules.check ~file ast in
-    let kept = List.filter (fun f -> not (Hashtbl.mem covered (f.Finding.line, f.Finding.rule))) raw in
-    List.sort Finding.compare (comment_errors @ kept)
+    let supps, comment_errors = scan_suppressions ~file source in
+    { ld_file = file; ld_ast = Some ast; ld_supps = supps; ld_pre = comment_errors }
+
+(* A finding is suppressed when a comment covers its anchor *or any step
+   of its call-graph trace* — so a deep finding can be justified at the
+   raise/syscall/mutation site it actually points at, not only at the
+   referee root where it is anchored.  Matching marks the comment used
+   for the stale pass. *)
+let suppressed supp_of_file f =
+  let hit file line =
+    List.exists
+      (fun sp ->
+        if covers sp ~line ~rule:f.Finding.rule then begin
+          sp.sp_used := true;
+          true
+        end
+        else false)
+      (supp_of_file file)
+  in
+  (* evaluate all sites so every matching comment is marked used *)
+  let anchor = hit f.Finding.file f.Finding.line in
+  let steps =
+    List.fold_left
+      (fun acc s -> hit s.Finding.s_file s.Finding.s_line || acc)
+      false f.Finding.trace
+  in
+  anchor || steps
+
+(* ---------- shallow pipeline ---------- *)
+
+let shallow_findings ld =
+  match ld.ld_ast with
+  | None -> ld.ld_pre
+  | Some ast ->
+    let raw = Rules.check ~file:ld.ld_file ast in
+    let kept =
+      List.filter
+        (fun f ->
+          not
+            (List.exists
+               (fun sp -> covers sp ~line:f.Finding.line ~rule:f.Finding.rule)
+               ld.ld_supps))
+        raw
+    in
+    List.sort Finding.compare (ld.ld_pre @ kept)
+
+let lint_source ~file source = shallow_findings (load ~file source)
 
 let lint_file path =
   match In_channel.with_open_bin path In_channel.input_all with
@@ -112,3 +181,120 @@ let lint_paths paths =
   let files = collect_files paths in
   let findings = List.concat_map lint_file files in
   (files, List.sort Finding.compare findings)
+
+(* ---------- deep pipeline ---------- *)
+
+type deep = {
+  deep_files : string list;
+  deep_findings : Finding.t list;
+  deep_roots_proven : int;
+  deep_roots_total : int;
+  deep_wall_ms : int;
+}
+
+(* Spelled by concatenation for the same reason as [marker]. *)
+let stale_hint = "(* lint:" ^ " allow stale-suppression -- reason *)"
+
+let deep_sources sources =
+  let t0 = Unix.gettimeofday () in
+  let loaded = List.map (fun (file, source) -> load ~file source) sources in
+  let parsed =
+    List.filter_map (fun ld -> Option.map (fun a -> (ld.ld_file, a)) ld.ld_ast) loaded
+  in
+  let g = Callgraph.build parsed in
+  let exn_findings, _raw_proven, total = Exnflow.check g in
+  let race_findings = Races.check g parsed in
+  let blocking_findings = Blocking.check g in
+  let shallow =
+    List.concat_map
+      (fun ld ->
+        match ld.ld_ast with None -> [] | Some ast -> Rules.check ~file:ld.ld_file ast)
+      loaded
+  in
+  let supp_map = Hashtbl.create (List.length loaded) in
+  List.iter (fun ld -> Hashtbl.replace supp_map ld.ld_file ld.ld_supps) loaded;
+  let supp_of_file file = Option.value ~default:[] (Hashtbl.find_opt supp_map file) in
+  let kept =
+    List.filter
+      (fun f -> not (suppressed supp_of_file f))
+      (shallow @ exn_findings @ race_findings @ blocking_findings)
+  in
+  (* Stale suppressions: a comment no finding matched in this run.  The
+     shallow CLI never reports these (a shallow run of one file cannot
+     know what the deep pass would match); the deep pass sees the whole
+     repo, so an unused comment there really is dead.  [stale-suppression]
+     comments themselves are exempt — they exist to *be* unused. *)
+  let stale =
+    List.concat_map
+      (fun ld ->
+        List.filter_map
+          (fun sp ->
+            if !(sp.sp_used) || sp.sp_rule = Finding.Stale_suppression then None
+            else
+              Some
+                {
+                  Finding.rule = Finding.Stale_suppression;
+                  file = ld.ld_file;
+                  line = sp.sp_line;
+                  col = 0;
+                  message =
+                    Printf.sprintf
+                      "suppression for %s matched no finding in the deep pass; dead \
+                       suppressions hide future regressions — delete it or justify with %s"
+                      (Finding.rule_name sp.sp_rule) stale_hint;
+                  trace = [];
+                })
+          ld.ld_supps)
+      loaded
+  in
+  let stale_kept = List.filter (fun f -> not (suppressed supp_of_file f)) stale in
+  let pre = List.concat_map (fun ld -> ld.ld_pre) loaded in
+  let findings = List.sort Finding.compare (pre @ kept @ stale_kept) in
+  (* A root is proven when no escape finding against it survived the
+     suppression filter: a justified per-line suppression is a reviewed
+     proof obligation, so it counts.  Escape findings anchor at the
+     root, so distinct surviving anchors = unproven roots. *)
+  let unproven_roots =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun f ->
+           if f.Finding.rule = Finding.Exn_escape then
+             Some (f.Finding.file, f.Finding.line, f.Finding.col)
+           else None)
+         kept)
+  in
+  {
+    deep_files = List.map (fun ld -> ld.ld_file) loaded;
+    deep_findings = findings;
+    deep_roots_proven = total - List.length unproven_roots;
+    deep_roots_total = total;
+    deep_wall_ms = int_of_float ((Unix.gettimeofday () -. t0) *. 1000.);
+  }
+
+let deep_paths paths =
+  let files = collect_files paths in
+  let sources =
+    List.map
+      (fun path ->
+        match In_channel.with_open_bin path In_channel.input_all with
+        | source -> Ok (path, source)
+        | exception Sys_error msg -> Error (path, msg))
+      files
+  in
+  let readable = List.filter_map (function Ok s -> Some s | Error _ -> None) sources in
+  let unreadable =
+    List.filter_map
+      (function
+        | Ok _ -> None
+        | Error (path, msg) ->
+          Some
+            (parse_error_finding ~file:(normalize path)
+               (Printf.sprintf "cannot read file: %s" msg)))
+      sources
+  in
+  let d = deep_sources readable in
+  {
+    d with
+    deep_files = List.map normalize files;
+    deep_findings = List.sort Finding.compare (unreadable @ d.deep_findings);
+  }

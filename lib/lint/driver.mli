@@ -1,16 +1,22 @@
-(** The linting pipeline: parse, run {!Rules}, apply per-line
-    suppressions, sort.
+(** The linting pipeline: parse (once per file), run {!Rules}, apply
+    per-line suppressions, sort — plus the deep, whole-repo pass that
+    builds the {!Callgraph} and runs {!Exnflow}, {!Races} and
+    {!Blocking} over it.
 
     Suppression syntax — one rule per comment, reason recommended:
     {[ expr (* lint: allow referee-totality -- slots filled above *) ]}
     The comment suppresses that rule's findings on its own line; a
-    comment alone on a line also covers the line below it.  Naming an
-    unknown rule is itself a [parse-error] finding, so suppressions
-    cannot rot silently. *)
+    comment alone on a line also covers the line below it.  A deep
+    finding is also suppressed when a comment covers any step of its
+    call-graph trace, so the justification can live at the raise /
+    syscall / mutation site the trace points at.  Naming an unknown
+    rule is itself a [parse-error] finding, so suppressions cannot rot
+    silently; in the deep pass, a comment that matched no finding at
+    all is a [stale-suppression] finding. *)
 
 (** [lint_source ~file source] lints one implementation given as a
-    string.  A source that does not parse yields a single [parse-error]
-    finding. *)
+    string (shallow rules only).  A source that does not parse yields a
+    single [parse-error] finding. *)
 val lint_source : file:string -> string -> Finding.t list
 
 (** [lint_file path] reads and lints [path]; an unreadable file is a
@@ -26,3 +32,22 @@ val collect_files : string list -> string list
 (** [lint_paths paths] is [collect_files] + [lint_file] over the lot:
     the scanned files and all findings, sorted. *)
 val lint_paths : string list -> string list * Finding.t list
+
+(** Result of a deep run.  [deep_roots_proven] of [deep_roots_total]
+    referee roots had their may-raise sets confined to
+    {!Exnflow.allowed}; the wall time feeds the [--json] report. *)
+type deep = {
+  deep_files : string list;
+  deep_findings : Finding.t list;
+  deep_roots_proven : int;
+  deep_roots_total : int;
+  deep_wall_ms : int;
+}
+
+(** [deep_sources sources] runs shallow rules plus the three call-graph
+    passes over [(file, source)] pairs given in memory (the test
+    harness uses this to place fixtures at policy-relevant paths). *)
+val deep_sources : (string * string) list -> deep
+
+(** [collect_files] + read + {!deep_sources}. *)
+val deep_paths : string list -> deep

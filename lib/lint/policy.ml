@@ -42,6 +42,7 @@ let clock_ok =
     "lib/serve/engine.ml" (* the *default* clock only; create ?clock injects *);
     "lib/serve/daemon.ml" (* select-loop pacing against real sockets *);
     "lib/serve/selftest.ml" (* throughput measurement; the engine under test runs virtual *);
+    "lib/lint/driver.ml" (* lint wall-time in the --json report; the linter is not a model run *);
   ]
 
 (* Unix socket / file-descriptor syscalls: only the serve transport may
@@ -62,6 +63,34 @@ let spawn_ok = [ "lib/core/parallel.ml" ]
    invariant must abort the campaign, loudly.  Nothing in bench runs
    inside a referee. *)
 let totality_exempt = [ "bench/main.ml" ]
+
+(* ---------- deep-pass policy (callgraph rules) ---------- *)
+
+(* Roots of the blocking-call reachability pass: the serve daemon's
+   select loop.  Everything reachable from here on the call graph must
+   stay non-blocking, or a slow client stalls every session on the
+   shard. *)
+let blocking_roots = [ ("lib/serve/daemon.ml", "run") ]
+
+(* Allowlisted poll points: the only functions (matched by file plus any
+   component of the nested definition path) where descriptor I/O
+   syscalls (read/write/accept/select/...) may appear on a path from a
+   blocking root.  Hard-blocking calls (sleepf, connect, DNS) are never
+   allowed on such a path — those need a per-line justification. *)
+let poll_points =
+  [
+    ("lib/serve/daemon.ml", "run")
+    (* the select loop itself: reads/writes only fire on select-ready
+       descriptors, and every conn fd is set_nonblock at accept *);
+    ("lib/serve/daemon.ml", "answer_scrape")
+    (* deliberate short blocking read, bounded by SO_RCVTIMEO = 0.2 s;
+       scrapers send the full GET immediately *);
+  ]
+
+(* Modules exempt from the parallel-race pass as a whole: the domain
+   pool itself (its batch bookkeeping is the synchronization the rule
+   assumes) — everything else justifies each captured write per line. *)
+let race_ok = [ "lib/core/parallel.ml" ]
 
 (* Raw Bytes/Buffer: the byte layers themselves, plus the
    string-rendering modules (JSON/graph6 codecs, trace sinks).  Protocol

@@ -35,3 +35,18 @@ val totality_exempt : string list
 (** The sanctioned byte layers: modules allowed to touch raw [Bytes] /
     [Buffer]. *)
 val bytes_ok : string list
+
+(** Roots of the blocking-call reachability pass, as
+    [(file-suffix, top-level function)] pairs — the serve daemon's
+    select loop. *)
+val blocking_roots : (string * string) list
+
+(** Allowlisted poll points for descriptor I/O syscalls reachable from a
+    blocking root, as [(file-suffix, function)] pairs; a nested
+    definition matches if any component of its path equals the listed
+    function name. *)
+val poll_points : (string * string) list
+
+(** Modules exempt from the parallel-race pass (the domain pool
+    itself). *)
+val race_ok : string list

@@ -16,8 +16,14 @@ let emit st rule (loc : Location.t) message =
       line = p.pos_lnum;
       col = p.pos_cnum - p.pos_bol;
       message;
+      trace = [];
     }
     :: st.acc
+
+(* Spelled by concatenation so these user-facing messages never register
+   as suppression comments when the linter (or the stale-suppression
+   pass) scans its own source. *)
+let allow_hint rule = "(* lint:" ^ " allow " ^ rule ^ " -- reason *)"
 
 (* [Longident.flatten] raises on functor applications; those can never
    spell the constants we ban. *)
@@ -108,12 +114,14 @@ let check_ident st loc lid =
         emit st Finding.Referee_totality loc
           (Printf.sprintf
              "partial function %s.%s: referees must be total — use a total variant or justify \
-              with (* lint: allow referee-totality -- reason *)"
-             m f);
+              with %s"
+             m f
+             (allow_hint "referee-totality"));
       if f = "failwith" && (m = "" || m = "Stdlib") then
         emit st Finding.Referee_totality loc
-          "failwith in library code: referees must be total — raise a typed exception, return a \
-           verdict, or justify with (* lint: allow referee-totality -- reason *)"
+          ("failwith in library code: referees must be total — raise a typed exception, return a \
+            verdict, or justify with "
+          ^ allow_hint "referee-totality")
     end;
     (* bit-accounting: raw byte construction *)
     if (m = "Bytes" || m = "Buffer") && not (Policy.matches st.file Policy.bytes_ok) then
@@ -212,8 +220,9 @@ let check ~file ast =
     | Pexp_assert { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); _ }
       when not (Policy.matches st.file Policy.totality_exempt) ->
       emit st Finding.Referee_totality e.pexp_loc
-        "assert false: referees must be total — make the case impossible by construction or \
-         justify with (* lint: allow referee-totality -- reason *)"
+        ("assert false: referees must be total — make the case impossible by construction or \
+          justify with "
+        ^ allow_hint "referee-totality")
     | Pexp_apply (f, (Asttypes.Nolabel, arg) :: _) when is_rename f -> check_label_expr st arg
     | Pexp_record (fields, _) ->
       List.iter

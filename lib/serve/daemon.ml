@@ -63,6 +63,7 @@ let sockaddr_of_listen = function
       let addr =
         try Unix.inet_addr_of_string host
         with Failure _ -> (
+          (* lint: allow blocking-call -- bind-time resolution: runs once while opening the listener, before the loop serves anyone *)
           match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
           | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
           | _ -> Unix.inet_addr_loopback)

@@ -28,6 +28,7 @@ let recover t =
   else if t.s0 = Field.zero then None
   else begin
     (* Candidate index i = s1 / s0; fingerprint check s2 = s0 * z^i. *)
+    (* lint: allow exn-escape -- s0 <> zero was checked above; inv's raise is its own domain guard *)
     let i = Field.mul t.s1 (Field.inv t.s0) in
     if Field.equal t.s2 (Field.mul t.s0 (Field.pow t.z i)) then Some (i, symmetric t.s0)
     else None

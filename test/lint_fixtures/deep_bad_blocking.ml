@@ -1,0 +1,14 @@
+(* BAD (deep): hard-blocking calls reachable from the select loop.  Fed
+   to the deep pass under the path lib/serve/daemon.ml so the
+   policy-gated root [run] applies: Unix.sleepf is tier-A blocking
+   anywhere, and the Unix.read in [drain] sits outside every
+   allowlisted poll point. *)
+
+let pause () = Unix.sleepf 0.05
+
+let drain fd buf = ignore (Unix.read fd buf 0 (Bytes.length buf))
+
+let run listen =
+  let _ = Unix.select [ listen ] [] [] 0.1 in
+  pause ();
+  drain listen (Bytes.create 16)

@@ -1,0 +1,15 @@
+(* BAD (deep): an undocumented exception escapes a streaming referee's
+   absorb through two calls — the hardened combinators would not absorb
+   Overflow, so a hostile message could crash the referee. *)
+
+exception Overflow
+
+let bump n = if n > 7 then raise Overflow else n + 1
+
+let absorb_one acc v = bump acc + v
+
+let protocol () =
+  Protocol.streaming
+    ~init:(fun _n -> 0)
+    ~absorb:(fun acc v -> absorb_one acc v)
+    ~finish:(fun acc -> acc)

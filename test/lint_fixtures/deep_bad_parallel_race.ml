@@ -1,0 +1,12 @@
+(* BAD (deep): mutable state captured by a closure handed to the
+   Parallel pool, written without any item- or slot-indexed partition —
+   the transcript depends on the pool width. *)
+
+let total_hits = ref 0
+
+let tally results =
+  let seen = Hashtbl.create 8 in
+  Parallel.iter_range 0 (Array.length results) (fun i ->
+      total_hits := !total_hits + results.(i);
+      Hashtbl.replace seen results.(i) true);
+  Hashtbl.length seen

@@ -1,0 +1,15 @@
+(* GOOD (deep): the same raise is absorbed before it reaches the
+   referee boundary — once by a try handler inside a helper, once by a
+   match-with-exception around the scrutinee. *)
+
+exception Overflow
+
+let bump n = if n > 7 then raise Overflow else n + 1
+
+let safe_bump n = try bump n with Overflow -> n
+
+let protocol () =
+  Protocol.streaming
+    ~init:(fun _n -> 0)
+    ~absorb:(fun acc v -> safe_bump (acc + v))
+    ~finish:(fun acc -> match bump acc with x -> x | exception Overflow -> acc)

@@ -1,0 +1,16 @@
+(* GOOD (deep): every captured write is partitioned — the index is the
+   item index or a local derived from it (the simulator's idiom), both
+   for an inline closure and for a same-file function passed by name. *)
+
+let scatter order src =
+  let out = Array.make (Array.length src) 0 in
+  Parallel.iter_range 0 (Array.length src) (fun i ->
+      let slot = order.(i) in
+      out.(slot) <- src.(i));
+  out
+
+let out = Array.make 8 0
+
+let fill i = out.(i) <- i * i
+
+let all () = Parallel.iter_range 0 8 fill
